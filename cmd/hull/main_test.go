@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadPoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.txt")
+	content := "0 0\n1.5 -2.25\n\n3e-2 4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := readPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("read %d points", len(pts))
+	}
+	if pts[1][0] != 1.5 || pts[1][1] != -2.25 || pts[2][0] != 0.03 {
+		t.Fatalf("bad values: %v", pts)
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("1 2\nx y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(bad); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	mixed := filepath.Join(dir, "mixed.txt")
+	if err := os.WriteFile(mixed, []byte("1 2\n1 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(mixed); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+	if _, err := readPoints(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

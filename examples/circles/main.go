@@ -1,0 +1,70 @@
+// Circles: computes the intersection of unit disks (Section 7) and renders
+// the boundary arcs as ASCII art.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"parhull"
+)
+
+func main() {
+	// Seven unit disks with centers clustered near the origin.
+	var centers []parhull.Point
+	for i := 0; i < 7; i++ {
+		a := 2 * math.Pi * float64(i) / 7
+		r := 0.25 + 0.15*math.Sin(3*a)
+		centers = append(centers, parhull.Point{r * math.Cos(a), r * math.Sin(a)})
+	}
+	arcs, nonempty, err := parhull.UnitCircleIntersection(centers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !nonempty {
+		fmt.Println("The disks have empty common intersection.")
+		return
+	}
+	fmt.Printf("Intersection of %d unit disks: %d boundary arcs\n", len(centers), len(arcs))
+	for _, a := range arcs {
+		fmt.Printf("  circle %d: [%6.1f°, %6.1f°] (%.1f°)\n",
+			a.Circle, deg(a.Lo), deg(a.Lo+a.Length), deg(a.Length))
+	}
+
+	// ASCII render: '#' inside the intersection, digit on a boundary arc's
+	// supporting circle, '.' elsewhere.
+	const w, h = 64, 30
+	fmt.Println()
+	for row := 0; row < h; row++ {
+		line := make([]byte, w)
+		for col := 0; col < w; col++ {
+			x := (float64(col)/float64(w-1) - 0.5) * 3
+			y := (0.5 - float64(row)/float64(h-1)) * 3
+			inside := true
+			onCircle := -1
+			for ci, c := range centers {
+				d := math.Hypot(x-c[0], y-c[1])
+				if d > 1 {
+					inside = false
+				}
+				if math.Abs(d-1) < 0.035 {
+					onCircle = ci
+				}
+			}
+			switch {
+			case inside && onCircle >= 0:
+				line[col] = byte('0' + onCircle%10)
+			case inside:
+				line[col] = '#'
+			case onCircle >= 0:
+				line[col] = '\''
+			default:
+				line[col] = '.'
+			}
+		}
+		fmt.Println(string(line))
+	}
+}
+
+func deg(r float64) float64 { return r * 180 / math.Pi }

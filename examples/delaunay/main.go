@@ -1,0 +1,39 @@
+// Delaunay: triangulates random points with the incremental method and
+// reports the dependence depth — the same O(log n) phenomenon the paper
+// proves for convex hull, here on the Delaunay configuration space the
+// paper uses as its introductory example of a configuration space
+// (Section 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"parhull"
+)
+
+func main() {
+	for _, n := range []int{1000, 10000, 100000} {
+		pts := parhull.RandomPoints(n, 2, int64(n))
+		res, err := parhull.Delaunay(pts, &parhull.Options{Shuffle: true, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%7d: %7d triangles, depth %3d (%.2f x ln n), %d in-circle tests\n",
+			n, len(res.Triangles), res.Stats.MaxDepth,
+			float64(res.Stats.MaxDepth)/math.Log(float64(n)),
+			res.Stats.VisibilityTests)
+	}
+
+	// A tiny triangulation, printed in full.
+	small := parhull.RandomPoints(8, 2, 3)
+	res, err := parhull.Delaunay(small, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntriangulation of 8 points:")
+	for _, t := range res.Triangles {
+		fmt.Printf("  (%d %d %d)\n", t[0], t[1], t[2])
+	}
+}

@@ -1,0 +1,42 @@
+// Figure 1: replays the running example of the paper (Section 5.3) — adding
+// points a, b, c to the hull u-v-w-x-y-z-t — and prints the round-by-round
+// ProcessRidge outcomes, which match the paper's Figures 1(a) through 1(d).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parhull"
+)
+
+func edge(e [2]int) string {
+	return parhull.Figure1Labels[e[0]] + "-" + parhull.Figure1Labels[e[1]]
+}
+
+func main() {
+	pts, base := parhull.Figure1Points()
+	fmt.Println("Initial hull: u-v-w-x-y-z-t; inserting a, b, c (lexicographic order).")
+	res, rounds, err := parhull.Hull2DTrace(pts, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rounds {
+		fmt.Printf("Round %d (Figure 1(%c) -> 1(%c)):\n", r.Round, 'a'+r.Round-1, 'b'+r.Round-1)
+		for _, ev := range r.Events {
+			switch ev.Kind {
+			case parhull.TraceCreated:
+				fmt.Printf("  %-9s %s replaces %s\n", "created:", edge(ev.A), edge(ev.B))
+			case parhull.TraceBuried:
+				fmt.Printf("  %-9s %s and %s\n", "buried:", edge(ev.A), edge(ev.B))
+			default:
+				fmt.Printf("  %-9s ridge between %s and %s\n", "final:", edge(ev.A), edge(ev.B))
+			}
+		}
+	}
+	fmt.Print("Final hull:")
+	for _, v := range res.Vertices {
+		fmt.Printf(" %s", parhull.Figure1Labels[v])
+	}
+	fmt.Printf("\n(%d rounds, max dependence depth %d)\n", res.Stats.Rounds, res.Stats.MaxDepth)
+}

@@ -1,0 +1,55 @@
+// Quickstart: compute 2D and 3D convex hulls with the parallel randomized
+// incremental algorithm and inspect the instrumentation the paper's
+// theorems are about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parhull"
+)
+
+func main() {
+	// 2D: 100k points in the unit disk. Shuffle gives the random insertion
+	// order that Theorem 1.1's O(log n) depth guarantee assumes.
+	pts := parhull.RandomPoints(100_000, 2, 42)
+	res, err := parhull.Hull2D(pts, &parhull.Options{Shuffle: true, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2D hull of %d points: %d vertices\n", len(pts), len(res.Vertices))
+	fmt.Printf("  visibility tests:   %d\n", res.Stats.VisibilityTests)
+	fmt.Printf("  facets created:     %d\n", res.Stats.FacetsCreated)
+	fmt.Printf("  dependence depth:   %d (Theorem 1.1: O(log n) whp)\n", res.Stats.MaxDepth)
+
+	// The same input through the sequential Algorithm 2: identical facets,
+	// identical number of plane-side tests — only the schedule differs.
+	seq, err := parhull.Hull2D(pts, &parhull.Options{
+		Engine: parhull.EngineSequential, Shuffle: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  sequential tests:   %d (same as parallel: %v)\n",
+		seq.Stats.VisibilityTests, seq.Stats.VisibilityTests == res.Stats.VisibilityTests)
+
+	// 3D: every point on the sphere is a hull vertex — the hard case.
+	sph := parhull.RandomSpherePoints(20_000, 3, 7)
+	res3, err := parhull.Hull3D(sph, &parhull.Options{Shuffle: true, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3D hull of %d sphere points: %d facets, depth %d\n",
+		len(sph), len(res3.Facets), res3.Stats.MaxDepth)
+
+	// Round-synchronous engine: Stats.Rounds is the recursion depth of
+	// Theorem 5.3.
+	rr, err := parhull.Hull3D(sph, &parhull.Options{
+		Engine: parhull.EngineRounds, Shuffle: true, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  rounds to completion: %d\n", rr.Stats.Rounds)
+}

@@ -1,0 +1,158 @@
+package parhull
+
+import (
+	"parhull/internal/circles"
+	"parhull/internal/core"
+	"parhull/internal/corner"
+	"parhull/internal/delaunay"
+	"parhull/internal/halfspace"
+	"parhull/internal/hulld"
+)
+
+// HalfspaceVertex is one vertex of a half-space intersection: its location
+// and the d half-spaces whose boundaries meet there (indices into the
+// normals slice).
+type HalfspaceVertex struct {
+	Point      Point
+	Halfspaces []int
+}
+
+// HalfspaceResult is the output of HalfspaceIntersection.
+type HalfspaceResult struct {
+	Vertices []HalfspaceVertex
+	// Stats instruments the underlying dual hull construction; its MaxDepth
+	// is the dependence depth of the half-space intersection process
+	// (Section 7 — the two are isomorphic under duality).
+	Stats Stats
+}
+
+// HalfspaceIntersection computes the vertices of the intersection of the
+// half-spaces {x : normals[i]·x <= 1} by duality: the parallel incremental
+// hull of the normal vectors (Section 7). The intersection must be bounded,
+// i.e. the normals must positively span R^d — prepend
+// HalfspaceBoundingSimplex to guarantee it. Normals are consumed in input
+// order unless Options.Shuffle is set.
+func HalfspaceIntersection(normals []Point, opt *Options) (*HalfspaceResult, error) {
+	o := opt.or()
+	order, _ := o.perm(len(normals))
+	work := applyShuffle(normals, order)
+	d := 0
+	if len(normals) > 0 {
+		d = len(normals[0])
+	}
+	res, err := halfspace.IntersectDual(work, &hulld.Options{
+		Map:        o.ridgeMapD(len(normals), d),
+		GroupLimit: o.GroupLimit,
+		NoCounters: o.NoCounters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HalfspaceResult{Stats: res.HullStats}
+	for _, v := range res.Vertices {
+		hv := HalfspaceVertex{Point: v.Point}
+		for _, h := range v.Halfspaces {
+			hv.Halfspaces = append(hv.Halfspaces, mapBack(h, order))
+		}
+		out.Vertices = append(out.Vertices, hv)
+	}
+	return out, nil
+}
+
+// HalfspaceBoundingSimplex returns d+1 normals whose half-spaces form a
+// bounded simplex around the origin; prepending them to any normal set
+// makes the intersection (and every prefix of the insertion order) bounded.
+func HalfspaceBoundingSimplex(d int) []Point {
+	return halfspace.BoundingSimplex(d)
+}
+
+// CircleArc is one boundary arc of a unit-circle intersection: the arc of
+// circle Circle covering angles [Lo, Lo+Length] (radians, wrapping).
+type CircleArc struct {
+	Circle     int
+	Lo, Length float64
+}
+
+// UnitCircleIntersection computes the boundary arcs of the intersection of
+// unit disks centered at centers (Section 7). The boolean reports whether
+// the intersection region is non-empty.
+func UnitCircleIntersection(centers []Point) ([]CircleArc, bool, error) {
+	arcs, nonempty, err := circles.IntersectionBoundary(centers)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]CircleArc, len(arcs))
+	for i, a := range arcs {
+		out[i] = CircleArc{Circle: a.Circle, Lo: a.Iv.Lo, Length: a.Iv.Length}
+	}
+	return out, nonempty, nil
+}
+
+// DelaunayResult is the output of Delaunay.
+type DelaunayResult struct {
+	// Triangles lists the Delaunay triangles as counterclockwise vertex
+	// index triples into the input slice.
+	Triangles [][3]int
+	// Stats instruments the construction; MaxDepth is the dependence depth
+	// of the incremental process (O(log n) whp for a shuffled order, per
+	// the prior work the paper builds on).
+	Stats Stats
+}
+
+// Delaunay computes the Delaunay triangulation of 2D points by the
+// randomized incremental method, instrumented with the same dependence
+// depth as the hull engines (extension; see internal/delaunay for the
+// bounding-triangle caveat near the input hull). Points are inserted in
+// input order unless opt.Shuffle is set.
+func Delaunay(pts []Point, opt *Options) (*DelaunayResult, error) {
+	o := opt.or()
+	order, _ := o.perm(len(pts))
+	work := applyShuffle(pts, order)
+	res, err := delaunay.Triangulate(work)
+	if err != nil {
+		return nil, err
+	}
+	out := &DelaunayResult{Stats: res.Stats}
+	for _, t := range res.Triangles {
+		out.Triangles = append(out.Triangles, [3]int{
+			mapBack(t.Verts[0], order), mapBack(t.Verts[1], order), mapBack(t.Verts[2], order),
+		})
+	}
+	return out, nil
+}
+
+// Face3D is one face of a (possibly degenerate) 3D hull: its vertex indices
+// in cyclic boundary order. Faces need not be triangles.
+type Face3D struct {
+	Vertices []int
+}
+
+// Hull3DDegenerate computes the convex hull of 3D points that may be
+// degenerate (four or more coplanar, three or more collinear), using the
+// corner configuration space of Section 6. It returns the hull's faces as
+// vertex cycles — squares for a cube, general polygons for planar clusters —
+// rather than a simplicial facet list.
+//
+// The corner space is enumerated explicitly (O(n^3) configurations with
+// O(n) conflict tests each), so this is intended for moderate inputs
+// (hundreds of points); for large inputs in general position use Hull3D.
+// Exact duplicates must be removed first (they are reported as errors).
+func Hull3DDegenerate(pts []Point) ([]Face3D, error) {
+	s, err := corner.NewSpace(pts)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	faces, err := corner.Faces(s, core.Active(s, all))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Face3D, len(faces))
+	for i, f := range faces {
+		out[i] = Face3D{Vertices: f.Vertices}
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module parhull
+
+go 1.22

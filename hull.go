@@ -1,0 +1,126 @@
+package parhull
+
+import (
+	"fmt"
+
+	"parhull/internal/hull2d"
+	"parhull/internal/hulld"
+)
+
+// Hull2DResult is the output of Hull2D.
+type Hull2DResult struct {
+	// Vertices lists the hull vertices in counterclockwise order, as
+	// indices into the input slice.
+	Vertices []int
+	Stats    Stats
+}
+
+// Hull2D computes the convex hull of 2D points with the selected engine.
+// Points are inserted in input order unless Options.Shuffle is set (which
+// the Theorem 1.1 depth guarantee assumes). The input must contain at least
+// 3 points in general position.
+func Hull2D(pts []Point, opt *Options) (*Hull2DResult, error) {
+	o := opt.or()
+	order, _ := o.perm(len(pts))
+	work := applyShuffle(pts, order)
+
+	var res *hull2d.Result
+	var err error
+	switch o.Engine {
+	case EngineSequential:
+		res, err = hull2d.Seq(work)
+	case EngineParallel:
+		res, err = hull2d.Par(work, &hull2d.Options{
+			Map:        o.ridgeMap2D(len(pts)),
+			GroupLimit: o.GroupLimit,
+			NoCounters: o.NoCounters,
+		})
+	case EngineRounds:
+		res, _, err = hull2d.Rounds(work, &hull2d.Options{
+			Map:        o.ridgeMap2D(len(pts)),
+			NoCounters: o.NoCounters,
+		})
+	default:
+		return nil, errBadEngine
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Hull2DResult{Stats: res.Stats}
+	for _, v := range res.Vertices {
+		out.Vertices = append(out.Vertices, mapBack(v, order))
+	}
+	return out, nil
+}
+
+// Facet is one facet of a d-dimensional hull: the indices of its d defining
+// points in the input slice.
+type Facet struct {
+	Vertices []int
+}
+
+// HullDResult is the output of HullD / Hull3D.
+type HullDResult struct {
+	// Facets are the hull facets (oriented d-simplices).
+	Facets []Facet
+	// Vertices are the sorted indices of points on the hull.
+	Vertices []int
+	Stats    Stats
+}
+
+// HullD computes the convex hull in the dimension given by the points
+// (d = len(pts[0]) >= 2). The input must contain at least d+1 points in
+// general position. See Hull2D for ordering semantics.
+func HullD(pts []Point, opt *Options) (*HullDResult, error) {
+	o := opt.or()
+	order, _ := o.perm(len(pts))
+	work := applyShuffle(pts, order)
+	d := 0
+	if len(pts) > 0 {
+		d = len(pts[0])
+	}
+
+	var res *hulld.Result
+	var err error
+	switch o.Engine {
+	case EngineSequential:
+		res, err = hulld.Seq(work)
+	case EngineParallel:
+		res, err = hulld.Par(work, &hulld.Options{
+			Map:        o.ridgeMapD(len(pts), d),
+			GroupLimit: o.GroupLimit,
+			NoCounters: o.NoCounters,
+		})
+	case EngineRounds:
+		res, err = hulld.Rounds(work, &hulld.Options{
+			Map:        o.ridgeMapD(len(pts), d),
+			NoCounters: o.NoCounters,
+		})
+	default:
+		return nil, errBadEngine
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &HullDResult{Stats: res.Stats}
+	for _, f := range res.Facets {
+		ff := Facet{Vertices: make([]int, len(f.Verts))}
+		for i, v := range f.Verts {
+			ff.Vertices[i] = mapBack(v, order)
+		}
+		out.Facets = append(out.Facets, ff)
+	}
+	for _, v := range res.Vertices {
+		out.Vertices = append(out.Vertices, mapBack(v, order))
+	}
+	return out, nil
+}
+
+// Hull3D computes the convex hull of 3D points (a convenience wrapper
+// around HullD that validates the dimension).
+func Hull3D(pts []Point, opt *Options) (*HullDResult, error) {
+	if len(pts) > 0 && len(pts[0]) != 3 {
+		return nil, fmt.Errorf("parhull: Hull3D needs 3D points, got dimension %d", len(pts[0]))
+	}
+	return HullD(pts, opt)
+}

@@ -1,0 +1,178 @@
+// Package baseline provides non-incremental comparators used as correctness
+// oracles and performance baselines: an exact Graham scan and a quickhull
+// implementation for 2D, plus brute-force hull checks that work in any
+// dimension. None of this is on the paper's critical path — it exists so the
+// incremental engines can be validated against independent code.
+package baseline
+
+import (
+	"sort"
+	"strconv"
+
+	"parhull/internal/geom"
+)
+
+// GrahamScan returns the indices of the convex hull vertices of pts in
+// counterclockwise order. Collinear boundary points are excluded (strict
+// turns only), matching the strict-visibility convention of the incremental
+// engines. It handles degenerate inputs (all collinear) by returning the
+// extreme pair.
+func GrahamScan(pts []geom.Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	// Drop exact duplicates.
+	uniq := idx[:1]
+	for _, i := range idx[1:] {
+		if !pts[i].Equal(pts[uniq[len(uniq)-1]]) {
+			uniq = append(uniq, i)
+		}
+	}
+	idx = uniq
+	if len(idx) == 1 {
+		return []int{idx[0]}
+	}
+	// Andrew's monotone chain with strict turns.
+	build := func(seq []int) []int {
+		var h []int
+		for _, i := range seq {
+			for len(h) >= 2 && geom.Orient2D(pts[h[len(h)-2]], pts[h[len(h)-1]], pts[i]) <= 0 {
+				h = h[:len(h)-1]
+			}
+			h = append(h, i)
+		}
+		return h
+	}
+	lower := build(idx)
+	rev := make([]int, len(idx))
+	for i := range idx {
+		rev[i] = idx[len(idx)-1-i]
+	}
+	upper := build(rev)
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 2 { // all collinear: extreme pair
+		return []int{idx[0], idx[len(idx)-1]}
+	}
+	return hull
+}
+
+// QuickHull2D returns hull vertex indices in CCW order using the quickhull
+// divide-and-conquer method — the non-incremental baseline for the
+// performance comparisons.
+func QuickHull2D(pts []geom.Point) []int {
+	n := len(pts)
+	if n < 3 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	lo, hi := 0, 0
+	for i := 1; i < n; i++ {
+		if pts[i][0] < pts[lo][0] || (pts[i][0] == pts[lo][0] && pts[i][1] < pts[lo][1]) {
+			lo = i
+		}
+		if pts[i][0] > pts[hi][0] || (pts[i][0] == pts[hi][0] && pts[i][1] > pts[hi][1]) {
+			hi = i
+		}
+	}
+	if lo == hi {
+		return []int{lo}
+	}
+	var above, below []int
+	for i := 0; i < n; i++ {
+		if i == lo || i == hi {
+			continue
+		}
+		switch geom.Orient2D(pts[lo], pts[hi], pts[i]) {
+		case 1:
+			above = append(above, i)
+		case -1:
+			below = append(below, i)
+		}
+	}
+	var out []int
+	out = append(out, lo)
+	out = qhRec(pts, lo, hi, below, out) // right side of lo->hi: lower chain
+	out = append(out, hi)
+	out = qhRec(pts, hi, lo, above, out)
+	return out
+}
+
+// qhRec appends, between a and b (walking CCW along the outside), the hull
+// vertices among cand, all of which lie strictly right of the line a->b.
+func qhRec(pts []geom.Point, a, b int, cand []int, out []int) []int {
+	if len(cand) == 0 {
+		return out
+	}
+	// Farthest point from line a-b (by twice-area magnitude).
+	far, best := -1, 0.0
+	for _, i := range cand {
+		d := cross(pts[a], pts[b], pts[i])
+		if d < 0 {
+			d = -d
+		}
+		if far == -1 || d > best {
+			far, best = i, d
+		}
+	}
+	var left, right []int
+	for _, i := range cand {
+		if i == far {
+			continue
+		}
+		if geom.Orient2D(pts[a], pts[far], pts[i]) == -1 {
+			left = append(left, i)
+		} else if geom.Orient2D(pts[far], pts[b], pts[i]) == -1 {
+			right = append(right, i)
+		}
+	}
+	out = qhRec(pts, a, far, left, out)
+	out = append(out, far)
+	out = qhRec(pts, far, b, right, out)
+	return out
+}
+
+func cross(a, b, c geom.Point) float64 {
+	return (b[0]-a[0])*(c[1]-a[1]) - (b[1]-a[1])*(c[0]-a[0])
+}
+
+// CheckHull2D verifies that hull (vertex indices, CCW) is the convex hull of
+// pts: consecutive triples turn strictly left, and no input point lies
+// strictly outside any edge. It returns a non-nil error description slice
+// (empty means valid).
+func CheckHull2D(pts []geom.Point, hull []int32) []string {
+	var errs []string
+	h := len(hull)
+	if h < 3 {
+		return []string{"hull has fewer than 3 vertices"}
+	}
+	for i := 0; i < h; i++ {
+		a, b, c := hull[i], hull[(i+1)%h], hull[(i+2)%h]
+		if geom.Orient2D(pts[a], pts[b], pts[c]) <= 0 {
+			errs = append(errs, "hull not strictly convex CCW at "+strconv.Itoa(int(b)))
+		}
+	}
+	for i := 0; i < h; i++ {
+		a, b := hull[i], hull[(i+1)%h]
+		for j := range pts {
+			if geom.Orient2D(pts[a], pts[b], pts[j]) < 0 {
+				errs = append(errs, "point "+strconv.Itoa(j)+" outside edge "+strconv.Itoa(int(a))+"-"+strconv.Itoa(int(b)))
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parhull/internal/geom"
+	"parhull/internal/pointgen"
+)
+
+func sortedCopy(a []int) []int {
+	b := append([]int(nil), a...)
+	sort.Ints(b)
+	return b
+}
+
+func TestGrahamVsQuickhull(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := pointgen.NewRNG(seed)
+		var pts []geom.Point
+		if seed%2 == 0 {
+			pts = pointgen.UniformBall(rng, 200, 2)
+		} else {
+			pts = pointgen.OnCircle(rng, 200)
+		}
+		g := sortedCopy(GrahamScan(pts))
+		q := sortedCopy(QuickHull2D(pts))
+		if len(g) != len(q) {
+			t.Fatalf("seed %d: graham %d vs quickhull %d vertices", seed, len(g), len(q))
+		}
+		for i := range g {
+			if g[i] != q[i] {
+				t.Fatalf("seed %d: vertex sets differ", seed)
+			}
+		}
+	}
+}
+
+func TestGrahamKnownSquare(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.25, 0.75}}
+	h := sortedCopy(GrahamScan(pts))
+	if len(h) != 4 || h[0] != 0 || h[1] != 1 || h[2] != 2 || h[3] != 3 {
+		t.Fatalf("hull = %v", h)
+	}
+}
+
+func TestGrahamDegenerate(t *testing.T) {
+	if h := GrahamScan(nil); h != nil {
+		t.Errorf("empty: %v", h)
+	}
+	if h := GrahamScan([]geom.Point{{1, 2}}); len(h) != 1 {
+		t.Errorf("single: %v", h)
+	}
+	// Duplicates collapse.
+	if h := GrahamScan([]geom.Point{{1, 2}, {1, 2}, {1, 2}}); len(h) != 1 {
+		t.Errorf("duplicates: %v", h)
+	}
+	// All collinear: the extreme pair.
+	line := pointgen.Collinear2D(geom.Point{0, 0}, geom.Point{4, 4}, 5)
+	h := GrahamScan(line)
+	if len(h) != 2 {
+		t.Fatalf("collinear: %v", h)
+	}
+	// Collinear boundary points are excluded (strict turns).
+	sq := []geom.Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 0}}
+	if h := GrahamScan(sq); len(h) != 4 {
+		t.Fatalf("collinear-on-edge kept: %v", h)
+	}
+}
+
+func TestQuickHullTiny(t *testing.T) {
+	if h := QuickHull2D([]geom.Point{{0, 0}, {1, 1}}); len(h) != 2 {
+		t.Errorf("two points: %v", h)
+	}
+	if h := QuickHull2D([]geom.Point{{3, 3}}); len(h) != 1 {
+		t.Errorf("one point: %v", h)
+	}
+}
+
+func TestCheckHull2D(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}}
+	good := []int32{0, 1, 2, 3}
+	if errs := CheckHull2D(pts, good); len(errs) != 0 {
+		t.Fatalf("good hull rejected: %v", errs)
+	}
+	// Clockwise order: convexity errors.
+	if errs := CheckHull2D(pts, []int32{3, 2, 1, 0}); len(errs) == 0 {
+		t.Fatal("clockwise hull accepted")
+	}
+	// Missing a vertex: point-outside errors.
+	if errs := CheckHull2D(pts, []int32{0, 1, 3}); len(errs) == 0 {
+		t.Fatal("hull missing vertex accepted")
+	}
+	if errs := CheckHull2D(pts, []int32{0, 1}); len(errs) == 0 {
+		t.Fatal("2-vertex hull accepted")
+	}
+}
+
+// TestQuickProperty: for random clouds, Graham output is convex and
+// contains all points (via CheckHull2D).
+func TestQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := pointgen.Gaussian(rng, 30+rng.Intn(100), 2)
+		h := GrahamScan(pts)
+		if len(h) < 3 {
+			return false
+		}
+		hh := make([]int32, len(h))
+		for i, v := range h {
+			hh[i] = int32(v)
+		}
+		return len(CheckHull2D(pts, hh)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package circles implements Section 7's intersection of unit circles:
+// given unit disks D_i centered at points c_i, the incremental process
+// maintains the boundary arcs of their common intersection.
+//
+// Configurations are arcs (Section 7): a pair of intersecting circles
+// defines two arcs (each circle's arc inside the other), and a triple
+// defines up to three (one per support circle), so the multiplicity is 3.
+// An arc conflicts with every circle that does not fully contain it — adding
+// such a circle either cuts the arc or removes it from the boundary.
+// The space has 2-support, which the tests verify by brute force, and
+// core.Simulate measures its dependence depth (experiment E9).
+//
+// Substitution note (recorded in DESIGN.md): circle-circle intersections are
+// algebraic, not rational, so unlike the hull engines this package evaluates
+// predicates in float64 with a small tolerance rather than exactly. The
+// generators keep inputs far from degeneracy, which preserves the
+// combinatorial behaviour the paper analyzes.
+package circles
+
+import (
+	"fmt"
+	"math"
+
+	"parhull/internal/geom"
+)
+
+const (
+	twoPi = 2 * math.Pi
+	// eps is the angular tolerance for containment/equality decisions.
+	eps = 1e-9
+)
+
+// Interval is an angular interval on a circle: the angles s with
+// norm(s - Lo) <= Length, i.e. [Lo, Lo+Length] wrapping modulo 2*pi.
+// Length == 2*pi denotes the full circle.
+type Interval struct {
+	Lo, Length float64
+}
+
+// Full is the whole circle.
+var Full = Interval{0, twoPi}
+
+func norm(a float64) float64 {
+	a = math.Mod(a, twoPi)
+	if a < 0 {
+		a += twoPi
+	}
+	return a
+}
+
+// Contains reports whether angle t lies in iv (inclusive within eps).
+func (iv Interval) Contains(t float64) bool {
+	return norm(t-iv.Lo) <= iv.Length+eps
+}
+
+// ContainsInterval reports whether jv lies entirely inside iv.
+func (iv Interval) ContainsInterval(jv Interval) bool {
+	if iv.Length >= twoPi-eps {
+		return true
+	}
+	if jv.Length > iv.Length+eps {
+		return false
+	}
+	d := norm(jv.Lo - iv.Lo)
+	return d <= iv.Length+eps && d+jv.Length <= iv.Length+eps
+}
+
+// Intersect returns the (0, 1, or 2) intervals forming iv ∩ jv.
+func (iv Interval) Intersect(jv Interval) []Interval {
+	if iv.Length >= twoPi-eps {
+		return []Interval{jv}
+	}
+	if jv.Length >= twoPi-eps {
+		return []Interval{iv}
+	}
+	var out []Interval
+	if d := norm(jv.Lo - iv.Lo); d < iv.Length-eps {
+		out = append(out, Interval{jv.Lo, math.Min(jv.Length, iv.Length-d)})
+	}
+	if d := norm(iv.Lo - jv.Lo); d < jv.Length-eps {
+		seg := Interval{iv.Lo, math.Min(iv.Length, jv.Length-d)}
+		dup := false
+		for _, o := range out {
+			if math.Abs(norm(o.Lo-seg.Lo)) < eps && math.Abs(o.Length-seg.Length) < eps {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// chordInterval returns the angular interval of circle a's boundary lying
+// inside the unit disk centered at x, and whether it is non-empty. Both
+// circles have radius 1; centers must be distinct.
+func chordInterval(a, x geom.Point) (Interval, bool) {
+	dx, dy := x[0]-a[0], x[1]-a[1]
+	t := math.Hypot(dx, dy)
+	if t >= 2 {
+		return Interval{}, false
+	}
+	if t == 0 {
+		return Full, true // identical circles: boundary fully inside
+	}
+	phi := math.Atan2(dy, dx)
+	alpha := math.Acos(t / 2)
+	return Interval{norm(phi - alpha), 2 * alpha}, true
+}
+
+// Arc is one boundary arc of the intersection region.
+type Arc struct {
+	Circle int // index of the supporting circle
+	Iv     Interval
+}
+
+// IntersectionBoundary computes the boundary arcs of the intersection of
+// unit disks centered at centers, by direct interval intersection (the
+// oracle the incremental configuration space is tested against). The second
+// return reports whether the intersection region is non-empty.
+func IntersectionBoundary(centers []geom.Point) ([]Arc, bool, error) {
+	if err := geom.ValidateCloud(centers, 2); err != nil {
+		return nil, false, err
+	}
+	for i := range centers {
+		for j := i + 1; j < len(centers); j++ {
+			if centers[i].Equal(centers[j]) {
+				return nil, false, fmt.Errorf("circles: duplicate centers %d and %d", i, j)
+			}
+		}
+	}
+	var arcs []Arc
+	for a := range centers {
+		ivs := []Interval{Full}
+		for x := range centers {
+			if x == a {
+				continue
+			}
+			cx, ok := chordInterval(centers[a], centers[x])
+			if !ok {
+				ivs = nil
+				break
+			}
+			var next []Interval
+			for _, iv := range ivs {
+				next = append(next, iv.Intersect(cx)...)
+			}
+			ivs = next
+		}
+		for _, iv := range ivs {
+			if iv.Length > eps {
+				arcs = append(arcs, Arc{Circle: a, Iv: iv})
+			}
+		}
+	}
+	if len(centers) == 1 {
+		return []Arc{{0, Full}}, true, nil
+	}
+	return arcs, len(arcs) > 0, nil
+}

@@ -1,0 +1,232 @@
+package circles
+
+import (
+	"math"
+	"testing"
+
+	"parhull/internal/core"
+	"parhull/internal/geom"
+	"parhull/internal/pointgen"
+	"parhull/internal/stats"
+)
+
+// clusteredCenters returns n distinct centers within a small disk, so every
+// pair of unit circles intersects and the common intersection is non-empty.
+func clusteredCenters(seed int64, n int) []geom.Point {
+	rng := pointgen.NewRNG(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := twoPi * rng.Float64()
+		r := 0.4 * math.Sqrt(rng.Float64())
+		pts[i] = geom.Point{r * math.Cos(a), r * math.Sin(a)}
+	}
+	return pts
+}
+
+func TestIntervalOps(t *testing.T) {
+	iv := Interval{0, math.Pi}
+	if !iv.Contains(1) || iv.Contains(4) {
+		t.Error("Contains misclassifies")
+	}
+	if !iv.ContainsInterval(Interval{0.5, 1}) {
+		t.Error("nested interval rejected")
+	}
+	if iv.ContainsInterval(Interval{3, 1}) {
+		t.Error("outside interval accepted")
+	}
+	if !Full.ContainsInterval(Interval{5, 2}) {
+		t.Error("full circle rejects")
+	}
+	// Wrapping containment.
+	w := Interval{5.5, 2}
+	if !w.ContainsInterval(Interval{6, 1}) {
+		t.Error("wrapping containment failed")
+	}
+	// Simple overlap.
+	got := Interval{0, 2}.Intersect(Interval{1, 2})
+	if len(got) != 1 || math.Abs(got[0].Lo-1) > eps || math.Abs(got[0].Length-1) > eps {
+		t.Fatalf("intersect: %+v", got)
+	}
+	// Nested.
+	got = Interval{0, 3}.Intersect(Interval{1, 1})
+	if len(got) != 1 || math.Abs(got[0].Lo-1) > eps || math.Abs(got[0].Length-1) > eps {
+		t.Fatalf("nested intersect: %+v", got)
+	}
+	// Disjoint.
+	got = Interval{0, 1}.Intersect(Interval{2, 1})
+	if len(got) != 0 {
+		t.Fatalf("disjoint intersect: %+v", got)
+	}
+	// Double overlap (two long intervals covering most of the circle).
+	got = Interval{0, 5.9}.Intersect(Interval{3, 5.9})
+	if len(got) != 2 {
+		t.Fatalf("double overlap: %+v", got)
+	}
+}
+
+func TestChordInterval(t *testing.T) {
+	// Centers at distance 1: half-angle acos(1/2) = pi/3 about direction 0.
+	iv, ok := chordInterval(geom.Point{-0.5, 0}, geom.Point{0.5, 0})
+	if !ok {
+		t.Fatal("intersecting circles reported disjoint")
+	}
+	if math.Abs(iv.Length-2*math.Pi/3) > 1e-12 {
+		t.Fatalf("length = %v, want 2pi/3", iv.Length)
+	}
+	if math.Abs(norm(iv.Lo)-(twoPi-math.Pi/3)) > 1e-12 {
+		t.Fatalf("lo = %v", iv.Lo)
+	}
+	if _, ok := chordInterval(geom.Point{0, 0}, geom.Point{2.5, 0}); ok {
+		t.Fatal("distant circles reported intersecting")
+	}
+}
+
+func TestTwoCircleLens(t *testing.T) {
+	centers := []geom.Point{{-0.5, 0}, {0.5, 0}}
+	arcs, nonempty, err := IntersectionBoundary(centers)
+	if err != nil || !nonempty {
+		t.Fatalf("lens: %v %v", nonempty, err)
+	}
+	if len(arcs) != 2 {
+		t.Fatalf("lens has %d arcs, want 2", len(arcs))
+	}
+	sp, err := NewSpace(centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := core.Active(sp, []int{0, 1})
+	if len(act) != 2 {
+		t.Fatalf("|T| = %d, want 2", len(act))
+	}
+}
+
+func TestReuleauxTriple(t *testing.T) {
+	// Three symmetric circles: the intersection is a Reuleaux-like region
+	// with exactly 3 boundary arcs.
+	var centers []geom.Point
+	for i := 0; i < 3; i++ {
+		a := math.Pi/2 + float64(i)*twoPi/3
+		centers = append(centers, geom.Point{0.6 * math.Cos(a), 0.6 * math.Sin(a)})
+	}
+	arcs, nonempty, err := IntersectionBoundary(centers)
+	if err != nil || !nonempty {
+		t.Fatalf("%v %v", nonempty, err)
+	}
+	if len(arcs) != 3 {
+		t.Fatalf("%d arcs, want 3", len(arcs))
+	}
+	sp, err := NewSpace(centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := core.Active(sp, []int{0, 1, 2})
+	if len(act) != 3 {
+		t.Fatalf("|T| = %d, want 3", len(act))
+	}
+}
+
+// TestActiveMatchesOracle: the active configurations of the space equal the
+// boundary arcs computed by direct interval intersection.
+func TestActiveMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		centers := clusteredCenters(seed, 8)
+		arcs, nonempty, err := IntersectionBoundary(centers)
+		if err != nil || !nonempty {
+			t.Fatalf("seed %d: %v %v", seed, nonempty, err)
+		}
+		sp, err := NewSpace(centers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]int, len(centers))
+		for i := range all {
+			all[i] = i
+		}
+		act := core.Active(sp, all)
+		if len(act) != len(arcs) {
+			t.Fatalf("seed %d: |T| = %d, oracle %d arcs", seed, len(act), len(arcs))
+		}
+		// Each active configuration matches an oracle arc.
+		for _, c := range act {
+			sup, iv := sp.Cfg(c)
+			found := false
+			for _, a := range arcs {
+				if a.Circle == sup && sameIv(a.Iv, iv) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: active arc (circle %d, %+v) not in oracle", seed, sup, iv)
+			}
+		}
+	}
+}
+
+// TestTwoSupportCircles verifies Section 7's claim that the circle space has
+// 2-support, by exhaustive search.
+func TestTwoSupportCircles(t *testing.T) {
+	centers := clusteredCenters(7, 7)
+	sp, err := NewSpace(centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.CheckDegree(sp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.CheckMultiplicity(sp); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, len(centers))
+	for i := range all {
+		all[i] = i
+	}
+	if err := core.VerifySupport(sp, all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateDepthCircles(t *testing.T) {
+	centers := clusteredCenters(8, 14)
+	sp, err := NewSpace(centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := pointgen.NewRNG(9).Perm(len(centers))
+	g, err := core.Simulate(sp, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k := core.MaxSupportUsed(g); k > 2 {
+		t.Fatalf("support size %d > 2", k)
+	}
+	bound := stats.Theorem42MinSigma(3, 2) * stats.Harmonic(len(centers))
+	if float64(g.MaxDepth) >= bound {
+		t.Fatalf("depth %d >= %f", g.MaxDepth, bound)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, _, err := IntersectionBoundary([]geom.Point{{0, 0}, {0, 0}}); err == nil {
+		t.Error("duplicate centers accepted")
+	}
+	if _, err := NewSpace([]geom.Point{{0, 0}, {3, 0}}); err == nil {
+		t.Error("non-intersecting circles accepted by NewSpace")
+	}
+	if _, err := NewSpace([]geom.Point{{0, 0, 0}}); err == nil {
+		t.Error("3D centers accepted")
+	}
+	// Disjoint circles in the oracle: empty intersection, no error.
+	arcs, nonempty, err := IntersectionBoundary([]geom.Point{{0, 0}, {5, 0}})
+	if err != nil || nonempty || len(arcs) != 0 {
+		t.Errorf("disjoint: arcs=%v nonempty=%v err=%v", arcs, nonempty, err)
+	}
+	// Single circle: full boundary.
+	arcs, nonempty, _ = IntersectionBoundary([]geom.Point{{0, 0}})
+	if !nonempty || len(arcs) != 1 || arcs[0].Iv.Length != twoPi {
+		t.Errorf("single circle: %+v", arcs)
+	}
+}

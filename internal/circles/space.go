@@ -1,0 +1,144 @@
+package circles
+
+import (
+	"fmt"
+	"math"
+
+	"parhull/internal/geom"
+)
+
+// arcCfg is one configuration: an arc of the support circle bounded by one
+// or two other circles.
+type arcCfg struct {
+	sup int
+	def []int // sorted defining set (2 or 3 circle indices, incl sup)
+	iv  Interval
+}
+
+// Space is the configuration space of unit-circle intersection (Section 7).
+// It implements core.Space for brute-force validation and dependence-depth
+// simulation on small instances.
+type Space struct {
+	centers []geom.Point
+	cfgs    []arcCfg
+}
+
+// NewSpace enumerates the arc configurations of the given unit-disk centers
+// (distinct, pairwise distance < 2 so every pair of circles intersects —
+// the regime the paper's incremental process assumes).
+func NewSpace(centers []geom.Point) (*Space, error) {
+	if err := geom.ValidateCloud(centers, 2); err != nil {
+		return nil, err
+	}
+	n := len(centers)
+	s := &Space{centers: centers}
+	pairIv := make([][]Interval, n)
+	for i := range pairIv {
+		pairIv[i] = make([]Interval, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if centers[a].Equal(centers[b]) {
+				return nil, fmt.Errorf("circles: duplicate centers %d and %d", a, b)
+			}
+			iv, ok := chordInterval(centers[a], centers[b])
+			if !ok {
+				return nil, fmt.Errorf("circles: circles %d and %d do not intersect (distance >= 2)", a, b)
+			}
+			pairIv[a][b] = iv
+		}
+	}
+	// Pair configurations: the arc of a inside b, for each ordered pair.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			s.cfgs = append(s.cfgs, arcCfg{sup: a, def: []int{lo, hi}, iv: pairIv[a][b]})
+		}
+	}
+	// Triple configurations: for support a and bounding circles {b, c}, the
+	// arc of a inside both, when it is genuinely bounded by both (otherwise
+	// it coincides with a pair configuration).
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if b == a {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if c == a {
+					continue
+				}
+				segs := pairIv[a][b].Intersect(pairIv[a][c])
+				for _, seg := range segs {
+					if seg.Length <= eps || sameIv(seg, pairIv[a][b]) || sameIv(seg, pairIv[a][c]) {
+						continue
+					}
+					def := []int{a, b, c}
+					sortInts(def)
+					s.cfgs = append(s.cfgs, arcCfg{sup: a, def: def, iv: seg})
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func sameIv(a, b Interval) bool {
+	return math.Abs(norm(a.Lo-b.Lo)) < eps && math.Abs(a.Length-b.Length) < eps
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Cfg exposes configuration c for tests: support circle and interval.
+func (s *Space) Cfg(c int) (sup int, iv Interval) { return s.cfgs[c].sup, s.cfgs[c].iv }
+
+// NumObjects implements core.Space.
+func (s *Space) NumObjects() int { return len(s.centers) }
+
+// NumConfigs implements core.Space.
+func (s *Space) NumConfigs() int { return len(s.cfgs) }
+
+// Defining implements core.Space.
+func (s *Space) Defining(c int) []int { return s.cfgs[c].def }
+
+// InConflict implements core.Space: circle x conflicts with arc c unless the
+// arc lies entirely inside disk x.
+func (s *Space) InConflict(c, x int) bool {
+	cfg := s.cfgs[c]
+	for _, o := range cfg.def {
+		if o == x {
+			return false
+		}
+	}
+	iv, ok := chordInterval(s.centers[cfg.sup], s.centers[x])
+	if !ok {
+		return true // disjoint circles: the arc cannot be inside x
+	}
+	return !iv.ContainsInterval(cfg.iv)
+}
+
+// Degree implements core.Space: g = 3 (triples).
+func (s *Space) Degree() int { return 3 }
+
+// Multiplicity implements core.Space: at most 3 arcs share a defining set.
+func (s *Space) Multiplicity() int { return 3 }
+
+// BaseSize implements core.Space: two circles form the first lens.
+func (s *Space) BaseSize() int { return 2 }
+
+// MaxSupport implements core.Space: k = 2 (Section 7).
+func (s *Space) MaxSupport() int { return 2 }

@@ -1,0 +1,166 @@
+// Package conflict implements the conflict-list operations shared by the
+// incremental engines: merging the two support facets' conflict sets and
+// filtering by visibility (line 16 of Algorithm 3, line 9 of Algorithm 2).
+//
+// Lists are ascending slices of point indices. The filter runs serially for
+// short lists and splits long ones into value-aligned pieces processed in
+// parallel — the role approximate compaction plays in the paper's CRCW
+// analysis (Theorem 5.4): without it, the first rounds' O(n)-sized lists
+// would serialize the span. The output is identical either way.
+package conflict
+
+import (
+	"sort"
+
+	"parhull/internal/sched"
+)
+
+// DefaultGrain is the list size above which MergeFilter parallelizes.
+const DefaultGrain = 1 << 13
+
+// MergeFilter returns the ascending union of the ascending lists c1 and c2,
+// excluding drop and keeping only elements accepted by keep. keep must be
+// safe for concurrent calls (the engines' visibility predicates are: they
+// read immutable facet state and bump sharded counters). grain <= 0 selects
+// DefaultGrain; pass a huge grain to force the serial path.
+func MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) []int32 {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if len(c1)+len(c2) < grain || sched.Workers() == 1 {
+		return mergeFilterSerial(c1, c2, drop, keep)
+	}
+	return mergeFilterParallel(c1, c2, drop, keep, grain)
+}
+
+func mergeFilterSerial(c1, c2 []int32, drop int32, keep func(int32) bool) []int32 {
+	out := make([]int32, 0, len(c1)+len(c2))
+	i, j := 0, 0
+	for i < len(c1) || j < len(c2) {
+		var v int32
+		switch {
+		case i == len(c1):
+			v = c2[j]
+			j++
+		case j == len(c2):
+			v = c1[i]
+			i++
+		case c1[i] < c2[j]:
+			v = c1[i]
+			i++
+		case c1[i] > c2[j]:
+			v = c2[j]
+			j++
+		default:
+			v = c1[i]
+			i++
+			j++
+		}
+		if v == drop {
+			continue
+		}
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mergeFilterParallel splits both lists at common values so each piece can
+// be merge-filtered independently, then concatenates the pieces in order.
+func mergeFilterParallel(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) []int32 {
+	total := len(c1) + len(c2)
+	pieces := total / grain
+	if w := 4 * sched.Workers(); pieces > w {
+		pieces = w
+	}
+	if pieces < 2 {
+		return mergeFilterSerial(c1, c2, drop, keep)
+	}
+	// Split values taken from the longer list at even intervals; binary
+	// search aligns both lists on the same value boundaries.
+	long := c1
+	if len(c2) > len(c1) {
+		long = c2
+	}
+	bounds := make([]int32, 0, pieces-1)
+	for i := 1; i < pieces; i++ {
+		bounds = append(bounds, long[i*len(long)/pieces])
+	}
+	type span struct{ a1, b1, a2, b2 int }
+	spans := make([]span, 0, pieces)
+	p1, p2 := 0, 0
+	for _, b := range bounds {
+		q1 := p1 + sort.Search(len(c1)-p1, func(k int) bool { return c1[p1+k] >= b })
+		q2 := p2 + sort.Search(len(c2)-p2, func(k int) bool { return c2[p2+k] >= b })
+		spans = append(spans, span{p1, q1, p2, q2})
+		p1, p2 = q1, q2
+	}
+	spans = append(spans, span{p1, len(c1), p2, len(c2)})
+
+	parts := make([][]int32, len(spans))
+	sched.ParallelFor(len(spans), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := spans[i]
+			parts[i] = mergeFilterSerial(c1[s.a1:s.b1], c2[s.a2:s.b2], drop, keep)
+		}
+	})
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int32, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Build constructs a conflict list from scratch: the elements of [from, to)
+// accepted by keep, ascending, computed in parallel chunks. It is used for
+// the initial facets' lists over all remaining points.
+func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
+	n := int(to - from)
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if n < grain || sched.Workers() == 1 {
+		out := make([]int32, 0, n/4+8)
+		for v := from; v < to; v++ {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	chunks := (n + grain - 1) / grain
+	parts := make([][]int32, chunks)
+	sched.ParallelFor(chunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			a := from + int32(c*grain)
+			b := a + int32(grain)
+			if b > to {
+				b = to
+			}
+			var part []int32
+			for v := a; v < b; v++ {
+				if keep(v) {
+					part = append(part, v)
+				}
+			}
+			parts[c] = part
+		}
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package conflict
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestMain raises GOMAXPROCS so the parallel filter path is exercised even
+// on single-core machines (goroutines still interleave).
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+func sortedRandom(rng *rand.Rand, n, max int) []int32 {
+	seen := map[int32]bool{}
+	for len(seen) < n {
+		seen[int32(rng.Intn(max))] = true
+	}
+	out := make([]int32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestMergeFilterMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n1, n2 := rng.Intn(30000), rng.Intn(30000)
+		c1 := sortedRandom(rng, n1, 100000)
+		c2 := sortedRandom(rng, n2, 100000)
+		var drop int32 = -1
+		if len(c1) > 0 {
+			drop = c1[rng.Intn(len(c1))]
+		}
+		keep := func(v int32) bool { return v%3 != 0 }
+		serial := MergeFilter(c1, c2, drop, keep, 1<<30)
+		par := MergeFilter(c1, c2, drop, keep, 64)
+		if len(serial) != len(par) {
+			t.Fatalf("trial %d: lengths %d vs %d", trial, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("trial %d: element %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestMergeFilterProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := sortedRandom(rng, rng.Intn(200), 1000)
+		c2 := sortedRandom(rng, rng.Intn(200), 1000)
+		drop := int32(rng.Intn(1000))
+		out := MergeFilter(c1, c2, drop, func(v int32) bool { return v%2 == 0 }, 32)
+		// Ascending, no drop, all even, subset of union.
+		union := map[int32]bool{}
+		for _, v := range c1 {
+			union[v] = true
+		}
+		for _, v := range c2 {
+			union[v] = true
+		}
+		for i, v := range out {
+			if i > 0 && out[i-1] >= v {
+				return false
+			}
+			if v == drop || v%2 != 0 || !union[v] {
+				return false
+			}
+		}
+		// Completeness: every even union element other than drop appears.
+		n := 0
+		for v := range union {
+			if v != drop && v%2 == 0 {
+				n++
+			}
+		}
+		return n == len(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFilterEdgeCases(t *testing.T) {
+	if out := MergeFilter(nil, nil, 0, func(int32) bool { return true }, 0); len(out) != 0 {
+		t.Fatal("empty inputs")
+	}
+	one := []int32{5}
+	if out := MergeFilter(one, nil, 5, func(int32) bool { return true }, 0); len(out) != 0 {
+		t.Fatal("drop only element")
+	}
+	if out := MergeFilter(one, one, 0, func(int32) bool { return true }, 0); len(out) != 1 {
+		t.Fatal("dedup failed")
+	}
+}
+
+func TestBuild(t *testing.T) {
+	keep := func(v int32) bool { return v%7 == 0 }
+	for _, grain := range []int{0, 16, 1 << 30} {
+		out := Build(3, 1000, keep, grain)
+		var want []int32
+		for v := int32(3); v < 1000; v++ {
+			if keep(v) {
+				want = append(want, v)
+			}
+		}
+		if len(out) != len(want) {
+			t.Fatalf("grain %d: %d vs %d", grain, len(out), len(want))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("grain %d: element %d", grain, i)
+			}
+		}
+	}
+	if out := Build(10, 10, nil, 0); out != nil {
+		t.Fatal("empty range")
+	}
+}
+
+func BenchmarkMergeFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c1 := sortedRandom(rng, 100000, 1<<22)
+	c2 := sortedRandom(rng, 100000, 1<<22)
+	keep := func(v int32) bool { return v%2 == 0 }
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MergeFilter(c1, c2, -1, keep, 1<<30)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MergeFilter(c1, c2, -1, keep, 1<<12)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package conmap
+
+import "sync/atomic"
+
+// CASMap is Algorithm 4 of the paper: a fixed-capacity linear-probing hash
+// table whose slots are claimed with CompareAndSwap. The first facet to
+// arrive on a ridge occupies a slot; the second facet's CAS fails on the
+// duplicate key and InsertAndSet returns false.
+type CASMap[V comparable] struct {
+	slots []atomic.Pointer[casEntry[V]]
+	mask  uint64
+}
+
+type casEntry[V comparable] struct {
+	key Key
+	val V
+}
+
+// NewCASMap returns a CASMap sized for the expected number of distinct
+// ridges. The capacity is fixed; exceeding it panics (size generously — the
+// hull engines bound the live ridge count by d times the facets created).
+func NewCASMap[V comparable](expected int) *CASMap[V] {
+	c := roundCapacity(expected)
+	return &CASMap[V]{slots: make([]atomic.Pointer[casEntry[V]], c), mask: uint64(c - 1)}
+}
+
+// InsertAndSet implements Algorithm 4's InsertAndSet: probe from the hash
+// index; CAS the entry into the first empty slot (return true), unless a
+// slot holding the same key is found first (return false).
+func (m *CASMap[V]) InsertAndSet(k Key, v V) bool {
+	e := &casEntry[V]{key: k, val: v}
+	i := k.hash & m.mask
+	for probes := 0; probes <= len(m.slots); probes++ {
+		if m.slots[i].CompareAndSwap(nil, e) {
+			return true
+		}
+		// CAS failed: either a duplicate key (the other facet got here
+		// first) or a hash collision; linear-probe past collisions.
+		if cur := m.slots[i].Load(); cur != nil && cur.key.Equal(k) {
+			return false
+		}
+		i = (i + 1) & m.mask
+	}
+	panic("conmap: CASMap capacity exhausted; size it for the expected ridge count")
+}
+
+// GetValue returns the value stored for k. In Algorithm 4 each key occupies
+// exactly one slot (the loser never inserts), so the stored value is the
+// other facet; not is accepted for interface symmetry and validated against.
+func (m *CASMap[V]) GetValue(k Key, not V) V {
+	i := k.hash & m.mask
+	for probes := 0; probes <= len(m.slots); probes++ {
+		cur := m.slots[i].Load()
+		if cur == nil {
+			break
+		}
+		if cur.key.Equal(k) {
+			return cur.val
+		}
+		i = (i + 1) & m.mask
+	}
+	panic("conmap: GetValue on a ridge that was never inserted")
+}
+
+// Len reports the number of occupied slots (linear scan; for tests/stats).
+func (m *CASMap[V]) Len() int {
+	n := 0
+	for i := range m.slots {
+		if m.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+// Package conmap implements the concurrent ridge multimap M of the paper's
+// Algorithm 3: a map from ridges to the (at most two) facets incident on
+// them, with the InsertAndSet/GetValue protocol that decides which of a
+// ridge's two facets is responsible for processing it.
+//
+// Three interchangeable implementations are provided:
+//
+//   - CASMap    — Algorithm 4: linear probing + CompareAndSwap (Sec 5.2).
+//   - TASMap    — Algorithm 5: taken/check flags + TestAndSet (Appendix A),
+//     a faithful port of the weaker-primitive protocol.
+//   - ShardedMap — a growable mutex-sharded table, the production default
+//     when the ridge count is not known in advance.
+//
+// All three satisfy the one-loser contract (Theorems A.1/A.2): of the two
+// InsertAndSet calls on the same ridge, exactly one returns false, and by
+// the time it returns false the other facet's value is visible to GetValue.
+package conmap
+
+import "fmt"
+
+// Key identifies a ridge: a canonical (sorted ascending) tuple of point
+// indices plus its precomputed hash. Keys are value types; the id slice must
+// not be mutated after MakeKey.
+type Key struct {
+	hash uint64
+	id   []int32
+}
+
+// MakeKey builds a Key from the canonical ridge id. ids must already be in
+// canonical (sorted) order; the slice is retained, not copied.
+func MakeKey(ids []int32) Key {
+	// FNV-1a over the little-endian bytes of each index.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range ids {
+		x := uint32(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(x >> s))
+			h *= prime64
+		}
+	}
+	return Key{hash: h, id: ids}
+}
+
+// Key1 builds a Key for a single-index ridge (the 2D case, where a ridge is
+// a hull vertex).
+func Key1(id int32) Key { return MakeKey([]int32{id}) }
+
+// Hash returns the precomputed hash of k.
+func (k Key) Hash() uint64 { return k.hash }
+
+// Equal reports whether k and o name the same ridge.
+func (k Key) Equal(o Key) bool {
+	if k.hash != o.hash || len(k.id) != len(o.id) {
+		return false
+	}
+	for i := range k.id {
+		if k.id[i] != o.id[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the ridge id.
+func (k Key) String() string { return fmt.Sprint(k.id) }
+
+// RidgeMap is the multimap interface used by the parallel hull engines.
+// V is the facet handle type (a pointer in practice).
+type RidgeMap[V comparable] interface {
+	// InsertAndSet registers v as a facet incident on ridge k. It returns
+	// true if v is the first facet to arrive; the caller then leaves the
+	// ridge for the second facet. It returns false if the other facet
+	// already registered, in which case the caller is responsible for
+	// processing the ridge and may call GetValue to retrieve the other
+	// facet.
+	InsertAndSet(k Key, v V) bool
+	// GetValue returns the facet registered on ridge k other than not.
+	// It must only be called after an InsertAndSet(k, ...) returned false.
+	GetValue(k Key, not V) V
+}
+
+// roundCapacity returns the smallest power of two >= 2*expected (minimum 8),
+// giving the fixed-capacity tables a load factor of at most 1/2.
+func roundCapacity(expected int) int {
+	n := 8
+	for n < 2*expected {
+		n <<= 1
+	}
+	return n
+}

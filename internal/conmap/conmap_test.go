@@ -1,0 +1,270 @@
+package conmap
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestKey(t *testing.T) {
+	a := MakeKey([]int32{1, 2, 3})
+	b := MakeKey([]int32{1, 2, 3})
+	c := MakeKey([]int32{1, 2, 4})
+	d := MakeKey([]int32{1, 2})
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Error("equal keys differ")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("distinct keys equal")
+	}
+	if Key1(7).Equal(Key1(8)) || !Key1(7).Equal(MakeKey([]int32{7})) {
+		t.Error("Key1 misbehaves")
+	}
+	if a.String() != "[1 2 3]" {
+		t.Errorf("String: %q", a.String())
+	}
+}
+
+func TestKeyHashDistribution(t *testing.T) {
+	// Property: differing ids give differing hashes with overwhelming
+	// probability (here: no collision among a structured family).
+	seen := map[uint64][]int32{}
+	for i := int32(0); i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			k := MakeKey([]int32{i, j})
+			if prev, ok := seen[k.Hash()]; ok {
+				t.Fatalf("hash collision: %v vs [%d %d]", prev, i, j)
+			}
+			seen[k.Hash()] = []int32{i, j}
+		}
+	}
+}
+
+type mapMaker struct {
+	name string
+	make func(expected int) RidgeMap[*int]
+}
+
+func makers() []mapMaker {
+	return []mapMaker{
+		{"CAS", func(n int) RidgeMap[*int] { return NewCASMap[*int](n) }},
+		{"TAS", func(n int) RidgeMap[*int] { return NewTASMap[*int](n) }},
+		{"Sharded", func(n int) RidgeMap[*int] { return NewShardedMap[*int](n) }},
+	}
+}
+
+// TestOneLoserSequential: two InsertAndSet calls on the same ridge — exactly
+// one returns false, and the loser's GetValue sees the winner's value.
+func TestOneLoserSequential(t *testing.T) {
+	for _, mk := range makers() {
+		t.Run(mk.name, func(t *testing.T) {
+			m := mk.make(100)
+			for i := int32(0); i < 100; i++ {
+				k := MakeKey([]int32{i, i + 1})
+				v1, v2 := new(int), new(int)
+				*v1, *v2 = 1, 2
+				first := m.InsertAndSet(k, v1)
+				second := m.InsertAndSet(k, v2)
+				if !first || second {
+					t.Fatalf("ridge %d: first=%v second=%v", i, first, second)
+				}
+				if got := m.GetValue(k, v2); got != v1 {
+					t.Fatalf("ridge %d: GetValue returned %v", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestOneLoserConcurrent hammers each map with pairs of goroutines racing on
+// the same ridge, verifying Theorems A.1 (exactly one loser) and A.2 (the
+// loser can read the winner's value).
+func TestOneLoserConcurrent(t *testing.T) {
+	const ridges = 2000
+	for _, mk := range makers() {
+		t.Run(mk.name, func(t *testing.T) {
+			m := mk.make(ridges)
+			vals := make([]*int, 2*ridges)
+			for i := range vals {
+				vals[i] = new(int)
+				*vals[i] = i
+			}
+			losers := make([]int32, ridges) // count of false returns per ridge
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			for r := 0; r < ridges; r++ {
+				for side := 0; side < 2; side++ {
+					wg.Add(1)
+					go func(r, side int) {
+						defer wg.Done()
+						k := MakeKey([]int32{int32(r), int32(r + 1)})
+						mine := vals[2*r+side]
+						other := vals[2*r+1-side]
+						if !m.InsertAndSet(k, mine) {
+							got := m.GetValue(k, mine)
+							if got != other {
+								t.Errorf("%s ridge %d: GetValue=%v want %v", mk.name, r, got, other)
+							}
+							mu.Lock()
+							losers[r]++
+							mu.Unlock()
+						}
+					}(r, side)
+				}
+			}
+			wg.Wait()
+			for r, n := range losers {
+				if n != 1 {
+					t.Fatalf("%s ridge %d: %d losers, want exactly 1", mk.name, r, n)
+				}
+			}
+		})
+	}
+}
+
+// TestProbeCollisions forces many keys into a tiny table so linear probing
+// paths are exercised heavily.
+func TestProbeCollisions(t *testing.T) {
+	for _, mk := range makers() {
+		t.Run(mk.name, func(t *testing.T) {
+			m := mk.make(64)
+			vals := map[int32]*int{}
+			for i := int32(0); i < 60; i++ {
+				v := new(int)
+				vals[i] = v
+				if !m.InsertAndSet(Key1(i), v) {
+					t.Fatalf("fresh key %d reported duplicate", i)
+				}
+			}
+			for i := int32(0); i < 60; i++ {
+				w := new(int)
+				if m.InsertAndSet(Key1(i), w) {
+					t.Fatalf("duplicate key %d reported fresh", i)
+				}
+				if got := m.GetValue(Key1(i), w); got != vals[i] {
+					t.Fatalf("key %d: wrong partner", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCapacityExhaustion: the fixed-capacity paper tables must fail loudly,
+// not loop or corrupt, when overfilled.
+func TestCapacityExhaustion(t *testing.T) {
+	check := func(name string, m RidgeMap[*int], cap int) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: overfill did not panic", name)
+			}
+		}()
+		for i := int32(0); ; i++ {
+			m.InsertAndSet(Key1(i), new(int))
+			if int(i) > 10*cap {
+				t.Fatalf("%s: inserted %d into capacity %d without panic", name, i, cap)
+			}
+		}
+	}
+	check("CAS", NewCASMap[*int](4), 4)
+	check("TAS", NewTASMap[*int](4), 4)
+}
+
+func TestGetValueMissingPanics(t *testing.T) {
+	for _, mk := range makers() {
+		t.Run(mk.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("missing-key GetValue did not panic")
+				}
+			}()
+			mk.make(8).GetValue(Key1(42), nil)
+		})
+	}
+}
+
+func TestLen(t *testing.T) {
+	cas := NewCASMap[*int](10)
+	tas := NewTASMap[*int](10)
+	sh := NewShardedMap[*int](10)
+	for i := int32(0); i < 5; i++ {
+		cas.InsertAndSet(Key1(i), new(int))
+		tas.InsertAndSet(Key1(i), new(int))
+		sh.InsertAndSet(Key1(i), new(int))
+	}
+	if cas.Len() != 5 || sh.Len() != 5 {
+		t.Fatalf("CAS len=%d sharded len=%d", cas.Len(), sh.Len())
+	}
+	if tas.Len() != 5 { // one reserved slot per insertion
+		t.Fatalf("TAS len=%d", tas.Len())
+	}
+}
+
+// TestSemanticsMatchQuick drives all three maps with the same random
+// insertion schedule and requires identical winner/loser outcomes.
+func TestSemanticsMatchQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		cas := NewCASMap[*int](2 * n)
+		tas := NewTASMap[*int](2 * n)
+		sh := NewShardedMap[*int](2 * n)
+		// Each ridge id appears exactly twice in the schedule.
+		sched := make([]int32, 0, 2*n)
+		for i := int32(0); i < int32(n); i++ {
+			sched = append(sched, i, i)
+		}
+		rng.Shuffle(len(sched), func(i, j int) { sched[i], sched[j] = sched[j], sched[i] })
+		for _, id := range sched {
+			v := new(int)
+			a := cas.InsertAndSet(Key1(id), v)
+			b := tas.InsertAndSet(Key1(id), v)
+			c := sh.InsertAndSet(Key1(id), v)
+			if a != b || b != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRidgeMapInsert(b *testing.B) {
+	for _, mk := range makers() {
+		b.Run(mk.name, func(b *testing.B) {
+			m := mk.make(b.N + 1)
+			v := new(int)
+			keys := make([]Key, b.N)
+			for i := range keys {
+				keys[i] = MakeKey([]int32{int32(i), int32(i + 1), int32(i + 2)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.InsertAndSet(keys[i], v)
+			}
+		})
+	}
+}
+
+func BenchmarkRidgeMapInsertParallel(b *testing.B) {
+	for _, mk := range makers() {
+		b.Run(mk.name, func(b *testing.B) {
+			m := mk.make(b.N + 1)
+			var ctr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				v := new(int)
+				// Give each goroutine a disjoint id range.
+				base := ctr.Add(int64(b.N)+1) - int64(b.N) - 1
+				i := int32(base)
+				for pb.Next() {
+					m.InsertAndSet(MakeKey([]int32{i, i + 1}), v)
+					i++
+				}
+			})
+		})
+	}
+}

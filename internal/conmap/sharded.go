@@ -1,0 +1,88 @@
+package conmap
+
+import "sync"
+
+// shardCount must be a power of two. 64 shards keep contention negligible at
+// typical core counts while costing little memory.
+const shardCount = 64
+
+// ShardedMap is the production ridge multimap: a growable hash table split
+// into mutex-guarded shards. It does not need a capacity estimate, unlike
+// the fixed-size Algorithm 4/5 tables, and is the default used by the hull
+// engines. Semantics match CASMap: the first facet to arrive stores its
+// entry and InsertAndSet returns true; the second finds the entry and
+// returns false.
+type ShardedMap[V comparable] struct {
+	shards [shardCount]shard[V]
+}
+
+type shard[V comparable] struct {
+	mu sync.Mutex
+	m  map[uint64][]casEntry[V]
+}
+
+// NewShardedMap returns an empty ShardedMap. The expected size hint may be
+// zero; shards grow as needed.
+func NewShardedMap[V comparable](expected int) *ShardedMap[V] {
+	s := &ShardedMap[V]{}
+	per := expected / shardCount
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64][]casEntry[V], per)
+	}
+	return s
+}
+
+func (m *ShardedMap[V]) shardFor(k Key) *shard[V] {
+	// Use high bits for the shard so the low bits (bucket selection inside
+	// the Go map) stay independent.
+	return &m.shards[(k.hash>>48)&(shardCount-1)]
+}
+
+// InsertAndSet registers v on ridge k, reporting whether v arrived first.
+func (m *ShardedMap[V]) InsertAndSet(k Key, v V) bool {
+	sh := m.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.m[k.hash]
+	for i := range bucket {
+		if bucket[i].key.Equal(k) {
+			return false
+		}
+	}
+	sh.m[k.hash] = append(bucket, casEntry[V]{key: k, val: v})
+	return true
+}
+
+// GetValue returns the facet registered on k (the one that arrived first).
+func (m *ShardedMap[V]) GetValue(k Key, not V) V {
+	sh := m.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[k.hash] {
+		if e.key.Equal(k) {
+			return e.val
+		}
+	}
+	panic("conmap: ShardedMap.GetValue on a ridge that was never inserted")
+}
+
+// Len reports the number of stored ridges.
+func (m *ShardedMap[V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.m {
+			n += len(b)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Compile-time interface checks for all three implementations.
+var (
+	_ RidgeMap[*int] = (*CASMap[*int])(nil)
+	_ RidgeMap[*int] = (*TASMap[*int])(nil)
+	_ RidgeMap[*int] = (*ShardedMap[*int])(nil)
+)

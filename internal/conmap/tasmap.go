@@ -1,0 +1,100 @@
+package conmap
+
+import "sync/atomic"
+
+// TASMap is Algorithm 5 of the paper (Appendix A): the ridge multimap
+// implemented with only the TestAndSet primitive, as required by the
+// binary-forking model without CompareAndSwap. Each slot carries two flags:
+// taken (slot reservation) and check (the consensus bit that elects the
+// loser), plus the key-value data.
+//
+// Unlike CASMap, both facets insert their own entry; the second pass over
+// the probe run performs TestAndSet on the check flag of every slot holding
+// the ridge key, and the facet that loses a TestAndSet returns false
+// (Theorem A.1 proves exactly one loses).
+type TASMap[V comparable] struct {
+	slots []tasSlot[V]
+	mask  uint64
+}
+
+type tasSlot[V comparable] struct {
+	taken atomic.Bool
+	check atomic.Bool
+	data  atomic.Pointer[casEntry[V]]
+}
+
+// NewTASMap returns a TASMap sized for the expected number of insertions
+// (two per ridge). Capacity is fixed; exceeding it panics.
+func NewTASMap[V comparable](expected int) *TASMap[V] {
+	c := roundCapacity(2 * expected)
+	return &TASMap[V]{slots: make([]tasSlot[V], c), mask: uint64(c - 1)}
+}
+
+// testAndSet is the TAS primitive: atomically set b and report whether the
+// set succeeded (b was previously false).
+func testAndSet(b *atomic.Bool) bool { return !b.Swap(true) }
+
+// InsertAndSet implements Algorithm 5: reserve a slot with TAS(taken), write
+// the data, then re-scan the probe run from the home index performing
+// TAS(check) on every slot whose key equals k; losing any of those
+// TestAndSets means the other facet already passed here, so return false.
+func (m *TASMap[V]) InsertAndSet(k Key, v V) bool {
+	// First pass: reserve a slot (Lines 2-5 of Algorithm 5).
+	i := k.hash & m.mask
+	for probes := 0; ; probes++ {
+		if probes > len(m.slots) {
+			panic("conmap: TASMap capacity exhausted; size it for the expected ridge count")
+		}
+		if testAndSet(&m.slots[i].taken) {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	m.slots[i].data.Store(&casEntry[V]{key: k, val: v})
+
+	// Second pass: walk the taken run from the home index (Lines 6-12).
+	j := k.hash & m.mask
+	for probes := 0; m.slots[j].taken.Load(); probes++ {
+		if probes > len(m.slots) {
+			panic("conmap: TASMap probe run wrapped the table; capacity exhausted")
+		}
+		// A slot can be taken but not yet written by its owner; its key is
+		// then unknown — but it cannot be one of k's two slots, both of
+		// which are written before their owners reach this pass.
+		if e := m.slots[j].data.Load(); e != nil && e.key.Equal(k) {
+			if !testAndSet(&m.slots[j].check) {
+				return false
+			}
+		}
+		j = (j + 1) & m.mask
+	}
+	return true
+}
+
+// GetValue scans the probe run for the entry with key k whose value differs
+// from not. Theorem A.2 guarantees both entries are written before the
+// losing InsertAndSet returns, so this always finds the other facet.
+func (m *TASMap[V]) GetValue(k Key, not V) V {
+	j := k.hash & m.mask
+	for probes := 0; m.slots[j].taken.Load(); probes++ {
+		if probes > len(m.slots) {
+			break
+		}
+		if e := m.slots[j].data.Load(); e != nil && e.key.Equal(k) && e.val != not {
+			return e.val
+		}
+		j = (j + 1) & m.mask
+	}
+	panic("conmap: TASMap.GetValue could not find the partner facet")
+}
+
+// Len reports the number of reserved slots (linear scan; for tests/stats).
+func (m *TASMap[V]) Len() int {
+	n := 0
+	for i := range m.slots {
+		if m.slots[i].taken.Load() {
+			n++
+		}
+	}
+	return n
+}

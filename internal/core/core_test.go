@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parhull/internal/stats"
+)
+
+// intervalSpace is the 1D analogue of convex hull used to exercise the
+// framework: objects are points on a line, and each ordered pair (a, b) with
+// value[a] < value[b] is a configuration whose defining set is {a, b} and
+// whose conflict set is every point strictly outside the interval
+// [value[a], value[b]]. T(Y) is then exactly {(min Y, max Y)}. The space has
+// 1-support: (pi, x) is supported by the single interval that x extends.
+type intervalSpace struct {
+	vals []float64
+	cfgs [][2]int
+}
+
+func newIntervalSpace(vals []float64) *intervalSpace {
+	s := &intervalSpace{vals: vals}
+	for a := range vals {
+		for b := range vals {
+			if vals[a] < vals[b] {
+				s.cfgs = append(s.cfgs, [2]int{a, b})
+			}
+		}
+	}
+	return s
+}
+
+func (s *intervalSpace) NumObjects() int { return len(s.vals) }
+func (s *intervalSpace) NumConfigs() int { return len(s.cfgs) }
+func (s *intervalSpace) Defining(c int) []int {
+	p := s.cfgs[c]
+	if p[0] < p[1] {
+		return []int{p[0], p[1]}
+	}
+	return []int{p[1], p[0]}
+}
+func (s *intervalSpace) InConflict(c, x int) bool {
+	p := s.cfgs[c]
+	if x == p[0] || x == p[1] {
+		return false
+	}
+	v := s.vals[x]
+	return v < s.vals[p[0]] || v > s.vals[p[1]]
+}
+func (s *intervalSpace) Degree() int       { return 2 }
+func (s *intervalSpace) Multiplicity() int { return 1 }
+func (s *intervalSpace) BaseSize() int     { return 2 }
+func (s *intervalSpace) MaxSupport() int   { return 1 }
+
+func distinctVals(rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	return vals
+}
+
+func TestIntervalSpaceChecks(t *testing.T) {
+	s := newIntervalSpace(distinctVals(rand.New(rand.NewSource(1)), 12))
+	if deg, err := CheckDegree(s); err != nil || deg != 2 {
+		t.Fatalf("degree=%d err=%v", deg, err)
+	}
+	if mult, err := CheckMultiplicity(s); err != nil || mult != 1 {
+		t.Fatalf("mult=%d err=%v", mult, err)
+	}
+}
+
+func TestActiveIsMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := newIntervalSpace(distinctVals(rng, 20))
+	y := []int{3, 7, 11, 15, 19}
+	act := Active(s, y)
+	if len(act) != 1 {
+		t.Fatalf("|T(Y)| = %d, want 1", len(act))
+	}
+	d := s.Defining(act[0])
+	lo, hi := d[0], d[1]
+	if s.vals[lo] > s.vals[hi] {
+		lo, hi = hi, lo
+	}
+	for _, o := range y {
+		if s.vals[o] < s.vals[lo] || s.vals[o] > s.vals[hi] {
+			t.Fatalf("active config is not the min-max pair")
+		}
+	}
+}
+
+func TestVerifySupportInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := newIntervalSpace(distinctVals(rng, 14))
+	y := rng.Perm(14)[:9]
+	if err := VerifySupport(s, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateIntervalGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := newIntervalSpace(distinctVals(rng, 40))
+	order := rng.Perm(40)
+	g, err := Simulate(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k := MaxSupportUsed(g); k > 1 {
+		t.Fatalf("interval space used support size %d, want <= 1", k)
+	}
+	// |T(Y_i)| = 1 for every i >= 2.
+	for i, sz := range g.ActiveSizes {
+		if i >= 1 && sz != 1 {
+			t.Fatalf("step %d: |T| = %d", i+1, sz)
+		}
+	}
+	// Final active config must be the global min-max pair.
+	final := Active(s, order)
+	if len(final) != 1 {
+		t.Fatalf("final |T| = %d", len(final))
+	}
+	if h := DepthHistogram(g); h[0] == 0 {
+		t.Fatal("no base nodes in histogram")
+	}
+}
+
+// TestSimulateDepthLogarithmic reproduces the Theorem 4.2 shape on the
+// interval space: mean depth grows like Theta(log n) and stays far below the
+// sigma*H_n bound line.
+func TestSimulateDepthLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 64, 256} {
+		var maxDepth float64
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			s := newIntervalSpace(distinctVals(rng, n))
+			g, err := Simulate(s, rng.Perm(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := float64(g.MaxDepth); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		// g=2, k=1: the theorem bound kicks in at sigma = 2*e^2 ~ 14.8;
+		// even the worst observed depth should sit well below sigma*H_n.
+		sigma := stats.Theorem42MinSigma(s2g, 1)
+		if bound := sigma * stats.Harmonic(n); maxDepth >= bound {
+			t.Fatalf("n=%d: max depth %v >= theorem bound %v", n, maxDepth, bound)
+		}
+	}
+}
+
+const s2g = 2 // degree of the interval space
+
+// unsupportedSpace violates Definition 3.3: its second configuration has no
+// support set because nothing conflicts with the activating object.
+type unsupportedSpace struct{}
+
+func (unsupportedSpace) NumObjects() int { return 2 }
+func (unsupportedSpace) NumConfigs() int { return 2 }
+func (unsupportedSpace) Defining(c int) []int {
+	if c == 0 {
+		return []int{0}
+	}
+	return []int{0, 1}
+}
+func (unsupportedSpace) InConflict(c, x int) bool { return false }
+func (unsupportedSpace) Degree() int              { return 2 }
+func (unsupportedSpace) Multiplicity() int        { return 1 }
+func (unsupportedSpace) BaseSize() int            { return 1 }
+func (unsupportedSpace) MaxSupport() int          { return 2 }
+
+func TestSimulateNoSupport(t *testing.T) {
+	_, err := Simulate(unsupportedSpace{}, []int{0, 1})
+	if !errors.Is(err, ErrNoSupport) {
+		t.Fatalf("err = %v, want ErrNoSupport", err)
+	}
+}
+
+func TestSimulateTooFewObjects(t *testing.T) {
+	s := newIntervalSpace([]float64{0.1, 0.9})
+	if _, err := Simulate(s, []int{0}); err == nil {
+		t.Fatal("expected error for |S| < base size")
+	}
+}
+
+func TestIsSupportConditions(t *testing.T) {
+	vals := []float64{0.1, 0.5, 0.9}
+	s := newIntervalSpace(vals)
+	// Configs: find (0,1), (0,2), (1,2).
+	idx := func(a, b int) int {
+		for c := range s.cfgs {
+			if s.cfgs[c] == [2]int{a, b} {
+				return c
+			}
+		}
+		t.Fatalf("config (%d,%d) missing", a, b)
+		return -1
+	}
+	// (pi=(0,2), x=2) should be supported by {(0,1)}: 2 conflicts with (0,1).
+	if !IsSupport(s, idx(0, 2), 2, []int{idx(0, 1)}) {
+		t.Error("valid support rejected")
+	}
+	// (pi=(0,2), x=2) is NOT supported by {(1,2)}: object 0 in D(pi) is not
+	// covered and 2 does not conflict with (1,2).
+	if IsSupport(s, idx(0, 2), 2, []int{idx(1, 2)}) {
+		t.Error("invalid support accepted")
+	}
+	// Condition (2) violation alone: phi = {(0,1)} for (pi=(0,1), x=1)?
+	// x=1 does not conflict with (0,1) (it defines it) — must fail.
+	if IsSupport(s, idx(0, 1), 1, []int{idx(0, 1)}) {
+		t.Error("self-support accepted")
+	}
+}
+
+func TestTotalConflictsAgainstTheorem31(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 60
+	s := newIntervalSpace(distinctVals(rng, n))
+	// Average measured conflicts over several random orders and compare with
+	// the Theorem 3.1 bound computed from the measured |T_i| (== 1 here,
+	// so bound = n * g^2 * sum 1/i^2 <= n * 4 * pi^2/6).
+	var meas float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		g, err := Simulate(s, rng.Perm(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas += float64(TotalConflicts(s, g))
+	}
+	meas /= trials
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	bound := stats.Theorem31Bound(2, sizes)
+	if meas > bound {
+		t.Fatalf("measured conflicts %v exceed Theorem 3.1 bound %v", meas, bound)
+	}
+}
+
+func TestFindSupportFallback(t *testing.T) {
+	// A space where the pruned candidate set (sharing a defining object)
+	// is empty but an unpruned support exists: pi defined by {2}, supported
+	// by a config defined by {0} that conflicts with everything else.
+	s := &tableSpace{
+		defs:      [][]int{{0}, {2}},
+		conflicts: []map[int]bool{{1: true, 2: true}, {}},
+		n:         3,
+	}
+	phi, ok := FindSupport(s, 1, 2, []int{0})
+	if !ok || len(phi) != 1 || phi[0] != 0 {
+		t.Fatalf("fallback search failed: %v %v", phi, ok)
+	}
+}
+
+// tableSpace is a directly tabulated space for edge-case tests.
+type tableSpace struct {
+	defs      [][]int
+	conflicts []map[int]bool
+	n         int
+}
+
+func (s *tableSpace) NumObjects() int { return s.n }
+func (s *tableSpace) NumConfigs() int { return len(s.defs) }
+func (s *tableSpace) Defining(c int) []int {
+	d := append([]int(nil), s.defs[c]...)
+	sort.Ints(d)
+	return d
+}
+func (s *tableSpace) InConflict(c, x int) bool { return s.conflicts[c][x] }
+func (s *tableSpace) Degree() int              { return 2 }
+func (s *tableSpace) Multiplicity() int        { return 2 }
+func (s *tableSpace) BaseSize() int            { return 1 }
+func (s *tableSpace) MaxSupport() int          { return 2 }
+
+func TestGraphValidateCatchesCorruption(t *testing.T) {
+	g := &Graph{Nodes: []Node{
+		{Config: 0, Step: 1, Depth: 0},
+		{Config: 1, Step: 2, Parents: []int{0}, Depth: 2}, // wrong depth
+	}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("corrupt depth accepted")
+	}
+	g2 := &Graph{Nodes: []Node{
+		{Config: 0, Step: 2, Depth: 0},
+		{Config: 1, Step: 1, Parents: []int{0}, Depth: 1}, // parent later
+	}}
+	if err := g2.Validate(); err == nil {
+		t.Fatal("non-causal parent accepted")
+	}
+	g3 := &Graph{Nodes: []Node{{Config: 0, Step: 1, Parents: []int{5}, Depth: 1}}}
+	if err := g3.Validate(); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GenericResult is the outcome of RunGeneric (Algorithm 1).
+type GenericResult struct {
+	// Added lists every configuration ever activated, in activation order.
+	// Because the brute-force search accepts *any* subset satisfying
+	// Definition 3.2 as a support set (the paper notes Algorithm 1 is
+	// under-specified on this point), Added is a superset of the canonical
+	// process's configurations: it may include a few transient
+	// configurations a specialized engine never builds. Alive is exact.
+	Added []int
+	// Alive reports the final active set; it equals T(X) exactly (every
+	// configuration with conflicts is killed by its own pivot's tasks, and
+	// k-support guarantees every member of T(X) is eventually added).
+	Alive []int
+	// Depth[i] is the dependence depth of Added[i].
+	Depth []int
+	// MaxDepth is the largest depth.
+	MaxDepth int
+	// Rounds is the number of synchronous rounds executed. Theorem 4.3
+	// bounds the recursion depth of Algorithm 1 by D(G); each recursion
+	// level is one round here.
+	Rounds int
+}
+
+// RunGeneric executes the paper's Algorithm 1 — the generic parallel
+// incremental algorithm — on configuration space s with object ordering
+// order. It maintains the current configuration set T, and processes
+// support sets: for each candidate support set Phi currently in T, it finds
+// the earliest object x in C(Phi) (the conflict pivot); if Phi supports
+// some configuration (pi, x), pi is added and everything conflicting with x
+// removed. Newly possible support sets (those including a new
+// configuration) are processed in the next round.
+//
+// This engine discovers support sets by brute force (IsSupport over subsets
+// of size <= s.MaxSupport()), so it is for validation on small instances;
+// the hull engines are the specialized, efficient instantiations. Rounds
+// are executed sequentially — the schedule, not the wall-clock, is what is
+// being modeled.
+//
+// Two readings of the pseudocode are resolved the way the hull engines do:
+// candidate support sets range over every configuration ever added (a
+// support member may die through another pivot before its set is processed,
+// exactly as a hull facet can be buried while one of its ridges is still
+// pending), and the line-10 removal runs for every processed pivot (each
+// configuration's own tasks carry the pivot that kills it).
+func RunGeneric(s Space, order []int) (*GenericResult, error) {
+	nb := s.BaseSize()
+	if len(order) < nb {
+		return nil, fmt.Errorf("core: need at least base size %d objects, got %d", nb, len(order))
+	}
+	rank := make(map[int]int, len(order))
+	for i, o := range order {
+		rank[o] = i
+	}
+	if len(rank) != len(order) {
+		return nil, fmt.Errorf("core: order contains duplicates")
+	}
+
+	res := &GenericResult{}
+	k := s.MaxSupport()
+	alive := map[int]bool{}
+	depth := map[int]int{}
+	added := map[int]bool{}
+
+	add := func(c, d int) {
+		if added[c] {
+			return
+		}
+		added[c] = true
+		alive[c] = true
+		depth[c] = d
+		res.Added = append(res.Added, c)
+		res.Depth = append(res.Depth, d)
+		if d > res.MaxDepth {
+			res.MaxDepth = d
+		}
+	}
+
+	// Line 2: T <- T({x_1..x_nb}).
+	for _, c := range Active(s, order[:nb]) {
+		add(c, 0)
+	}
+
+	// pivot returns the earliest object (by order) conflicting with any
+	// member of phi, or -1 if none.
+	pivot := func(phi []int) int {
+		best, bestRank := -1, len(order)
+		for _, o := range order {
+			if conflictsAny(s, phi, o) && rank[o] < bestRank {
+				best, bestRank = o, rank[o]
+			}
+		}
+		return best
+	}
+
+	aliveList := func() []int {
+		out := make([]int, 0, len(alive))
+		for c := range alive {
+			out = append(out, c)
+		}
+		sort.Ints(out)
+		return out
+	}
+	canonical := func(phi []int) string { return fmt.Sprint(phi) }
+	emitted := map[string]bool{}
+
+	var frontier [][]int
+	emit := func(phi []int) {
+		cp := append([]int(nil), phi...)
+		sort.Ints(cp)
+		key := canonical(cp)
+		if !emitted[key] {
+			emitted[key] = true
+			frontier = append(frontier, cp)
+		}
+	}
+	// subsetsWith enumerates the subsets of the added configurations of size
+	// <= k that contain the given configuration, emitting each once.
+	subsetsWith := func(must int) {
+		av := append([]int(nil), res.Added...)
+		sort.Ints(av)
+		pick := make([]int, 0, k)
+		var rec func(start, size int)
+		rec = func(start, size int) {
+			if len(pick) == size {
+				has := false
+				for _, c := range pick {
+					if c == must {
+						has = true
+					}
+				}
+				if has {
+					emit(pick)
+				}
+				return
+			}
+			for i := start; i < len(av); i++ {
+				pick = append(pick, av[i])
+				rec(i+1, size)
+				pick = pick[:len(pick)-1]
+			}
+		}
+		for size := 1; size <= k; size++ {
+			rec(0, size)
+		}
+	}
+
+	// Lines 3-4: initial support-set candidates from the base T.
+	for c := range alive {
+		subsetsWith(c)
+	}
+
+	// Rounds: each round processes the current frontier of candidate
+	// support sets (AddConfiguration bodies) and collects the next.
+	guard := 0
+	for len(frontier) > 0 {
+		res.Rounds++
+		if guard++; guard > 4*len(order)*s.NumConfigs() {
+			return nil, fmt.Errorf("core: Algorithm 1 failed to terminate (space not k-supported?)")
+		}
+		tasks := frontier
+		frontier = nil
+		var newly []int
+		for _, phi := range tasks {
+			// Line 7: x <- min_S(C(Phi)).
+			x := pivot(phi)
+			if x < 0 {
+				continue // no conflicts: nothing to support (final)
+			}
+			// Line 8: does Phi support some (pi, x)?
+			for c := 0; c < s.NumConfigs(); c++ {
+				if added[c] || !defIncludes(s, c, x) {
+					continue
+				}
+				if IsSupport(s, c, x, phi) {
+					d := 0
+					for _, f := range phi {
+						if depth[f]+1 > d {
+							d = depth[f] + 1
+						}
+					}
+					add(c, d)
+					newly = append(newly, c)
+				}
+			}
+			// Line 10: the pivot's insertion removes every configuration
+			// conflicting with it.
+			for a := range alive {
+				if s.InConflict(a, x) {
+					delete(alive, a)
+				}
+			}
+		}
+		// Lines 11-13: support sets involving the new configurations.
+		for _, c := range newly {
+			subsetsWith(c)
+		}
+	}
+
+	res.Alive = aliveList()
+	return res, nil
+}
+
+func defIncludes(s Space, c, x int) bool {
+	for _, o := range s.Defining(c) {
+		if o == x {
+			return true
+		}
+	}
+	return false
+}

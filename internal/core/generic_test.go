@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedIntsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunGenericInterval: Algorithm 1 on the interval space computes the
+// exact final active set T(X) and adds the same configurations as the
+// step-by-step simulation (Definition 4.1).
+func TestRunGenericInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(20)
+		s := newIntervalSpace(distinctVals(rng, n))
+		order := rng.Perm(n)
+		gen, err := RunGeneric(s, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sortedIntsEqual(gen.Alive, Active(s, order)) {
+			t.Fatalf("trial %d: final set %v != T(X) %v", trial, gen.Alive, Active(s, order))
+		}
+		sim, err := Simulate(s, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var simAdded []int
+		for _, nd := range sim.Nodes {
+			simAdded = append(simAdded, nd.Config)
+		}
+		if !sortedIntsEqual(gen.Added, simAdded) {
+			t.Fatalf("trial %d: Algorithm 1 added %d configs, simulation %d",
+				trial, len(gen.Added), len(simAdded))
+		}
+		// Theorem 4.3: recursion depth (rounds) tracks the dependence-graph
+		// depth; our round count is depth+O(1) because base tasks occupy a
+		// round even when they add nothing.
+		if gen.Rounds > sim.MaxDepth+2 {
+			t.Fatalf("trial %d: rounds %d >> graph depth %d", trial, gen.Rounds, sim.MaxDepth)
+		}
+	}
+}
+
+// TestRunGenericDepthsConsistent: depths recorded by Algorithm 1 stay within
+// the k-support theory (every config's depth <= rounds).
+func TestRunGenericDepths(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := newIntervalSpace(distinctVals(rng, 25))
+	order := rng.Perm(25)
+	gen, err := RunGeneric(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range gen.Depth {
+		if d < 0 || d > gen.MaxDepth || gen.MaxDepth >= gen.Rounds+1 {
+			t.Fatalf("config %d: depth %d, max %d, rounds %d", gen.Added[i], d, gen.MaxDepth, gen.Rounds)
+		}
+	}
+}
+
+func TestRunGenericErrors(t *testing.T) {
+	s := newIntervalSpace([]float64{0.3, 0.7})
+	if _, err := RunGeneric(s, []int{0}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := RunGeneric(s, []int{0, 0}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import "fmt"
+
+// Node is one vertex of the configuration dependence graph: a configuration
+// that became active at some step of the incremental process.
+type Node struct {
+	Config  int   // configuration index in the Space
+	Step    int   // 1-based step at which it became active (object count)
+	Parents []int // node indices of its support set (empty for base nodes)
+	Depth   int   // longest path from a base node; base nodes have depth 0
+}
+
+// Graph is the configuration dependence graph G(S) of Definition 4.1, built
+// by Simulate for a concrete insertion order S.
+type Graph struct {
+	Nodes []Node
+	// ByConfig maps a configuration index to its node index (configurations
+	// activate at most once: conflicts never leave the prefix).
+	ByConfig map[int]int
+	// MaxDepth is D(G(S)).
+	MaxDepth int
+	// ActiveSizes[i] = |T({x_1..x_{i+1}})|, recorded for the Theorem 3.1
+	// bound.
+	ActiveSizes []int
+}
+
+// Simulate runs the incremental process of Section 4 over the given object
+// order, building the configuration dependence graph. Each newly activated
+// configuration is linked to a discovered support set (Definition 3.2) of
+// size at most k within the previously active configurations; Simulate
+// returns ErrNoSupport if none exists, i.e. if the space is not k-supported
+// along this run.
+func Simulate(s Space, order []int) (*Graph, error) {
+	n := len(order)
+	nb := s.BaseSize()
+	if n < nb {
+		return nil, fmt.Errorf("core: need at least base size %d objects, got %d", nb, n)
+	}
+	g := &Graph{ByConfig: map[int]int{}}
+
+	// Incremental activity tracking.
+	nC := s.NumConfigs()
+	needDef := make([]int, nC) // # defining objects not yet inserted
+	dead := make([]bool, nC)   // a conflicting object has been inserted
+	activeAt := make([]bool, nC)
+	byObject := make([][]int, s.NumObjects()) // object -> configs it defines
+	for c := 0; c < nC; c++ {
+		d := s.Defining(c)
+		needDef[c] = len(d)
+		for _, o := range d {
+			byObject[o] = append(byObject[o], c)
+		}
+	}
+
+	var activeList []int // maintained with lazy deletion
+	prevActive := func() []int {
+		out := make([]int, 0, len(activeList))
+		for _, c := range activeList {
+			if activeAt[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < n; i++ {
+		x := order[i]
+		snapshot := prevActive()
+
+		// Kill configurations that conflict with x.
+		for _, c := range snapshot {
+			if s.InConflict(c, x) {
+				activeAt[c] = false
+				dead[c] = true
+			}
+		}
+		// Mark conflicts for not-yet-active configurations too.
+		for c := 0; c < nC; c++ {
+			if !dead[c] && !activeAt[c] && s.InConflict(c, x) {
+				dead[c] = true
+			}
+		}
+		// Newly definable configurations.
+		for _, c := range byObject[x] {
+			needDef[c]--
+		}
+		for c := 0; c < nC; c++ {
+			if needDef[c] == 0 && !dead[c] && !activeAt[c] {
+				// c activates at this step.
+				activeAt[c] = true
+				activeList = append(activeList, c)
+				node := Node{Config: c, Step: i + 1}
+				if i+1 > nb {
+					phi, ok := FindSupport(s, c, x, snapshot)
+					if !ok {
+						return nil, fmt.Errorf("%w: config %d at step %d (object %d)", ErrNoSupport, c, i+1, x)
+					}
+					for _, pc := range phi {
+						pn := g.ByConfig[pc]
+						node.Parents = append(node.Parents, pn)
+						if d := g.Nodes[pn].Depth + 1; d > node.Depth {
+							node.Depth = d
+						}
+					}
+				}
+				if node.Depth > g.MaxDepth {
+					g.MaxDepth = node.Depth
+				}
+				g.ByConfig[c] = len(g.Nodes)
+				g.Nodes = append(g.Nodes, node)
+			}
+		}
+		g.ActiveSizes = append(g.ActiveSizes, len(prevActive()))
+	}
+	return g, nil
+}
+
+// TotalConflicts returns sum over created configurations of |C(pi)| taken
+// over the full object universe — the quantity bounded by Theorem 3.1.
+func TotalConflicts(s Space, g *Graph) int {
+	total := 0
+	for _, nd := range g.Nodes {
+		for o := 0; o < s.NumObjects(); o++ {
+			if s.InConflict(nd.Config, o) {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// MaxSupportUsed returns the largest support-set size recorded in the graph
+// (the empirical k).
+func MaxSupportUsed(g *Graph) int {
+	m := 0
+	for _, nd := range g.Nodes {
+		if len(nd.Parents) > m {
+			m = len(nd.Parents)
+		}
+	}
+	return m
+}
+
+// DepthHistogram returns counts of node depths.
+func DepthHistogram(g *Graph) map[int]int {
+	h := map[int]int{}
+	for _, nd := range g.Nodes {
+		h[nd.Depth]++
+	}
+	return h
+}
+
+// Validate checks structural invariants of the graph: parents precede
+// children (in step order), depths are consistent, and base nodes have no
+// parents. It is used by tests.
+func (g *Graph) Validate() error {
+	for i, nd := range g.Nodes {
+		want := 0
+		for _, p := range nd.Parents {
+			if p < 0 || p >= len(g.Nodes) {
+				return fmt.Errorf("node %d: parent index %d out of range", i, p)
+			}
+			if g.Nodes[p].Step >= nd.Step {
+				return fmt.Errorf("node %d (step %d): parent %d not earlier (step %d)",
+					i, nd.Step, p, g.Nodes[p].Step)
+			}
+			if d := g.Nodes[p].Depth + 1; d > want {
+				want = d
+			}
+		}
+		if nd.Depth != want {
+			return fmt.Errorf("node %d: depth %d, want %d", i, nd.Depth, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+// Package core implements the paper's analytical framework: configuration
+// spaces (Section 3), support sets (Definition 3.2), the k-support property
+// (Definition 3.3), and the configuration dependence graph (Definition 4.1).
+//
+// The package works by enumeration and is meant for validation at small
+// scale: every concrete problem (convex hull, corner space, half-space
+// intersection, circle intersection) exposes its configuration space through
+// the Space interface, and the functions here simulate the incremental
+// process, discover support sets by search, build the dependence graph, and
+// check the theorems' hypotheses and conclusions directly. The fast engines
+// in internal/hull2d and internal/hulld are instrumented to record the same
+// graph implicitly; agreement between the two is covered by tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Space describes a finite configuration space (X, Pi) by enumeration.
+// Objects and configurations are identified by dense indices.
+type Space interface {
+	// NumObjects returns |X|.
+	NumObjects() int
+	// NumConfigs returns |Pi|.
+	NumConfigs() int
+	// Defining returns the defining set D(pi) of configuration c, sorted
+	// ascending. Callers must not mutate the result.
+	Defining(c int) []int
+	// InConflict reports whether object x is in the conflict set C(pi) of
+	// configuration c. Implementations must guarantee D(pi) and C(pi) are
+	// disjoint.
+	InConflict(c, x int) bool
+	// Degree returns the maximum degree g = max |D(pi)|.
+	Degree() int
+	// Multiplicity returns the maximum number of configurations sharing a
+	// defining set (the constant c of the paper).
+	Multiplicity() int
+	// BaseSize returns n_b, the prefix treated as the base case.
+	BaseSize() int
+	// MaxSupport returns the k of the space's k-support property.
+	MaxSupport() int
+}
+
+// ErrNoSupport is returned when no support set of size <= k exists for some
+// newly activated configuration — i.e. the space violates Definition 3.3.
+var ErrNoSupport = errors.New("core: no support set of size <= k found")
+
+// Active returns T(Y): the configurations whose defining set is contained in
+// y and whose conflict set avoids y. y is a set of object indices.
+func Active(s Space, y []int) []int {
+	in := make([]bool, s.NumObjects())
+	for _, o := range y {
+		in[o] = true
+	}
+	var out []int
+	for c := 0; c < s.NumConfigs(); c++ {
+		if activeIn(s, c, in, y) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func activeIn(s Space, c int, in []bool, y []int) bool {
+	for _, o := range s.Defining(c) {
+		if !in[o] {
+			return false
+		}
+	}
+	for _, o := range y {
+		if s.InConflict(c, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSupport checks Definition 3.2: phi (a set of configuration indices) is a
+// support set for (pi, x) iff
+//
+//	(1) D(pi) ⊆ D(phi) ∪ {x}, and
+//	(2) C(pi) ∪ {x} ⊆ C(phi),
+//
+// where the conflict containment is checked over the whole object universe.
+func IsSupport(s Space, pi int, x int, phi []int) bool {
+	// Condition (1).
+	for _, o := range s.Defining(pi) {
+		if o == x {
+			continue
+		}
+		covered := false
+		for _, f := range phi {
+			for _, fo := range s.Defining(f) {
+				if fo == o {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	// Condition (2): x itself must conflict with phi...
+	if !conflictsAny(s, phi, x) {
+		return false
+	}
+	// ...and so must every object conflicting with pi.
+	for o := 0; o < s.NumObjects(); o++ {
+		if s.InConflict(pi, o) && !conflictsAny(s, phi, o) {
+			return false
+		}
+	}
+	return true
+}
+
+func conflictsAny(s Space, phi []int, o int) bool {
+	for _, f := range phi {
+		if s.InConflict(f, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindSupport searches active (a set of configuration indices, normally
+// T(Y\{x})) for a support set for (pi, x) of size at most s.MaxSupport().
+// It first restricts candidates to configurations sharing a defining object
+// with pi — true of every space in this repository (support facets share a
+// ridge with the new facet, support corners share a corner point, etc.) —
+// and falls back to the unpruned search if that fails.
+func FindSupport(s Space, pi int, x int, active []int) ([]int, bool) {
+	dp := s.Defining(pi)
+	inD := map[int]bool{}
+	for _, o := range dp {
+		inD[o] = true
+	}
+	var cand []int
+	for _, c := range active {
+		for _, o := range s.Defining(c) {
+			if inD[o] {
+				cand = append(cand, c)
+				break
+			}
+		}
+	}
+	if phi, ok := searchSubsets(s, pi, x, cand, s.MaxSupport()); ok {
+		return phi, true
+	}
+	return searchSubsets(s, pi, x, active, s.MaxSupport())
+}
+
+// searchSubsets looks for a support subset of cand of size <= k, smallest
+// sizes first (so the reported support is minimal).
+func searchSubsets(s Space, pi, x int, cand []int, k int) ([]int, bool) {
+	pick := make([]int, 0, k)
+	var rec func(start, size int) bool
+	var found []int
+	rec = func(start, size int) bool {
+		if len(pick) == size {
+			if IsSupport(s, pi, x, pick) {
+				found = append([]int(nil), pick...)
+				return true
+			}
+			return false
+		}
+		for i := start; i < len(cand); i++ {
+			pick = append(pick, cand[i])
+			if rec(i+1, size) {
+				return true
+			}
+			pick = pick[:len(pick)-1]
+		}
+		return false
+	}
+	for size := 1; size <= k; size++ {
+		if rec(0, size) {
+			return found, true
+		}
+	}
+	return nil, false
+}
+
+// VerifySupport checks Definition 3.3 on the concrete set y: for every
+// configuration pi in T(y) and every defining object x of pi, a support set
+// of size at most k exists in T(y \ {x}). It returns a descriptive error on
+// the first violation.
+func VerifySupport(s Space, y []int) error {
+	if len(y) <= s.BaseSize() {
+		return nil
+	}
+	act := Active(s, y)
+	for _, pi := range act {
+		for _, x := range s.Defining(pi) {
+			rest := make([]int, 0, len(y)-1)
+			for _, o := range y {
+				if o != x {
+					rest = append(rest, o)
+				}
+			}
+			prev := Active(s, rest)
+			if _, ok := FindSupport(s, pi, x, prev); !ok {
+				return fmt.Errorf("%w: config %d, object %d, |T(Y\\x)|=%d",
+					ErrNoSupport, pi, x, len(prev))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMultiplicity verifies that no defining set is shared by more than
+// s.Multiplicity() configurations (the "c" of Theorem 4.2), returning the
+// observed maximum.
+func CheckMultiplicity(s Space) (int, error) {
+	byDef := map[string]int{}
+	maxSeen := 0
+	for c := 0; c < s.NumConfigs(); c++ {
+		k := fmt.Sprint(s.Defining(c))
+		byDef[k]++
+		if byDef[k] > maxSeen {
+			maxSeen = byDef[k]
+		}
+	}
+	if maxSeen > s.Multiplicity() {
+		return maxSeen, fmt.Errorf("core: multiplicity %d exceeds declared %d", maxSeen, s.Multiplicity())
+	}
+	return maxSeen, nil
+}
+
+// CheckDegree verifies |D(pi)| <= Degree() for all configurations and that
+// defining and conflict sets are disjoint, returning the observed maximum
+// degree.
+func CheckDegree(s Space) (int, error) {
+	maxDeg := 0
+	for c := 0; c < s.NumConfigs(); c++ {
+		d := s.Defining(c)
+		if len(d) > maxDeg {
+			maxDeg = len(d)
+		}
+		if len(d) > s.Degree() {
+			return len(d), fmt.Errorf("core: config %d has degree %d > declared %d", c, len(d), s.Degree())
+		}
+		for _, o := range d {
+			if s.InConflict(c, o) {
+				return len(d), fmt.Errorf("core: config %d: defining object %d also in conflict set", c, o)
+			}
+		}
+	}
+	return maxDeg, nil
+}
+
+// SupportLowerBound computes a certified lower bound on the size of any
+// support set for (pi, x) within the given active configurations: it greedily
+// packs objects of C(pi) ∪ {x} whose coverer sets (active configurations
+// conflicting with them) are pairwise disjoint — condition (2) of
+// Definition 3.2 then forces at least one distinct member of the support set
+// per packed object. It is used to demonstrate spaces WITHOUT constant
+// support, such as trapezoidal decomposition (Section 4's counterexample).
+func SupportLowerBound(s Space, pi int, x int, active []int) int {
+	var objs []int
+	for o := 0; o < s.NumObjects(); o++ {
+		if o == x || s.InConflict(pi, o) {
+			objs = append(objs, o)
+		}
+	}
+	coverers := make([]map[int]bool, len(objs))
+	for i, o := range objs {
+		coverers[i] = map[int]bool{}
+		for _, c := range active {
+			if s.InConflict(c, o) {
+				coverers[i][c] = true
+			}
+		}
+	}
+	// Greedy disjoint packing, smallest coverer sets first.
+	order := make([]int, len(objs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(coverers[order[a]]) < len(coverers[order[b]]) })
+	used := map[int]bool{}
+	bound := 0
+	for _, i := range order {
+		if len(coverers[i]) == 0 {
+			continue // no coverer at all: no support set exists, skip here
+		}
+		disjoint := true
+		for c := range coverers[i] {
+			if used[c] {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			bound++
+			for c := range coverers[i] {
+				used[c] = true
+			}
+		}
+	}
+	return bound
+}

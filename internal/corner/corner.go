@@ -1,0 +1,214 @@
+// Package corner implements Section 6 of the paper: the corner
+// configuration space that extends incremental 3D convex hull to degenerate
+// inputs (four or more coplanar points, three or more collinear points).
+//
+// Objects are points in R^3. For every non-collinear triple there are six
+// configurations: each of the three points can be the corner point p_m, and
+// for each corner there is one configuration per side of the triple's plane.
+// A configuration conflicts with (Figure 3):
+//
+//   - every point strictly on its side of the plane;
+//   - every coplanar point strictly outside either of the lines p_m-p_l or
+//     p_m-p_r (on the side away from the wedge);
+//   - every point on those lines beyond p_l (resp. p_r), i.e. in the
+//     direction away from p_m.
+//
+// Lemma 6.1 (active configurations = corners of the hull) and Lemma 6.2
+// (4-support) are validated by brute force in the tests, and the space plugs
+// into core.Simulate to measure dependence depth on degenerate inputs
+// (experiment E8). All predicates are exact.
+package corner
+
+import (
+	"fmt"
+
+	"parhull/internal/geom"
+)
+
+// Space is the corner configuration space over a fixed set of 3D points.
+// It implements core.Space.
+type Space struct {
+	pts     []geom.Point
+	triples [][3]int
+}
+
+// NewSpace enumerates the corner configuration space of pts (dimension 3,
+// distinct points required — use Dedup first if unsure).
+func NewSpace(pts []geom.Point) (*Space, error) {
+	if err := geom.ValidateCloud(pts, 3); err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Equal(pts[j]) {
+				return nil, fmt.Errorf("corner: duplicate points %d and %d (Dedup the input)", i, j)
+			}
+		}
+	}
+	s := &Space{pts: pts}
+	n := len(pts)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				if !collinear(pts[i], pts[j], pts[k]) {
+					s.triples = append(s.triples, [3]int{i, j, k})
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Dedup returns pts with exact duplicates removed (keeping first
+// occurrences).
+func Dedup(pts []geom.Point) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if p.Equal(q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// collinear reports whether three 3D points are collinear, exactly: all
+// three axis projections have zero 2D orientation.
+func collinear(a, b, c geom.Point) bool {
+	for ax := 0; ax < 3; ax++ {
+		if geom.Orient2D(drop(a, ax), drop(b, ax), drop(c, ax)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drop projects a 3D point to 2D by removing coordinate ax.
+func drop(p geom.Point, ax int) geom.Point {
+	switch ax {
+	case 0:
+		return geom.Point{p[1], p[2]}
+	case 1:
+		return geom.Point{p[0], p[2]}
+	default:
+		return geom.Point{p[0], p[1]}
+	}
+}
+
+// projAxis returns an axis to drop such that the projected triple is
+// non-degenerate (exists for any non-collinear triple).
+func projAxis(pm, pl, pr geom.Point) int {
+	for ax := 0; ax < 3; ax++ {
+		if geom.Orient2D(drop(pm, ax), drop(pl, ax), drop(pr, ax)) != 0 {
+			return ax
+		}
+	}
+	panic("corner: collinear triple escaped the constructor")
+}
+
+// Corner describes one configuration in readable form.
+type Corner struct {
+	M, L, R int // corner point and its two neighbors (L < R)
+	Side    int // +1 or -1: which side of the plane is the conflict side
+}
+
+// At decodes configuration index c.
+func (s *Space) At(c int) Corner {
+	t := s.triples[c/6]
+	pos := (c % 6) / 2
+	side := 1
+	if c%2 == 1 {
+		side = -1
+	}
+	m := t[pos]
+	var rest []int
+	for i := 0; i < 3; i++ {
+		if i != pos {
+			rest = append(rest, t[i])
+		}
+	}
+	return Corner{M: m, L: rest[0], R: rest[1], Side: side}
+}
+
+// NumObjects implements core.Space.
+func (s *Space) NumObjects() int { return len(s.pts) }
+
+// NumConfigs implements core.Space: six per non-collinear triple.
+func (s *Space) NumConfigs() int { return 6 * len(s.triples) }
+
+// Defining implements core.Space: the sorted triple.
+func (s *Space) Defining(c int) []int {
+	t := s.triples[c/6]
+	return t[:]
+}
+
+// Degree implements core.Space.
+func (s *Space) Degree() int { return 3 }
+
+// Multiplicity implements core.Space: 3 corners x 2 sides.
+func (s *Space) Multiplicity() int { return 6 }
+
+// BaseSize implements core.Space: as for 3D hulls, n_b = 4.
+func (s *Space) BaseSize() int { return 4 }
+
+// MaxSupport implements core.Space: k = 4 (Lemma 6.2).
+func (s *Space) MaxSupport() int { return 4 }
+
+// InConflict implements core.Space with the Figure 3 conflict rule.
+func (s *Space) InConflict(c, x int) bool {
+	cr := s.At(c)
+	if x == cr.M || x == cr.L || x == cr.R {
+		return false
+	}
+	pm, pl, pr := s.pts[cr.M], s.pts[cr.L], s.pts[cr.R]
+	px := s.pts[x]
+
+	// Side-of-plane test: Orient3D(pm, pl, pr, x) is the sign of
+	// det[pm-x; pl-x; pr-x].
+	switch o := geom.Orient3D(pm, pl, pr, px); {
+	case o == cr.Side:
+		return true
+	case o != 0:
+		return false
+	}
+	// Coplanar: exact in-plane wedge tests via a non-degenerate projection.
+	ax := projAxis(pm, pl, pr)
+	qm, ql, qr, qx := drop(pm, ax), drop(pl, ax), drop(pr, ax), drop(px, ax)
+	sigma := geom.Orient2D(qm, ql, qr) // side of line pm-pl the wedge lies on
+	tau := geom.Orient2D(qm, qr, ql)   // side of line pm-pr the wedge lies on
+	a := geom.Orient2D(qm, ql, qx)
+	b := geom.Orient2D(qm, qr, qx)
+	if a != 0 && a != sigma {
+		return true // strictly outside line pm-pl
+	}
+	if b != 0 && b != tau {
+		return true // strictly outside line pm-pr
+	}
+	if a == 0 && beyond(pm, pl, px) {
+		return true // on line pm-pl, past pl
+	}
+	if b == 0 && beyond(pm, pr, px) {
+		return true // on line pm-pr, past pr
+	}
+	return false
+}
+
+// beyond reports whether x (known collinear with m and l) lies strictly past
+// l in the direction away from m. Coordinate comparisons are exact.
+func beyond(m, l, x geom.Point) bool {
+	for k := 0; k < 3; k++ {
+		if l[k] != m[k] {
+			if l[k] > m[k] {
+				return x[k] > l[k]
+			}
+			return x[k] < l[k]
+		}
+	}
+	return false // l == m cannot happen for distinct points
+}

@@ -1,0 +1,172 @@
+package corner
+
+import (
+	"fmt"
+	"sort"
+
+	"parhull/internal/geom"
+)
+
+// Face is one (possibly non-triangular) face of a degenerate 3D hull,
+// reconstructed from the active corner configurations: its vertices in
+// cyclic boundary order.
+type Face struct {
+	Vertices []int
+}
+
+// Faces assembles the faces of the hull from the active configurations of
+// the corner space (Lemma 6.1: the active set is exactly the hull corners,
+// and each corner's wings are its neighbors on the face boundary). Corners
+// are grouped by oriented support plane, then each group's vertex cycle is
+// threaded through the wing pointers. The whole input must not be coplanar.
+func Faces(s *Space, active []int) ([]Face, error) {
+	if len(active) == 0 {
+		return nil, fmt.Errorf("corner: no active configurations")
+	}
+	corners := make([]Corner, len(active))
+	for i, c := range active {
+		corners[i] = s.At(c)
+	}
+
+	// Group corners into faces: same plane (every defining point of one on
+	// the plane of the other) and same conflict side, tested against an
+	// off-plane probe point.
+	group := make([]int, len(corners))
+	for i := range group {
+		group[i] = -1
+	}
+	next := 0
+	for i := range corners {
+		if group[i] != -1 {
+			continue
+		}
+		group[i] = next
+		for j := i + 1; j < len(corners); j++ {
+			if group[j] == -1 && sameFace(s, corners[i], active[i], corners[j], active[j]) {
+				group[j] = next
+			}
+		}
+		next++
+	}
+
+	faces := make([]Face, 0, next)
+	for g := 0; g < next; g++ {
+		var members []Corner
+		for i, c := range corners {
+			if group[i] == g {
+				members = append(members, c)
+			}
+		}
+		cycle, err := threadCycle(members)
+		if err != nil {
+			return nil, err
+		}
+		faces = append(faces, Face{Vertices: cycle})
+	}
+	sort.Slice(faces, func(i, j int) bool {
+		return lessIntSlice(faces[i].Vertices, faces[j].Vertices)
+	})
+	return faces, nil
+}
+
+// sameFace reports whether two corners lie on the same oriented hull face.
+func sameFace(s *Space, a Corner, ca int, b Corner, cb int) bool {
+	pa := [3]geom.Point{s.pts[a.M], s.pts[a.L], s.pts[a.R]}
+	for _, o := range []int{b.M, b.L, b.R} {
+		if geom.Orient3D(pa[0], pa[1], pa[2], s.pts[o]) != 0 {
+			return false
+		}
+	}
+	// Same plane; compare conflict sides via an off-plane probe.
+	for x := range s.pts {
+		if geom.Orient3D(pa[0], pa[1], pa[2], s.pts[x]) != 0 {
+			return s.InConflict(ca, x) == s.InConflict(cb, x)
+		}
+	}
+	// The entire input is coplanar: cannot orient faces.
+	return false
+}
+
+// threadCycle orders a face's corners into a vertex cycle using the wing
+// pointers: the corner at vertex v has wings {prev, next} on the boundary.
+func threadCycle(members []Corner) ([]int, error) {
+	if len(members) < 3 {
+		return nil, fmt.Errorf("corner: face with %d corners", len(members))
+	}
+	wings := map[int][2]int{}
+	for _, c := range members {
+		if _, dup := wings[c.M]; dup {
+			return nil, fmt.Errorf("corner: vertex %d has two corners on one face", c.M)
+		}
+		wings[c.M] = [2]int{c.L, c.R}
+	}
+	start := members[0].M
+	for _, c := range members[1:] {
+		if c.M < start {
+			start = c.M
+		}
+	}
+	cycle := []int{start}
+	prev, cur := -1, start
+	for {
+		w, ok := wings[cur]
+		if !ok {
+			return nil, fmt.Errorf("corner: face boundary leaves the corner set at vertex %d", cur)
+		}
+		nxt := w[0]
+		if nxt == prev {
+			nxt = w[1]
+		} else if prev == -1 {
+			// First step: walk toward the smaller wing for determinism.
+			if w[1] < nxt {
+				nxt = w[1]
+			}
+		}
+		if nxt == start {
+			break
+		}
+		cycle = append(cycle, nxt)
+		if len(cycle) > len(members) {
+			return nil, fmt.Errorf("corner: face cycle does not close")
+		}
+		prev, cur = cur, nxt
+	}
+	if len(cycle) != len(members) {
+		return nil, fmt.Errorf("corner: face cycle visits %d of %d corners", len(cycle), len(members))
+	}
+	return cycle, nil
+}
+
+// Skeleton summarizes the face structure: vertex, edge, and face counts
+// (V - E + F = 2 for a convex 3-polytope).
+type Skeleton struct {
+	V, E, F int
+}
+
+// SkeletonOf computes the skeleton counts of a face set.
+func SkeletonOf(faces []Face) Skeleton {
+	verts := map[int]bool{}
+	edges := map[[2]int]bool{}
+	for _, f := range faces {
+		k := len(f.Vertices)
+		for i, v := range f.Vertices {
+			verts[v] = true
+			w := f.Vertices[(i+1)%k]
+			a, b := v, w
+			if a > b {
+				a, b = b, a
+			}
+			edges[[2]int{a, b}] = true
+		}
+	}
+	return Skeleton{V: len(verts), E: len(edges), F: len(faces)}
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

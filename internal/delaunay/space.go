@@ -1,0 +1,81 @@
+package delaunay
+
+import (
+	"parhull/internal/geom"
+)
+
+// Space is the Delaunay configuration space over a fixed point set (the
+// classic example the paper gives when introducing configuration spaces in
+// Section 3): configurations are triangles — non-collinear triples — whose
+// defining set is the three corners and whose conflict set is the points
+// strictly inside the circumcircle. T(Y) is then the Delaunay triangulation
+// of Y. The space has multiplicity 1 and, as shown in the prior work the
+// paper builds on, 2-support for every removal of a non-boundary object;
+// removals that expose the triangulation boundary need the dedicated
+// boundary configurations of that prior work, which this package sidesteps
+// by pinning a bounding triangle in the base prefix. Both properties are
+// verified by brute force in tests.
+type Space struct {
+	pts     []geom.Point
+	triples [][3]int
+}
+
+// NewSpace enumerates the Delaunay configuration space of pts (collinear
+// triples define no circumcircle and are excluded).
+func NewSpace(pts []geom.Point) (*Space, error) {
+	if err := geom.ValidateCloud(pts, 2); err != nil {
+		return nil, err
+	}
+	s := &Space{pts: pts}
+	n := len(pts)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				if geom.Orient2D(pts[i], pts[j], pts[k]) != 0 {
+					s.triples = append(s.triples, [3]int{i, j, k})
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// NumObjects implements core.Space.
+func (s *Space) NumObjects() int { return len(s.pts) }
+
+// NumConfigs implements core.Space.
+func (s *Space) NumConfigs() int { return len(s.triples) }
+
+// Defining implements core.Space.
+func (s *Space) Defining(c int) []int {
+	t := s.triples[c]
+	return t[:]
+}
+
+// InConflict implements core.Space: x conflicts with triangle c iff it lies
+// strictly inside the circumcircle (exactly evaluated).
+func (s *Space) InConflict(c, x int) bool {
+	t := s.triples[c]
+	if x == t[0] || x == t[1] || x == t[2] {
+		return false
+	}
+	a, b, cc := s.pts[t[0]], s.pts[t[1]], s.pts[t[2]]
+	// InCircle's sign convention assumes CCW order; flip if needed.
+	sign := geom.InCircle(a, b, cc, s.pts[x])
+	if geom.Orient2D(a, b, cc) < 0 {
+		sign = -sign
+	}
+	return sign > 0
+}
+
+// Degree implements core.Space: g = 3.
+func (s *Space) Degree() int { return 3 }
+
+// Multiplicity implements core.Space: one triangle per triple.
+func (s *Space) Multiplicity() int { return 1 }
+
+// BaseSize implements core.Space: the bounding triangle.
+func (s *Space) BaseSize() int { return 3 }
+
+// MaxSupport implements core.Space: k = 2.
+func (s *Space) MaxSupport() int { return 2 }

@@ -1,0 +1,132 @@
+package geom
+
+import "math/big"
+
+// orientExact computes the sign of the d x d determinant with rows
+// verts[1]-verts[0], ..., verts[d-1]-verts[0], p-verts[0] using exact
+// rational arithmetic. float64 coordinates convert to big.Rat losslessly, so
+// the result is the true sign.
+func orientExact(verts []Point, p Point) int {
+	d := len(p)
+	m := make([][]*big.Rat, d)
+	base := verts[0]
+	for i := 0; i < d; i++ {
+		var src Point
+		if i < d-1 {
+			src = verts[i+1]
+		} else {
+			src = p
+		}
+		row := make([]*big.Rat, d)
+		for j := 0; j < d; j++ {
+			a := new(big.Rat).SetFloat64(src[j])
+			b := new(big.Rat).SetFloat64(base[j])
+			row[j] = a.Sub(a, b)
+		}
+		m[i] = row
+	}
+	return ratDetSign(m)
+}
+
+// ratDetSign returns the sign of the determinant of the square rational
+// matrix m, destroying m in the process. It uses ordinary Gaussian
+// elimination over Q; the dimensions here are tiny (d <= ~8), so the cost of
+// rational arithmetic is acceptable on the rare filter failures.
+func ratDetSign(m [][]*big.Rat) int {
+	d := len(m)
+	s := 1
+	for col := 0; col < d; col++ {
+		// Find a non-zero pivot.
+		piv := -1
+		for r := col; r < d; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv == -1 {
+			return 0
+		}
+		if piv != col {
+			m[piv], m[col] = m[col], m[piv]
+			s = -s
+		}
+		pv := m[col][col]
+		if pv.Sign() < 0 {
+			s = -s
+		}
+		for r := col + 1; r < d; r++ {
+			if m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Quo(m[r][col], pv)
+			for j := col + 1; j < d; j++ {
+				t := new(big.Rat).Mul(f, m[col][j])
+				m[r][j].Sub(m[r][j], t)
+			}
+			m[r][col].SetInt64(0)
+		}
+	}
+	return s
+}
+
+// InCircle returns the sign of the standard 2D in-circle determinant:
+// +1 if p lies strictly inside the circle through a, b, c (assumed in
+// counterclockwise order), -1 if strictly outside, 0 if on the circle.
+// If (a, b, c) are clockwise the sign is flipped, matching the usual
+// convention sign = Orient2D(a,b,c) * inside. The result is exact.
+func InCircle(a, b, c, p Point) int {
+	adx, ady := a[0]-p[0], a[1]-p[1]
+	bdx, bdy := b[0]-p[0], b[1]-p[1]
+	cdx, cdy := c[0]-p[0], c[1]-p[1]
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (abs(bdxcdy)+abs(cdxbdy))*alift +
+		(abs(cdxady)+abs(adxcdy))*blift +
+		(abs(adxbdy)+abs(bdxady))*clift
+	errBound := iccErrBoundA * permanent
+	if det > errBound || -det > errBound {
+		return sign(det)
+	}
+	return inCircleExact(a, b, c, p)
+}
+
+var iccErrBoundA = (10 + 96*epsilon) * epsilon
+
+func inCircleExact(a, b, c, p Point) int {
+	rows := [3]Point{a, b, c}
+	m := make([][]*big.Rat, 3)
+	px := new(big.Rat).SetFloat64(p[0])
+	py := new(big.Rat).SetFloat64(p[1])
+	for i, q := range rows {
+		dx := new(big.Rat).SetFloat64(q[0])
+		dx.Sub(dx, px)
+		dy := new(big.Rat).SetFloat64(q[1])
+		dy.Sub(dy, py)
+		lift := new(big.Rat).Mul(dx, dx)
+		t := new(big.Rat).Mul(dy, dy)
+		lift.Add(lift, t)
+		m[i] = []*big.Rat{dx, dy, lift}
+	}
+	return ratDetSign(m)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,156 @@
+// Package halfspace implements Section 7's half-space intersection: finding
+// the common intersection of half-spaces {x : a·x <= 1} in R^d (all of which
+// contain the origin).
+//
+// Two routes are provided, as in the paper:
+//
+//   - Duality (IntersectDual): the intersection polytope is the dual of the
+//     convex hull of the normal vectors a_i, so the parallel incremental
+//     hull engine (internal/hulld) does the work and inherits all of its
+//     guarantees — including the O(log n) dependence depth of Theorem 1.1.
+//   - The direct configuration space (Space): objects are half-spaces,
+//     configurations are vertices defined by d boundary hyperplanes, and a
+//     configuration conflicts with every half-space that does not contain
+//     its vertex. The paper shows this space has 2-support; the tests verify
+//     that by brute force, and core.Simulate measures its dependence depth.
+//
+// The intersection must be bounded and the origin strictly interior, which
+// holds whenever the normals' convex hull strictly contains the origin (the
+// generators in pointgen guarantee this by covering the sphere).
+package halfspace
+
+import (
+	"fmt"
+	"math/big"
+
+	"parhull/internal/geom"
+	"parhull/internal/hulld"
+)
+
+// BoundingSimplex returns d+1 normals whose halfspaces {a·x <= 1} form a
+// bounded simplex around the origin (the unit axis directions plus the
+// all-minus-one vector, which positively span R^d). Prepending these to the
+// insertion order keeps every prefix intersection bounded — the substitution
+// this package uses instead of the paper's boundary configurations
+// ("configurations with d-1 half-spaces and a direction", Section 7), which
+// only matter for unbounded prefixes.
+func BoundingSimplex(d int) []geom.Point {
+	out := make([]geom.Point, 0, d+1)
+	for i := 0; i < d; i++ {
+		a := make(geom.Point, d)
+		a[i] = 1
+		out = append(out, a)
+	}
+	last := make(geom.Point, d)
+	for i := range last {
+		last[i] = -1
+	}
+	return append(out, last)
+}
+
+// Vertex is one vertex of the intersection polytope.
+type Vertex struct {
+	// Point is the vertex location (solved in exact rational arithmetic,
+	// rounded to float64 on output).
+	Point geom.Point
+	// Halfspaces lists the d half-space indices whose boundaries meet here.
+	Halfspaces []int32
+}
+
+// DualResult carries the intersection computed via duality plus the hull
+// statistics of the underlying incremental run.
+type DualResult struct {
+	Vertices []Vertex
+	// HullStats is the instrumentation of the dual hull construction; its
+	// MaxDepth is the dependence depth of the halfspace-intersection
+	// process (the two are isomorphic under duality).
+	HullStats hulld.Stats
+}
+
+// IntersectDual computes the vertices of the intersection of the halfspaces
+// {x : normals[i]·x <= 1} by running the parallel incremental hull
+// (Algorithm 3) on the normal vectors and dualizing each hull facet back to
+// a vertex. normals are consumed in the given order (shuffle for the
+// randomized bounds).
+func IntersectDual(normals []geom.Point, opt *hulld.Options) (*DualResult, error) {
+	res, err := hulld.Par(normals, opt)
+	if err != nil {
+		return nil, fmt.Errorf("halfspace: dual hull failed: %w", err)
+	}
+	out := &DualResult{HullStats: res.Stats}
+	for _, f := range res.Facets {
+		v, err := solveVertex(normals, f.Verts)
+		if err != nil {
+			return nil, err
+		}
+		out.Vertices = append(out.Vertices, Vertex{Point: v, Halfspaces: append([]int32(nil), f.Verts...)})
+	}
+	return out, nil
+}
+
+// solveVertex solves a_i·x = 1 for the d halfspaces in idx, exactly.
+func solveVertex(normals []geom.Point, idx []int32) (geom.Point, error) {
+	d := len(normals[0])
+	m := make([][]*big.Rat, d)
+	for r, id := range idx {
+		row := make([]*big.Rat, d+1)
+		for c := 0; c < d; c++ {
+			row[c] = new(big.Rat).SetFloat64(normals[id][c])
+		}
+		row[d] = big.NewRat(1, 1)
+		m[r] = row
+	}
+	sol, ok := ratSolve(m, d)
+	if !ok {
+		return nil, fmt.Errorf("halfspace: halfspaces %v have linearly dependent normals", idx)
+	}
+	out := make(geom.Point, d)
+	for i, r := range sol {
+		out[i], _ = r.Float64()
+	}
+	return out, nil
+}
+
+// ratSolve performs exact Gaussian elimination on the augmented d x (d+1)
+// system, returning the solution vector or ok=false if singular.
+func ratSolve(m [][]*big.Rat, d int) ([]*big.Rat, bool) {
+	for col := 0; col < d; col++ {
+		piv := -1
+		for r := col; r < d; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv == -1 {
+			return nil, false
+		}
+		m[piv], m[col] = m[col], m[piv]
+		for r := 0; r < d; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Quo(m[r][col], m[col][col])
+			for c := col; c <= d; c++ {
+				t := new(big.Rat).Mul(f, m[col][c])
+				m[r][c] = new(big.Rat).Sub(m[r][c], t)
+			}
+		}
+	}
+	sol := make([]*big.Rat, d)
+	for i := 0; i < d; i++ {
+		sol[i] = new(big.Rat).Quo(m[i][d], m[i][i])
+	}
+	return sol, true
+}
+
+// Contains reports whether point p satisfies normal·p <= 1, exactly.
+func Contains(normal geom.Point, p geom.Point) bool {
+	dot := new(big.Rat)
+	for i := range normal {
+		a := new(big.Rat).SetFloat64(normal[i])
+		b := new(big.Rat).SetFloat64(p[i])
+		dot.Add(dot, a.Mul(a, b))
+	}
+	return dot.Cmp(big.NewRat(1, 1)) <= 0
+}

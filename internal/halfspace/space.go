@@ -1,0 +1,103 @@
+package halfspace
+
+import (
+	"math/big"
+
+	"parhull/internal/geom"
+)
+
+// Space is the direct configuration space for half-space intersection
+// (Section 7): objects are half-spaces {x : a·x <= 1}, configurations are
+// the vertices defined by d of their boundary hyperplanes, and a
+// configuration conflicts with every half-space whose constraint its vertex
+// violates. It implements core.Space; all conflict tests are exact.
+type Space struct {
+	normals []geom.Point
+	d       int
+	subsets [][]int
+	verts   [][]*big.Rat // exact vertex per subset
+}
+
+// NewSpace enumerates the configuration space of the given halfspace
+// normals. Subsets with linearly dependent normals define no vertex and are
+// excluded (in general position there are none).
+func NewSpace(normals []geom.Point) (*Space, error) {
+	if len(normals) == 0 {
+		return nil, errEmpty
+	}
+	d := len(normals[0])
+	if err := geom.ValidateCloud(normals, d); err != nil {
+		return nil, err
+	}
+	s := &Space{normals: normals, d: d}
+	subset := make([]int, d)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == d {
+			m := make([][]*big.Rat, d)
+			for r, id := range subset {
+				row := make([]*big.Rat, d+1)
+				for c := 0; c < d; c++ {
+					row[c] = new(big.Rat).SetFloat64(normals[id][c])
+				}
+				row[d] = big.NewRat(1, 1)
+				m[r] = row
+			}
+			if sol, ok := ratSolve(m, d); ok {
+				s.subsets = append(s.subsets, append([]int(nil), subset...))
+				s.verts = append(s.verts, sol)
+			}
+			return
+		}
+		for i := start; i < len(normals); i++ {
+			subset[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return s, nil
+}
+
+type constError string
+
+func (e constError) Error() string { return string(e) }
+
+const errEmpty = constError("halfspace: no halfspaces given")
+
+// NumObjects implements core.Space.
+func (s *Space) NumObjects() int { return len(s.normals) }
+
+// NumConfigs implements core.Space.
+func (s *Space) NumConfigs() int { return len(s.subsets) }
+
+// Defining implements core.Space.
+func (s *Space) Defining(c int) []int { return s.subsets[c] }
+
+// InConflict implements core.Space: halfspace x conflicts with vertex c iff
+// a_x · v(c) > 1, evaluated exactly.
+func (s *Space) InConflict(c, x int) bool {
+	for _, o := range s.subsets[c] {
+		if o == x {
+			return false
+		}
+	}
+	dot := new(big.Rat)
+	for i := 0; i < s.d; i++ {
+		a := new(big.Rat).SetFloat64(s.normals[x][i])
+		dot.Add(dot, a.Mul(a, s.verts[c][i]))
+	}
+	return dot.Cmp(big.NewRat(1, 1)) > 0
+}
+
+// Degree implements core.Space: g = d.
+func (s *Space) Degree() int { return s.d }
+
+// Multiplicity implements core.Space: each subset defines one vertex.
+func (s *Space) Multiplicity() int { return 1 }
+
+// BaseSize implements core.Space: n_b = d+1 (the smallest bounded
+// intersection).
+func (s *Space) BaseSize() int { return s.d + 1 }
+
+// MaxSupport implements core.Space: k = 2 (Section 7).
+func (s *Space) MaxSupport() int { return 2 }

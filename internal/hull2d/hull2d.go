@@ -1,0 +1,268 @@
+// Package hull2d implements randomized incremental convex hull in the plane:
+// the sequential Algorithm 2 of the paper and the parallel Algorithm 3 in
+// two flavors — an asynchronous fork-join engine (the binary-forking model
+// of Theorem 5.5) and a round-synchronous engine (the PRAM schedule of
+// Theorem 5.4) that exposes the recursion depth of Theorem 5.3 directly.
+//
+// In 2D a facet is a directed hull edge A->B with the interior on its left;
+// a ridge is a shared endpoint of two adjacent edges; and the conflict set
+// of an edge is the set of not-yet-inserted points strictly to its right.
+// All engines insert points in the order given (callers shuffle for the
+// randomized bounds), perform identical plane-side tests through exact
+// predicates, and create the identical set of facets (asserted by tests) —
+// only the schedule differs, exactly as Section 5.2 describes.
+//
+// The engines require the input to be in general position (no 3 collinear
+// points among those that interact with the hull boundary; see README).
+package hull2d
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"parhull/internal/conflict"
+	"parhull/internal/geom"
+	"parhull/internal/hullstats"
+)
+
+// ErrDegenerate is returned when the input violates the general-position
+// requirement in a way the engines detect (fewer than 3 points, or a
+// collinear/duplicate base triangle).
+var ErrDegenerate = errors.New("hull2d: degenerate input (need 3 non-collinear initial points)")
+
+// noPivot is the conflict pivot of an empty conflict set: later than every
+// real point index.
+const noPivot = int32(math.MaxInt32)
+
+// Facet is a directed hull edge A->B (indices into the insertion order).
+// Facets are immutable after creation except for the liveness flag: the
+// defining endpoints, conflict list and depth never change, which is what
+// makes the relaxed schedule of Algorithm 3 safe.
+type Facet struct {
+	A, B  int32
+	Conf  []int32 // conflict set: visible points, ascending insertion index
+	Depth int32   // configuration-dependence-graph depth (Definition 4.1)
+	Round int32   // round of creation (rounds engine; 0 for initial facets)
+	dead  atomic.Bool
+}
+
+// pivot returns min(C(t)) — the conflict pivot b_t of Section 5.2 — or
+// noPivot for an empty conflict set.
+func (f *Facet) pivot() int32 {
+	if len(f.Conf) == 0 {
+		return noPivot
+	}
+	return f.Conf[0]
+}
+
+// Alive reports whether the facet is still part of the hull H.
+func (f *Facet) Alive() bool { return !f.dead.Load() }
+
+// kill marks the facet dead, reporting whether this call was the first.
+// (An edge can be condemned twice — replaced through one ridge and buried
+// through the other — so counters only fire on the first kill.)
+func (f *Facet) kill() bool { return !f.dead.Swap(true) }
+
+// String formats the edge as "A->B".
+func (f *Facet) String() string { return fmt.Sprintf("%d->%d", f.A, f.B) }
+
+// Stats aggregates the instrumentation of one hull construction; see
+// hullstats.Stats for field semantics.
+type Stats = hullstats.Stats
+
+// Result is the output of a hull construction.
+type Result struct {
+	// Vertices lists the hull vertex indices in counterclockwise order,
+	// starting from the smallest index.
+	Vertices []int32
+	// Facets holds the surviving (alive) edges, in the same cyclic order.
+	Facets []*Facet
+	// Created holds every facet ever created, in creation order (sequential
+	// engine) or an arbitrary order (parallel engines). Used to compare the
+	// facet sets across engines and to export the dependence graph.
+	Created []*Facet
+	// HullSizes (sequential engine only) records |T(Y_i)| — the hull size
+	// after each insertion step — used to evaluate the Theorem 3.1 bound.
+	HullSizes []int
+	Stats     Stats
+}
+
+// EdgeSet returns the multiset of created edges as canonical [2]int32 pairs
+// (A, B as created, which is deterministic) mapped to multiplicity.
+func (r *Result) EdgeSet() map[[2]int32]int {
+	m := make(map[[2]int32]int, len(r.Created))
+	for _, f := range r.Created {
+		m[[2]int32{f.A, f.B}]++
+	}
+	return m
+}
+
+// engine carries the state shared by all three schedules.
+type engine struct {
+	pts   []geom.Point
+	base  int // number of initial hull points (>= 3)
+	grain int // conflict-filter parallel grain (0 = default)
+	rec   *hullstats.Recorder
+
+	mu  sync.Mutex
+	all []*Facet // every facet ever created
+
+	trace   *Trace // optional (rounds engine)
+	traceMu sync.Mutex
+}
+
+// visible reports whether point v lies strictly outside edge f (strictly to
+// the right of the directed line A->B), counting the test.
+func (e *engine) visible(v int32, a, b int32) bool {
+	e.rec.VTests.Inc(uint64(v))
+	return geom.Orient2D(e.pts[a], e.pts[b], e.pts[v]) < 0
+}
+
+func (e *engine) record(f *Facet) {
+	e.rec.Created(f.Depth)
+	e.mu.Lock()
+	e.all = append(e.all, f)
+	e.mu.Unlock()
+}
+
+// newFacet builds the facet joining ridge r (a vertex index) with pivot p,
+// supported by the pair (t1, t2): t1 is the facet being replaced (p visible
+// from it), t2 the surviving neighbor. Orientation follows the CCW hull:
+// if r is t1's tail the new edge is r->p, otherwise p->r.
+func (e *engine) newFacet(r, p int32, t1, t2 *Facet, round int32) *Facet {
+	var f *Facet
+	if r == t1.A {
+		f = &Facet{A: r, B: p}
+	} else {
+		f = &Facet{A: p, B: r}
+	}
+	f.Depth = 1 + max32(t1.Depth, t2.Depth)
+	f.Round = round
+	f.Conf = e.mergeFilter(t1.Conf, t2.Conf, p, f.A, f.B)
+	e.record(f)
+	return f
+}
+
+// mergeFilter implements line 16 of Algorithm 3 (and line 9 of Algorithm 2):
+// C(t) = { v in C(t1) ∪ C(t2) : visible(v, t) }, excluding the new point p.
+// Long lists are filtered in parallel (see internal/conflict); the output
+// and the multiset of tests are identical to the serial path.
+func (e *engine) mergeFilter(c1, c2 []int32, p, a, b int32) []int32 {
+	return conflict.MergeFilter(c1, c2, p, func(v int32) bool { return e.visible(v, a, b) }, e.grain)
+}
+
+// bury handles the equal-pivot case (line 10): both facets die.
+func (e *engine) bury(t1, t2 *Facet) {
+	e.rec.Buried(t1.kill())
+	e.rec.Buried(t2.kill())
+}
+
+// replace marks t1 replaced by a new facet (line 17).
+func (e *engine) replace(t1 *Facet) {
+	e.rec.Replaced(t1.kill())
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// initialHull validates the base polygon (the first e.base points, which
+// must be in convex position) and returns its CCW edges with conflict lists
+// over the remaining points. For base == 3 any non-degenerate triangle is
+// reoriented to CCW; for larger bases (used by the Figure 1 driver) the
+// points must already be listed in CCW convex position.
+func (e *engine) initialHull() ([]*Facet, error) {
+	n := len(e.pts)
+	if n < 3 || e.base < 3 || e.base > n {
+		return nil, ErrDegenerate
+	}
+	order := make([]int32, e.base)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if e.base == 3 {
+		switch geom.Orient2D(e.pts[0], e.pts[1], e.pts[2]) {
+		case 0:
+			return nil, ErrDegenerate
+		case -1:
+			order[1], order[2] = order[2], order[1]
+		}
+	} else {
+		// Validate convex CCW position.
+		for i := 0; i < e.base; i++ {
+			a := e.pts[order[i]]
+			b := e.pts[order[(i+1)%e.base]]
+			c := e.pts[order[(i+2)%e.base]]
+			if geom.Orient2D(a, b, c) <= 0 {
+				return nil, fmt.Errorf("%w: initial polygon not strictly convex CCW at vertex %d", ErrDegenerate, (i+1)%e.base)
+			}
+		}
+	}
+	facets := make([]*Facet, e.base)
+	for i := 0; i < e.base; i++ {
+		facets[i] = &Facet{A: order[i], B: order[(i+1)%e.base]}
+	}
+	// Conflict lists over the remaining points, one pass per facet so each
+	// list comes out in ascending index order (parallel chunks for large n).
+	for _, f := range facets {
+		a, b := f.A, f.B
+		f.Conf = conflict.Build(int32(e.base), int32(n),
+			func(v int32) bool { return e.visible(v, a, b) }, e.grain)
+		e.record(f)
+	}
+	return facets, nil
+}
+
+// collectResult walks the alive facets into a closed CCW cycle.
+func (e *engine) collectResult(rounds int) (*Result, error) {
+	next := map[int32]*Facet{}
+	var start int32 = math.MaxInt32
+	alive := 0
+	for _, f := range e.all {
+		if !f.Alive() {
+			continue
+		}
+		alive++
+		if _, dup := next[f.A]; dup {
+			return nil, fmt.Errorf("hull2d: two alive edges leave vertex %d", f.A)
+		}
+		next[f.A] = f
+		if f.A < start {
+			start = f.A
+		}
+	}
+	if alive < 3 {
+		return nil, fmt.Errorf("hull2d: only %d alive edges", alive)
+	}
+	res := &Result{Created: e.all}
+	at := start
+	seen := make(map[int32]bool, alive)
+	for range next {
+		f, ok := next[at]
+		if !ok {
+			return nil, fmt.Errorf("hull2d: alive edges do not form a cycle (stuck at %d)", at)
+		}
+		if seen[at] {
+			return nil, fmt.Errorf("hull2d: alive edges form multiple cycles (revisited %d)", at)
+		}
+		seen[at] = true
+		res.Vertices = append(res.Vertices, f.A)
+		res.Facets = append(res.Facets, f)
+		at = f.B
+	}
+	if at != start {
+		return nil, fmt.Errorf("hull2d: alive edges form a path, not a cycle")
+	}
+	res.Stats = e.rec.Snapshot(rounds, alive)
+	return res, nil
+}
+
+func newEngine(pts []geom.Point, base int, counters bool, grain int) *engine {
+	return &engine{pts: pts, base: base, grain: grain, rec: hullstats.NewRecorder(counters)}
+}

@@ -1,0 +1,124 @@
+package hull2d
+
+import (
+	"parhull/internal/conmap"
+	"parhull/internal/geom"
+	"parhull/internal/sched"
+)
+
+// Options configures the parallel engines.
+type Options struct {
+	// Base is the size of the pre-built initial hull (default 3). With
+	// Base > 3 the first Base points must be a strictly convex CCW polygon;
+	// this is how the Figure 1 example seeds the paper's 7-gon.
+	Base int
+	// Map is the ridge multimap M of Algorithm 3. Nil selects the growable
+	// sharded map; tests and the E10 ablation install the paper's
+	// Algorithm 4 (CAS) and Algorithm 5 (TAS) tables instead.
+	Map conmap.RidgeMap[*Facet]
+	// GroupLimit caps concurrently spawned ridge chains in the async engine
+	// (<= 0 selects the sched default).
+	GroupLimit int
+	// NoCounters disables visibility-test counting (for pure-speed runs).
+	NoCounters bool
+	// FilterGrain sets the list size above which conflict filtering runs in
+	// parallel chunks (0 = default; very large forces the serial path).
+	// The output and the multiset of plane-side tests are identical either
+	// way — this only reshapes the span (the A1 ablation in cmd/hullbench).
+	FilterGrain int
+	// Trace records per-round events (rounds engine only).
+	Trace bool
+}
+
+func (o *Options) base() int {
+	if o == nil || o.Base == 0 {
+		return 3
+	}
+	return o.Base
+}
+
+func (o *Options) filterGrain() int {
+	if o == nil {
+		return 0
+	}
+	return o.FilterGrain
+}
+
+func (o *Options) ridgeMap(n int) conmap.RidgeMap[*Facet] {
+	if o != nil && o.Map != nil {
+		return o.Map
+	}
+	return conmap.NewShardedMap[*Facet](2 * n)
+}
+
+// task is one pending ProcessRidge(t1, r, t2) invocation: ridge r (a vertex
+// index) currently shared by facets t1 and t2.
+type task struct {
+	t1 *Facet
+	r  int32
+	t2 *Facet
+}
+
+// Par computes the convex hull with the parallel incremental Algorithm 3,
+// scheduled asynchronously: every ridge chain runs as soon as its facets
+// exist, with fork-join spawns for newly ready ridges. This is the
+// binary-forking-model execution of Theorem 5.5.
+func Par(pts []geom.Point, opt *Options) (*Result, error) {
+	if err := geom.ValidateCloud(pts, 2); err != nil {
+		return nil, err
+	}
+	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain())
+	facets, err := e.initialHull()
+	if err != nil {
+		return nil, err
+	}
+	m := opt.ridgeMap(len(pts))
+	limit := 0
+	if opt != nil {
+		limit = opt.GroupLimit
+	}
+	g := sched.NewGroup(limit)
+
+	// chain runs one ProcessRidge call chain to completion: the tail
+	// recursion of line 19 is a loop, and the second-arrival recursion of
+	// line 22 forks a fresh chain.
+	var chain func(tk task)
+	chain = func(tk task) {
+		for {
+			p1, p2 := tk.t1.pivot(), tk.t2.pivot()
+			switch {
+			case p1 == noPivot && p2 == noPivot:
+				// Line 9: both conflict sets empty — the ridge is final.
+				e.rec.Finalized()
+				return
+			case p1 == p2:
+				// Line 10: the pivot buries the ridge and both facets.
+				e.bury(tk.t1, tk.t2)
+				return
+			case p2 < p1:
+				// Lines 11-12: flip so t1 is the facet to replace.
+				tk.t1, tk.t2 = tk.t2, tk.t1
+				p1 = p2
+			}
+			// Lines 14-17: p = min C(t1); t = join(r, p) replaces t1.
+			t := e.newFacet(tk.r, p1, tk.t1, tk.t2, 0)
+			e.replace(tk.t1)
+			// Lines 18-22: the ridge shared with t2 continues this chain;
+			// the fresh ridge {p} is handed to the map, and the second
+			// facet to arrive forks its chain.
+			if !m.InsertAndSet(conmap.Key1(p1), t) {
+				other := m.GetValue(conmap.Key1(p1), t)
+				g.Go(func() { chain(task{t1: t, r: p1, t2: other}) })
+			}
+			tk = task{t1: t, r: tk.r, t2: tk.t2}
+		}
+	}
+
+	for i, f := range facets {
+		f2 := facets[(i+1)%len(facets)]
+		tk := task{t1: f, r: f.B, t2: f2}
+		g.Go(func() { chain(tk) })
+	}
+	g.Wait()
+	return e.collectResult(0)
+}

@@ -1,0 +1,154 @@
+package hull2d
+
+import (
+	"sort"
+
+	"parhull/internal/conmap"
+	"parhull/internal/geom"
+	"parhull/internal/sched"
+)
+
+// EventKind classifies a trace event of the rounds engine.
+type EventKind int
+
+const (
+	// EventCreated records a new facet replacing an old one (lines 14-17).
+	EventCreated EventKind = iota
+	// EventBuried records an equal-pivot ridge burying both facets (line 10).
+	EventBuried
+	// EventFinal records a ridge whose facets both have empty conflict sets
+	// (line 9).
+	EventFinal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCreated:
+		return "created"
+	case EventBuried:
+		return "buried"
+	default:
+		return "final"
+	}
+}
+
+// Event is one ProcessRidge outcome in the round-synchronous schedule.
+// For EventCreated, A is the new edge and B the edge it replaced; for the
+// other kinds A and B are the two facets incident on the ridge.
+type Event struct {
+	Round int
+	Kind  EventKind
+	A, B  [2]int32
+}
+
+// Trace is the per-round event log (the machine-readable form of the
+// paper's Figure 1 narrative).
+type Trace struct {
+	Events []Event
+}
+
+// ByRound returns the events of one round, sorted canonically.
+func (tr *Trace) ByRound(round int) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if ev.Round == round {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.A != b.A {
+			return less2(a.A, b.A)
+		}
+		return less2(a.B, b.B)
+	})
+	return out
+}
+
+func less2(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func (e *engine) traceEvent(ev Event) {
+	if e.trace == nil {
+		return
+	}
+	e.traceMu.Lock()
+	e.trace.Events = append(e.trace.Events, ev)
+	e.traceMu.Unlock()
+}
+
+// roundTask is a ProcessRidge invocation scheduled for a specific round.
+type roundTask struct {
+	task
+	round int32
+}
+
+// Rounds computes the convex hull with Algorithm 3 under the
+// round-synchronous PRAM-style schedule of Theorem 5.4: every ready
+// ProcessRidge call executes exactly one step per round, with a barrier
+// between rounds. Stats.Rounds is then the recursion depth of Theorem 5.3.
+// The flip of lines 11-12 is performed inline (it does not consume a round),
+// matching the Figure 1 narrative.
+//
+// The returned Result additionally carries a Trace when opt.Trace is set.
+func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
+	if err := geom.ValidateCloud(pts, 2); err != nil {
+		return nil, nil, err
+	}
+	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain())
+	if opt != nil && opt.Trace {
+		e.trace = &Trace{}
+	}
+	facets, err := e.initialHull()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := opt.ridgeMap(len(pts))
+
+	initial := make([]roundTask, len(facets))
+	for i, f := range facets {
+		f2 := facets[(i+1)%len(facets)]
+		initial[i] = roundTask{task: task{t1: f, r: f.B, t2: f2}, round: 1}
+	}
+	rounds, widths := sched.RunRoundsWidths(initial, func(tk roundTask, emit func(roundTask)) {
+		t1, t2 := tk.t1, tk.t2
+		p1, p2 := t1.pivot(), t2.pivot()
+		switch {
+		case p1 == noPivot && p2 == noPivot:
+			e.rec.Finalized()
+			e.traceEvent(Event{Round: int(tk.round), Kind: EventFinal,
+				A: [2]int32{t1.A, t1.B}, B: [2]int32{t2.A, t2.B}})
+			return
+		case p1 == p2:
+			e.bury(t1, t2)
+			e.traceEvent(Event{Round: int(tk.round), Kind: EventBuried,
+				A: [2]int32{t1.A, t1.B}, B: [2]int32{t2.A, t2.B}})
+			return
+		case p2 < p1:
+			t1, t2 = t2, t1
+			p1 = p2
+		}
+		t := e.newFacet(tk.r, p1, t1, t2, tk.round)
+		e.replace(t1)
+		e.traceEvent(Event{Round: int(tk.round), Kind: EventCreated,
+			A: [2]int32{t.A, t.B}, B: [2]int32{t1.A, t1.B}})
+		if !m.InsertAndSet(conmap.Key1(p1), t) {
+			other := m.GetValue(conmap.Key1(p1), t)
+			emit(roundTask{task: task{t1: t, r: p1, t2: other}, round: tk.round + 1})
+		}
+		emit(roundTask{task: task{t1: t, r: tk.r, t2: t2}, round: tk.round + 1})
+	})
+	res, err := e.collectResult(rounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Stats.RoundWidths = widths
+	return res, e.trace, nil
+}

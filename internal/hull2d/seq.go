@@ -1,0 +1,123 @@
+package hull2d
+
+import (
+	"fmt"
+
+	"parhull/internal/geom"
+)
+
+// Seq computes the convex hull by the sequential randomized incremental
+// method — Algorithm 2 of the paper — inserting points in the order given.
+// It uses the Clarkson–Shor bipartite conflict graph, so its plane-side
+// tests are exactly the conflict-list constructions, the same multiset of
+// tests Algorithm 3 performs (this equality is asserted by tests).
+//
+// The facets it creates carry the same dependence depths as the parallel
+// engines: the depth of a facet built on boundary ridge r between visible
+// facet t1 and surviving facet t2 is 1 + max(depth(t1), depth(t2)), which is
+// precisely the configuration dependence graph of Definition 4.1.
+func Seq(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true) }
+
+// SeqFrom is Seq starting from a pre-built convex CCW polygon on the first
+// base points (used by the Figure 1 driver and cross-engine tests).
+func SeqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
+	return seqFrom(pts, base, counters)
+}
+
+func seqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
+	if err := geom.ValidateCloud(pts, 2); err != nil {
+		return nil, err
+	}
+	e := newEngine(pts, base, counters, 0)
+	facets, err := e.initialHull()
+	if err != nil {
+		return nil, err
+	}
+	n := int32(len(pts))
+
+	// Doubly linked hull: successor edge at each facet's head vertex.
+	next := map[int32]*Facet{}
+	prev := map[int32]*Facet{}
+	for _, f := range facets {
+		next[f.A] = f // edge leaving f.A
+		prev[f.B] = f // edge entering f.B
+	}
+	succ := func(f *Facet) *Facet { return next[f.B] }
+	pred := func(f *Facet) *Facet { return prev[f.A] }
+
+	// Bipartite conflict graph: point -> facets whose conflict list holds it.
+	pf := make([][]*Facet, n)
+	for _, f := range facets {
+		for _, v := range f.Conf {
+			pf[v] = append(pf[v], f)
+		}
+	}
+
+	hullSizes := make([]int, 0, n)
+	alive := e.base
+	for i := 0; i < e.base; i++ {
+		hullSizes = append(hullSizes, min(i+1, e.base))
+	}
+	// hullSizes[i] approximates |T(Y_{i+1})| for the base prefix (the base
+	// polygon is given, not built incrementally); exact from here on.
+	for i := int32(e.base); i < n; i++ {
+		// R <- C^-1(v_i): the facets visible from the new point (line 5).
+		var r []*Facet
+		for _, f := range pf[i] {
+			if f.Alive() {
+				r = append(r, f)
+			}
+		}
+		if len(r) == 0 {
+			hullSizes = append(hullSizes, alive)
+			continue // v_i falls inside the current hull
+		}
+		inR := make(map[*Facet]bool, len(r))
+		for _, f := range r {
+			inR[f] = true
+		}
+		// The visible region is a contiguous arc; find its boundary ridges
+		// (line 6): the unique start (predecessor not visible) and end
+		// (successor not visible).
+		var eStart, eEnd *Facet
+		for _, f := range r {
+			if !inR[pred(f)] {
+				eStart = f
+			}
+			if !inR[succ(f)] {
+				eEnd = f
+			}
+		}
+		if eStart == nil || eEnd == nil {
+			return nil, fmt.Errorf("hull2d: visible region of point %d wraps the whole hull (degenerate input?)", i)
+		}
+		t2L, t2R := pred(eStart), succ(eEnd)
+
+		// Lines 7-10: one new facet per boundary ridge, with conflict lists
+		// filtered from the two incident facets.
+		left := e.newFacet(eStart.A, i, eStart, t2L, 0)
+		right := e.newFacet(eEnd.B, i, eEnd, t2R, 0)
+
+		// Line 11: H <- H \ R.
+		for _, f := range r {
+			e.rec.Replaced(f.kill())
+		}
+		// Relink: ... t2L, left, right, t2R ...
+		next[left.A] = left
+		prev[left.B] = left
+		next[right.A] = right
+		prev[right.B] = right
+		for _, f := range []*Facet{left, right} {
+			for _, v := range f.Conf {
+				pf[v] = append(pf[v], f)
+			}
+		}
+		alive += 2 - len(r)
+		hullSizes = append(hullSizes, alive)
+	}
+	res, err := e.collectResult(0)
+	if err == nil {
+		res.HullSizes = hullSizes
+	}
+	return res, err
+}

@@ -1,0 +1,339 @@
+// Package hulld implements randomized incremental convex hull in arbitrary
+// constant dimension d >= 2: the sequential Algorithm 2 and the parallel
+// Algorithm 3 of the paper, with the same two schedules as package hull2d
+// (asynchronous fork-join, and round-synchronous for Theorem 5.3/5.4
+// measurements).
+//
+// A facet is an oriented d-simplex identified by its d defining point
+// indices (sorted); a ridge is a (d-1)-subset of a facet shared with exactly
+// one neighbor; visibility is decided by the exact orientation predicate
+// against an interior reference point (the centroid of the initial simplex,
+// which remains strictly inside every prefix hull). Points must be in
+// general position: no d+1 points on a common hyperplane among those
+// touching the hull (Section 6's corner configuration space, in package
+// corner, lifts this restriction for 3D).
+package hulld
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"parhull/internal/conflict"
+	"parhull/internal/conmap"
+	"parhull/internal/geom"
+	"parhull/internal/hullstats"
+)
+
+// ErrDegenerate is returned when the input violates general position in a
+// way the engine detects (affinely dependent base simplex, or a created
+// facet whose plane passes through the interior reference point).
+var ErrDegenerate = errors.New("hulld: degenerate input (points not in general position)")
+
+const noPivot = int32(math.MaxInt32)
+
+// Facet is an oriented d-simplex of the hull. Immutable after creation
+// except for the liveness flag.
+type Facet struct {
+	// Verts holds the d defining point indices, sorted ascending.
+	Verts []int32
+	// Conf is the conflict set: indices of points strictly outside, in
+	// ascending insertion order.
+	Conf []int32
+	// Depth is the configuration-dependence-graph depth (Definition 4.1).
+	Depth int32
+	// Round is the creation round (rounds engine only; 0 for the base).
+	Round int32
+
+	// vp caches the vertex coordinates, outSign the orientation sign that
+	// classifies a point as strictly outside.
+	vp      []geom.Point
+	outSign int
+	dead    atomic.Bool
+}
+
+func (f *Facet) pivot() int32 {
+	if len(f.Conf) == 0 {
+		return noPivot
+	}
+	return f.Conf[0]
+}
+
+// Alive reports whether the facet is still part of the hull.
+func (f *Facet) Alive() bool { return !f.dead.Load() }
+
+func (f *Facet) kill() bool { return !f.dead.Swap(true) }
+
+// String formats the facet's vertex indices.
+func (f *Facet) String() string { return fmt.Sprint(f.Verts) }
+
+// Key returns the canonical identity of the facet (its sorted vertex tuple)
+// for cross-engine comparisons.
+func (f *Facet) Key() string { return ridgeString(f.Verts) }
+
+// Stats aggregates instrumentation; see hullstats.Stats.
+type Stats = hullstats.Stats
+
+// Result is the output of a hull construction.
+type Result struct {
+	// Facets holds the surviving facets of the hull.
+	Facets []*Facet
+	// Vertices holds the sorted indices of points on the hull.
+	Vertices []int32
+	// Created holds every facet ever created.
+	Created []*Facet
+	// HullSizes (sequential engine only) records the facet count of the
+	// hull after each insertion step, for the Theorem 3.1 bound.
+	HullSizes []int
+	Stats     Stats
+}
+
+// FacetSet returns the multiset of created facets keyed by sorted vertex
+// tuple.
+func (r *Result) FacetSet() map[string]int {
+	m := make(map[string]int, len(r.Created))
+	for _, f := range r.Created {
+		m[f.Key()]++
+	}
+	return m
+}
+
+// ridgeString encodes sorted indices as a compact map key.
+func ridgeString(ids []int32) string {
+	b := make([]byte, 4*len(ids))
+	for i, v := range ids {
+		u := uint32(v)
+		b[4*i] = byte(u)
+		b[4*i+1] = byte(u >> 8)
+		b[4*i+2] = byte(u >> 16)
+		b[4*i+3] = byte(u >> 24)
+	}
+	return string(b)
+}
+
+type engine struct {
+	pts      []geom.Point
+	d        int
+	grain    int // conflict-filter parallel grain (0 = default)
+	interior geom.Point
+	rec      *hullstats.Recorder
+
+	mu  sync.Mutex
+	all []*Facet
+
+	errOnce sync.Once
+	err     error
+	failed  atomic.Bool
+}
+
+func newEngine(pts []geom.Point, d int, counters bool, grain int) *engine {
+	return &engine{pts: pts, d: d, grain: grain, rec: hullstats.NewRecorder(counters)}
+}
+
+// fail records the first error and flips the abort flag checked by chains.
+func (e *engine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.failed.Store(true)
+}
+
+// visible reports whether point v is strictly outside facet f.
+func (e *engine) visible(v int32, f *Facet) bool {
+	e.rec.VTests.Inc(uint64(v))
+	return geom.OrientSimplex(f.vp, e.pts[v]) == f.outSign
+}
+
+func (e *engine) record(f *Facet) {
+	e.rec.Created(f.Depth)
+	e.mu.Lock()
+	e.all = append(e.all, f)
+	e.mu.Unlock()
+}
+
+// makeFacet assembles a facet from sorted vertex indices, computing its
+// outward sign from the interior reference point. A zero sign means the
+// simplex is degenerate or its plane passes through the reference point —
+// both general-position violations.
+func (e *engine) makeFacet(verts []int32) (*Facet, error) {
+	f := &Facet{Verts: verts}
+	f.vp = make([]geom.Point, len(verts))
+	for i, v := range verts {
+		f.vp[i] = e.pts[v]
+	}
+	s := geom.OrientSimplex(f.vp, e.interior)
+	if s == 0 {
+		return nil, fmt.Errorf("%w: facet %v is coplanar with the interior point", ErrDegenerate, verts)
+	}
+	f.outSign = -s
+	return f, nil
+}
+
+// newFacet builds the facet joining ridge r with pivot p, supported by
+// (t1, t2), filtering the conflict list per line 16 of Algorithm 3.
+func (e *engine) newFacet(r []int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
+	verts := make([]int32, 0, len(r)+1)
+	ins := false
+	for _, v := range r {
+		if !ins && p < v {
+			verts = append(verts, p)
+			ins = true
+		}
+		verts = append(verts, v)
+	}
+	if !ins {
+		verts = append(verts, p)
+	}
+	f, err := e.makeFacet(verts)
+	if err != nil {
+		return nil, err
+	}
+	f.Depth = 1 + max32(t1.Depth, t2.Depth)
+	f.Round = round
+	f.Conf = e.mergeFilter(t1.Conf, t2.Conf, p, f)
+	e.record(f)
+	return f, nil
+}
+
+// mergeFilter merges the two ascending conflict lists, drops p, and keeps
+// the points visible from f (parallel for long lists; identical output).
+func (e *engine) mergeFilter(c1, c2 []int32, p int32, f *Facet) []int32 {
+	return conflict.MergeFilter(c1, c2, p, func(v int32) bool { return e.visible(v, f) }, e.grain)
+}
+
+func (e *engine) bury(t1, t2 *Facet) {
+	e.rec.Buried(t1.kill())
+	e.rec.Buried(t2.kill())
+}
+
+func (e *engine) replace(t1 *Facet) {
+	e.rec.Replaced(t1.kill())
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// initialHull builds the simplex on the first d+1 points and the conflict
+// lists of its d+1 facets over the remaining points.
+func (e *engine) initialHull() ([]*Facet, error) {
+	n := len(e.pts)
+	d := e.d
+	if n < d+1 {
+		return nil, fmt.Errorf("%w: need at least d+1 = %d points, got %d", ErrDegenerate, d+1, n)
+	}
+	base := make([]geom.Point, d+1)
+	for i := range base {
+		base[i] = e.pts[i]
+	}
+	if geom.OrientSimplex(base[:d], base[d]) == 0 {
+		return nil, fmt.Errorf("%w: first %d points are affinely dependent", ErrDegenerate, d+1)
+	}
+	e.interior = geom.Centroid(base)
+
+	facets := make([]*Facet, 0, d+1)
+	for omit := 0; omit <= d; omit++ {
+		verts := make([]int32, 0, d)
+		for i := 0; i <= d; i++ {
+			if i != omit {
+				verts = append(verts, int32(i))
+			}
+		}
+		f, err := e.makeFacet(verts)
+		if err != nil {
+			return nil, err
+		}
+		facets = append(facets, f)
+	}
+	for _, f := range facets {
+		f := f
+		f.Conf = conflict.Build(int32(d+1), int32(n),
+			func(v int32) bool { return e.visible(v, f) }, e.grain)
+		e.record(f)
+	}
+	return facets, nil
+}
+
+// ridges returns the d ridges of a facet: Verts minus each vertex in turn.
+// Each returned slice is freshly allocated and sorted.
+func ridges(f *Facet) [][]int32 {
+	d := len(f.Verts)
+	out := make([][]int32, d)
+	for omit := 0; omit < d; omit++ {
+		r := make([]int32, 0, d-1)
+		for i, v := range f.Verts {
+			if i != omit {
+				r = append(r, v)
+			}
+		}
+		out[omit] = r
+	}
+	return out
+}
+
+// ridgeWithout returns the ridge of f that omits vertex q.
+func ridgeWithout(f *Facet, q int32) []int32 {
+	r := make([]int32, 0, len(f.Verts)-1)
+	for _, v := range f.Verts {
+		if v != q {
+			r = append(r, v)
+		}
+	}
+	return r
+}
+
+// collectResult gathers alive facets and validates the closed-pseudomanifold
+// property: every ridge of an alive facet is shared by exactly one other
+// alive facet.
+func (e *engine) collectResult(rounds int) (*Result, error) {
+	if e.failed.Load() {
+		return nil, e.err
+	}
+	res := &Result{Created: e.all}
+	ridgeCount := map[string]int{}
+	vset := map[int32]bool{}
+	for _, f := range e.all {
+		if !f.Alive() {
+			continue
+		}
+		res.Facets = append(res.Facets, f)
+		for _, v := range f.Verts {
+			vset[v] = true
+		}
+		for _, r := range ridges(f) {
+			ridgeCount[ridgeString(r)]++
+		}
+	}
+	if len(res.Facets) < e.d+1 {
+		return nil, fmt.Errorf("hulld: only %d alive facets (want >= %d)", len(res.Facets), e.d+1)
+	}
+	for k, c := range ridgeCount {
+		if c != 2 {
+			return nil, fmt.Errorf("hulld: ridge shared by %d alive facets, want 2 (key len %d)", c, len(k)/4)
+		}
+	}
+	for v := range vset {
+		res.Vertices = append(res.Vertices, v)
+	}
+	sort.Slice(res.Vertices, func(i, j int) bool { return res.Vertices[i] < res.Vertices[j] })
+	res.Stats = e.rec.Snapshot(rounds, len(res.Facets))
+	return res, nil
+}
+
+// ridgeKey builds the conmap key for a ridge.
+func ridgeKey(r []int32) conmap.Key { return conmap.MakeKey(r) }
+
+func validate(pts []geom.Point) (int, error) {
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("hulld: empty input")
+	}
+	d := len(pts[0])
+	if err := geom.ValidateCloud(pts, d); err != nil {
+		return 0, err
+	}
+	return d, nil
+}

@@ -1,0 +1,118 @@
+package hulld
+
+import (
+	"parhull/internal/conmap"
+	"parhull/internal/geom"
+	"parhull/internal/sched"
+)
+
+// Options configures the parallel engines.
+type Options struct {
+	// Map is the ridge multimap M of Algorithm 3 (nil selects the growable
+	// sharded map; install conmap.NewCASMap/NewTASMap for the paper's
+	// Algorithm 4/5 tables).
+	Map conmap.RidgeMap[*Facet]
+	// GroupLimit caps concurrently spawned ridge chains (async engine).
+	GroupLimit int
+	// NoCounters disables visibility-test counting.
+	NoCounters bool
+	// FilterGrain sets the list size above which conflict filtering runs in
+	// parallel chunks (0 = default; very large forces the serial path).
+	FilterGrain int
+}
+
+func (o *Options) filterGrain() int {
+	if o == nil {
+		return 0
+	}
+	return o.FilterGrain
+}
+
+func (o *Options) ridgeMap(n, d int) conmap.RidgeMap[*Facet] {
+	if o != nil && o.Map != nil {
+		return o.Map
+	}
+	return conmap.NewShardedMap[*Facet]((d + 1) * n)
+}
+
+type task struct {
+	t1 *Facet
+	r  []int32
+	t2 *Facet
+}
+
+// Par computes the d-dimensional convex hull with the parallel incremental
+// Algorithm 3 under the asynchronous fork-join schedule (Theorem 5.5).
+func Par(pts []geom.Point, opt *Options) (*Result, error) {
+	d, err := validate(pts)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain())
+	facets, err := e.initialHull()
+	if err != nil {
+		return nil, err
+	}
+	m := opt.ridgeMap(len(pts), d)
+	limit := 0
+	if opt != nil {
+		limit = opt.GroupLimit
+	}
+	g := sched.NewGroup(limit)
+
+	var chain func(tk task)
+	chain = func(tk task) {
+		for {
+			if e.failed.Load() {
+				return
+			}
+			p1, p2 := tk.t1.pivot(), tk.t2.pivot()
+			switch {
+			case p1 == noPivot && p2 == noPivot:
+				e.rec.Finalized()
+				return
+			case p1 == p2:
+				e.bury(tk.t1, tk.t2)
+				return
+			case p2 < p1:
+				tk.t1, tk.t2 = tk.t2, tk.t1
+				p1 = p2
+			}
+			t, err := e.newFacet(tk.r, p1, tk.t1, tk.t2, 0)
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			e.replace(tk.t1)
+			// Hand the d-1 fresh ridges (those containing the pivot) to the
+			// map; the second facet to arrive forks the chain (lines 20-22).
+			for _, q := range tk.r {
+				r2 := ridgeWithout(t, q)
+				if !m.InsertAndSet(ridgeKey(r2), t) {
+					other := m.GetValue(ridgeKey(r2), t)
+					nt := task{t1: t, r: r2, t2: other}
+					g.Go(func() { chain(nt) })
+				}
+			}
+			// The ridge shared with t2 continues this chain (line 19).
+			tk = task{t1: t, r: tk.r, t2: tk.t2}
+		}
+	}
+
+	// One chain per ridge of the initial simplex: the ridge omitting
+	// vertices {i, j} is shared by the facets omitting i and omitting j.
+	for i := 0; i <= d; i++ {
+		for j := i + 1; j <= d; j++ {
+			r := make([]int32, 0, d-1)
+			for v := 0; v <= d; v++ {
+				if v != i && v != j {
+					r = append(r, int32(v))
+				}
+			}
+			tk := task{t1: facets[i], r: r, t2: facets[j]}
+			g.Go(func() { chain(tk) })
+		}
+	}
+	g.Wait()
+	return e.collectResult(0)
+}

@@ -1,0 +1,131 @@
+package hulld
+
+import (
+	"parhull/internal/geom"
+)
+
+// RidgeSpace is the paper's alternative formulation of convex hull
+// (Section 7, first paragraph): configurations correspond to ridges of the
+// hull together with their two neighboring facets. A configuration is
+// defined by d+1 points — the d-1 ridge points plus the two apex points —
+// and conflicts with every point visible from either facet. Each defining
+// set of d+1 points yields up to C(d+1, d-1) configurations (one per choice
+// of ridge), giving constant multiplicity; the space has 2-support.
+//
+// A point x is "visible from facet R∪{u} (away from v)" when x lies
+// strictly on the opposite side of the facet's hyperplane from the other
+// apex v; a configuration is active exactly when both its facets are hull
+// facets, with no orientation bookkeeping needed. This space is used for
+// brute-force validation only (experiment E7b).
+type RidgeSpace struct {
+	pts  []geom.Point
+	d    int
+	cfgs []ridgeCfg
+}
+
+type ridgeCfg struct {
+	def   []int // sorted defining set, d+1 points
+	ridge []int // the d-1 ridge points (subset of def)
+	u, v  int   // the two apexes
+}
+
+// NewRidgeSpace enumerates the ridge configuration space of pts. It is
+// exponential in d and meant for small instances. Configurations whose
+// facet simplices are degenerate with respect to the instance are excluded
+// (none exist in general position).
+func NewRidgeSpace(pts []geom.Point) *RidgeSpace {
+	d := len(pts[0])
+	s := &RidgeSpace{pts: pts, d: d}
+	n := len(pts)
+	subset := make([]int, d+1)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == d+1 {
+			// Choose the two apexes among the d+1 points.
+			for a := 0; a <= d; a++ {
+				for b := a + 1; b <= d; b++ {
+					cfg := ridgeCfg{u: subset[a], v: subset[b]}
+					cfg.def = append([]int(nil), subset...)
+					for i, o := range subset {
+						if i != a && i != b {
+							cfg.ridge = append(cfg.ridge, o)
+						}
+					}
+					if s.liveCfg(cfg) {
+						s.cfgs = append(s.cfgs, cfg)
+					}
+				}
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			subset[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return s
+}
+
+// facetSide returns the orientation sign of x against the hyperplane
+// through ridge ∪ {apex}; visibility is "opposite side from the other
+// apex".
+func (s *RidgeSpace) facetSide(ridge []int, apex int, x int) int {
+	verts := make([]geom.Point, 0, s.d)
+	for _, o := range ridge {
+		verts = append(verts, s.pts[o])
+	}
+	verts = append(verts, s.pts[apex])
+	return geom.OrientSimplex(verts, s.pts[x])
+}
+
+// liveCfg reports whether both facet simplices are non-degenerate for this
+// instance: each other apex lies strictly off the facet's hyperplane.
+func (s *RidgeSpace) liveCfg(c ridgeCfg) bool {
+	return s.facetSide(c.ridge, c.u, c.v) != 0 && s.facetSide(c.ridge, c.v, c.u) != 0
+}
+
+// NumObjects implements core.Space.
+func (s *RidgeSpace) NumObjects() int { return len(s.pts) }
+
+// NumConfigs implements core.Space.
+func (s *RidgeSpace) NumConfigs() int { return len(s.cfgs) }
+
+// Defining implements core.Space.
+func (s *RidgeSpace) Defining(c int) []int { return s.cfgs[c].def }
+
+// InConflict implements core.Space: x conflicts when visible from either
+// facet, i.e. strictly on the far side of facet(ridge, u) from v or of
+// facet(ridge, v) from u.
+func (s *RidgeSpace) InConflict(c, x int) bool {
+	cfg := s.cfgs[c]
+	for _, o := range cfg.def {
+		if o == x {
+			return false
+		}
+	}
+	// Far side of facet (ridge, u) means opposite sign from v's side.
+	sv := s.facetSide(cfg.ridge, cfg.u, cfg.v)
+	if sx := s.facetSide(cfg.ridge, cfg.u, x); sx != 0 && sx != sv {
+		return true
+	}
+	su := s.facetSide(cfg.ridge, cfg.v, cfg.u)
+	if sx := s.facetSide(cfg.ridge, cfg.v, x); sx != 0 && sx != su {
+		return true
+	}
+	return false
+}
+
+// Degree implements core.Space: g = d+1.
+func (s *RidgeSpace) Degree() int { return s.d + 1 }
+
+// Multiplicity implements core.Space: C(d+1, d-1) = d(d+1)/2 ridge choices
+// per defining set.
+func (s *RidgeSpace) Multiplicity() int { return s.d * (s.d + 1) / 2 }
+
+// BaseSize implements core.Space: a simplex (d+1 points) activates its
+// ridge configurations.
+func (s *RidgeSpace) BaseSize() int { return s.d + 1 }
+
+// MaxSupport implements core.Space: k = 2 (Section 7).
+func (s *RidgeSpace) MaxSupport() int { return 2 }

@@ -1,0 +1,121 @@
+package hulld
+
+import (
+	"fmt"
+
+	"parhull/internal/geom"
+)
+
+// Seq computes the d-dimensional convex hull by the sequential randomized
+// incremental method (Algorithm 2), inserting points in the order given.
+// As in hull2d, it maintains the Clarkson–Shor bipartite conflict graph and
+// a ridge-to-facets adjacency, so its plane-side tests are exactly the
+// conflict filters — the same multiset Algorithm 3 performs.
+func Seq(pts []geom.Point) (*Result, error) { return seq(pts, true) }
+
+// SeqCounted is Seq with visibility-test counting switchable.
+func SeqCounted(pts []geom.Point, counters bool) (*Result, error) { return seq(pts, counters) }
+
+func seq(pts []geom.Point, counters bool) (*Result, error) {
+	d, err := validate(pts)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(pts, d, counters, 0)
+	facets, err := e.initialHull()
+	if err != nil {
+		return nil, err
+	}
+	n := int32(len(pts))
+
+	// adj registers every facet under each of its ridges; the live neighbor
+	// across a ridge is the alive registered facet other than the querying
+	// one. Dead facets are pruned lazily.
+	adj := map[string][]*Facet{}
+	register := func(f *Facet) {
+		for _, r := range ridges(f) {
+			k := ridgeString(r)
+			adj[k] = append(adj[k], f)
+		}
+	}
+	for _, f := range facets {
+		register(f)
+	}
+
+	// Bipartite conflict graph: point -> facets it is visible from.
+	pf := make([][]*Facet, n)
+	for _, f := range facets {
+		for _, v := range f.Conf {
+			pf[v] = append(pf[v], f)
+		}
+	}
+
+	hullSizes := make([]int, 0, n)
+	alive := d + 1
+	for i := 0; i <= d; i++ {
+		hullSizes = append(hullSizes, min(i+2, d+1))
+	}
+	for i := int32(d + 1); i < n; i++ {
+		// R <- C^-1(v_i).
+		var r []*Facet
+		inR := map[*Facet]bool{}
+		for _, f := range pf[i] {
+			if f.Alive() && !inR[f] {
+				r = append(r, f)
+				inR[f] = true
+			}
+		}
+		if len(r) == 0 {
+			hullSizes = append(hullSizes, alive)
+			continue
+		}
+		// For each boundary ridge (one incident facet visible, the other
+		// not), build the new facet from the pair (lines 6-10).
+		var created []*Facet
+		for _, f := range r {
+			for _, q := range f.Verts {
+				rid := ridgeWithout(f, q)
+				k := ridgeString(rid)
+				var g *Facet
+				list := adj[k]
+				alive := list[:0]
+				for _, h := range list {
+					if h.Alive() {
+						alive = append(alive, h)
+						if h != f {
+							g = h
+						}
+					}
+				}
+				adj[k] = alive
+				if g == nil {
+					return nil, fmt.Errorf("hulld: ridge of %v has no live neighbor (degenerate input?)", f)
+				}
+				if inR[g] {
+					continue // interior ridge of the visible region
+				}
+				t, err := e.newFacet(rid, i, f, g, 0)
+				if err != nil {
+					return nil, err
+				}
+				created = append(created, t)
+			}
+		}
+		for _, f := range r {
+			e.rec.Replaced(f.kill())
+		}
+		for _, t := range created {
+			register(t)
+			for _, v := range t.Conf {
+				pf[v] = append(pf[v], t)
+			}
+		}
+		alive += len(created) - len(r)
+		hullSizes = append(hullSizes, alive)
+	}
+	res, err := e.collectResult(0)
+	if err == nil {
+		res.HullSizes = hullSizes
+	}
+	return res, err
+}

@@ -1,0 +1,103 @@
+package hulld
+
+import (
+	"parhull/internal/geom"
+)
+
+// Space adapts a d-dimensional point set to the core.Space interface of the
+// paper's framework (Section 5.1): the objects are the points, and every
+// d-subset defines two configurations — one per orientation ("facing up and
+// down", multiplicity 2). A configuration conflicts with the points strictly
+// on its oriented side. It is meant for brute-force validation (Theorem 5.1,
+// experiment E7) on small instances.
+type Space struct {
+	pts     []geom.Point
+	d       int
+	subsets [][]int
+}
+
+// NewSpace enumerates the configuration space for pts (all of dimension d).
+// Subsets that are degenerate with respect to the instance (no point of the
+// instance on either side) are excluded; in general position there are none.
+func NewSpace(pts []geom.Point) *Space {
+	d := len(pts[0])
+	s := &Space{pts: pts, d: d}
+	n := len(pts)
+	subset := make([]int, d)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == d {
+			if s.liveSubset(subset) {
+				s.subsets = append(s.subsets, append([]int(nil), subset...))
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			subset[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return s
+}
+
+// liveSubset reports whether some instance point lies strictly off the
+// subset's hyperplane (a degenerate subset would make phantom always-active
+// configurations).
+func (s *Space) liveSubset(subset []int) bool {
+	verts := make([]geom.Point, s.d)
+	for i, o := range subset {
+		verts[i] = s.pts[o]
+	}
+	in := make(map[int]bool, s.d)
+	for _, o := range subset {
+		in[o] = true
+	}
+	for x := range s.pts {
+		if !in[x] && geom.OrientSimplex(verts, s.pts[x]) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumObjects implements core.Space.
+func (s *Space) NumObjects() int { return len(s.pts) }
+
+// NumConfigs implements core.Space: two orientations per live subset.
+func (s *Space) NumConfigs() int { return 2 * len(s.subsets) }
+
+// Defining implements core.Space.
+func (s *Space) Defining(c int) []int { return s.subsets[c/2] }
+
+// InConflict implements core.Space: configuration 2*i+side conflicts with
+// the points whose orientation sign matches the side.
+func (s *Space) InConflict(c, x int) bool {
+	subset := s.subsets[c/2]
+	for _, o := range subset {
+		if o == x {
+			return false
+		}
+	}
+	verts := make([]geom.Point, s.d)
+	for i, o := range subset {
+		verts[i] = s.pts[o]
+	}
+	side := 1
+	if c%2 == 1 {
+		side = -1
+	}
+	return geom.OrientSimplex(verts, s.pts[x]) == side
+}
+
+// Degree implements core.Space: g = d.
+func (s *Space) Degree() int { return s.d }
+
+// Multiplicity implements core.Space: c = 2 (up and down).
+func (s *Space) Multiplicity() int { return 2 }
+
+// BaseSize implements core.Space: n_b = d+1.
+func (s *Space) BaseSize() int { return s.d + 1 }
+
+// MaxSupport implements core.Space: k = 2 (Theorem 5.1).
+func (s *Space) MaxSupport() int { return 2 }

@@ -1,0 +1,113 @@
+// Package hullstats holds the instrumentation shared by the incremental
+// hull engines (2D, d-dimensional, and the Section 7 extensions): work
+// counters (plane-side tests), facet life-cycle counters, and the
+// dependence-depth accounting that realizes Definition 4.1 measurements.
+package hullstats
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parhull/internal/stats"
+)
+
+// Stats aggregates the instrumentation of one incremental construction.
+type Stats struct {
+	// VisibilityTests counts plane-side (orientation) predicate evaluations
+	// attributable to the algorithm: initial conflict-list construction and
+	// conflict-list filtering.
+	VisibilityTests int64
+	// FacetsCreated counts every facet ever added, including the initial
+	// simplex.
+	FacetsCreated int64
+	// Replaced / Buried count facet deaths by cause; Finalized counts ridge
+	// chains ending in the all-empty case. A facet can be condemned through
+	// more than one of its ridges (replaced through one, buried through
+	// another); the first kill wins, so the Replaced/Buried split depends
+	// on the schedule while their sum is deterministic.
+	Replaced, Buried, Finalized int64
+	// MaxDepth is the depth of the configuration dependence graph over the
+	// created facets (the D(G(S)) of Theorem 1.1).
+	MaxDepth int
+	// Rounds is the number of synchronous rounds executed (rounds engines
+	// only; the recursion depth of Theorem 5.3).
+	Rounds int
+	// HullSize is the number of facets of the final hull.
+	HullSize int
+	// DepthHist[d] counts created facets at dependence depth d.
+	DepthHist []int
+	// RoundWidths[r] is the number of ready ProcessRidge tasks in round r+1
+	// (rounds engines only) — the available parallelism per round.
+	RoundWidths []int
+}
+
+// Recorder accumulates Stats concurrently. The zero value is NOT ready;
+// use NewRecorder. A Recorder with nil VTests still counts facets but not
+// visibility tests.
+type Recorder struct {
+	// VTests counts plane-side tests; nil disables counting.
+	VTests *stats.ShardedCounter
+
+	created, repl, buried, final atomic.Int64
+	maxD                         stats.MaxTracker
+
+	mu     sync.Mutex
+	depths []int32
+}
+
+// NewRecorder returns a Recorder; counters enables visibility-test counting.
+func NewRecorder(counters bool) *Recorder {
+	r := &Recorder{}
+	if counters {
+		r.VTests = stats.NewShardedCounter(64)
+	}
+	return r
+}
+
+// Created records a facet creation at the given dependence depth.
+func (r *Recorder) Created(depth int32) {
+	r.created.Add(1)
+	r.maxD.Observe(int64(depth))
+	r.mu.Lock()
+	r.depths = append(r.depths, depth)
+	r.mu.Unlock()
+}
+
+// Replaced records a facet death by replacement (first kill only: callers
+// pass the result of their facet's kill()).
+func (r *Recorder) Replaced(first bool) {
+	if first {
+		r.repl.Add(1)
+	}
+}
+
+// Buried records a facet death by burial.
+func (r *Recorder) Buried(first bool) {
+	if first {
+		r.buried.Add(1)
+	}
+}
+
+// Finalized records a ridge chain ending with both conflict sets empty.
+func (r *Recorder) Finalized() { r.final.Add(1) }
+
+// Snapshot assembles the Stats.
+func (r *Recorder) Snapshot(rounds, hullSize int) Stats {
+	s := Stats{
+		VisibilityTests: r.VTests.Load(),
+		FacetsCreated:   r.created.Load(),
+		Replaced:        r.repl.Load(),
+		Buried:          r.buried.Load(),
+		Finalized:       r.final.Load(),
+		MaxDepth:        int(r.maxD.Load()),
+		Rounds:          rounds,
+		HullSize:        hullSize,
+	}
+	s.DepthHist = make([]int, s.MaxDepth+1)
+	r.mu.Lock()
+	for _, d := range r.depths {
+		s.DepthHist[d]++
+	}
+	r.mu.Unlock()
+	return s
+}

@@ -1,0 +1,68 @@
+package hullstats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Created(int32(i % 5))
+				r.VTests.Inc(uint64(id))
+				r.Replaced(i%2 == 0)
+				r.Buried(i%4 == 0)
+				r.Finalized()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot(7, 42)
+	if s.FacetsCreated != 800 || s.VisibilityTests != 800 {
+		t.Fatalf("created=%d vtests=%d", s.FacetsCreated, s.VisibilityTests)
+	}
+	if s.Replaced != 400 || s.Buried != 200 || s.Finalized != 800 {
+		t.Fatalf("replaced=%d buried=%d finalized=%d", s.Replaced, s.Buried, s.Finalized)
+	}
+	if s.Rounds != 7 || s.HullSize != 42 || s.MaxDepth != 4 {
+		t.Fatalf("rounds=%d hull=%d depth=%d", s.Rounds, s.HullSize, s.MaxDepth)
+	}
+	total := 0
+	for d, c := range s.DepthHist {
+		if d < 5 && c != 160 {
+			t.Fatalf("hist[%d]=%d", d, c)
+		}
+		total += c
+	}
+	if total != 800 {
+		t.Fatalf("hist total %d", total)
+	}
+}
+
+func TestRecorderNoCounters(t *testing.T) {
+	r := NewRecorder(false)
+	r.Created(3)
+	r.VTests.Inc(1) // nil-safe no-op
+	s := r.Snapshot(0, 0)
+	if s.VisibilityTests != 0 || s.FacetsCreated != 1 || s.MaxDepth != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if len(s.DepthHist) != 4 || s.DepthHist[3] != 1 {
+		t.Fatalf("hist: %v", s.DepthHist)
+	}
+}
+
+func TestRecorderFirstKillSemantics(t *testing.T) {
+	r := NewRecorder(false)
+	r.Replaced(false) // second kill: not counted
+	r.Buried(false)
+	s := r.Snapshot(0, 0)
+	if s.Replaced != 0 || s.Buried != 0 {
+		t.Fatalf("%+v", s)
+	}
+}

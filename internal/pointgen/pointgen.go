@@ -1,0 +1,188 @@
+// Package pointgen generates the synthetic workloads used by the tests,
+// examples, and experiment harness: points distributed uniformly in a ball
+// (small hulls), on a sphere (every point on the hull — the adversarial case
+// for incremental algorithms), in a cube, Gaussian clouds, and the
+// degenerate configurations (grids, coplanar and collinear sets) used to
+// exercise Section 6.
+//
+// All generators are deterministic given the caller-provided source, so
+// every experiment in EXPERIMENTS.md is reproducible from its seed.
+package pointgen
+
+import (
+	"math"
+	"math/rand"
+
+	"parhull/internal/geom"
+)
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// UniformBall returns n points uniformly distributed in the unit d-ball.
+// The expected hull size is O(n^((d-1)/(d+1))), so most insertions fall
+// inside the current hull — the "easy" regime of the analysis.
+func UniformBall(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := gaussianDir(rng, d)
+		r := math.Pow(rng.Float64(), 1/float64(d))
+		for j := range p {
+			p[j] *= r
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// OnSphere returns n points uniformly distributed on the unit (d-1)-sphere.
+// Every point is a hull vertex, maximizing hull size and conflict-set churn.
+func OnSphere(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = gaussianDir(rng, d)
+	}
+	return pts
+}
+
+// InCube returns n points uniform in the cube [-1, 1]^d.
+func InCube(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = 2*rng.Float64() - 1
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Gaussian returns n points from the standard d-dimensional normal.
+func Gaussian(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// gaussianDir returns a uniformly random unit vector in R^d.
+func gaussianDir(rng *rand.Rand, d int) geom.Point {
+	for {
+		p := make(geom.Point, d)
+		var n2 float64
+		for j := range p {
+			p[j] = rng.NormFloat64()
+			n2 += p[j] * p[j]
+		}
+		if n2 > 1e-30 {
+			inv := 1 / math.Sqrt(n2)
+			for j := range p {
+				p[j] *= inv
+			}
+			return p
+		}
+	}
+}
+
+// OnCircle returns n points on the unit circle at uniformly random angles
+// (the 2D worst case: the hull contains all points).
+func OnCircle(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * rng.Float64()
+		pts[i] = geom.Point{math.Cos(a), math.Sin(a)}
+	}
+	return pts
+}
+
+// Grid3D returns the k x k x k integer lattice — the canonical degenerate
+// 3D input for Section 6 (many coplanar and collinear point groups).
+func Grid3D(k int) []geom.Point {
+	pts := make([]geom.Point, 0, k*k*k)
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			for z := 0; z < k; z++ {
+				pts = append(pts, geom.Point{float64(x), float64(y), float64(z)})
+			}
+		}
+	}
+	return pts
+}
+
+// CoplanarBox3D returns n random points on the faces of the unit cube in 3D:
+// a degenerate input in which each hull face carries many coplanar points.
+func CoplanarBox3D(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		face := rng.Intn(6)
+		u, v := rng.Float64(), rng.Float64()
+		axis, side := face/2, float64(face%2)
+		p := geom.Point{0, 0, 0}
+		p[axis] = side
+		p[(axis+1)%3] = u
+		p[(axis+2)%3] = v
+		pts[i] = p
+	}
+	return pts
+}
+
+// Collinear2D returns n points on the segment from a to b (inclusive of the
+// endpoints), a degenerate input that the general-position engines must
+// reject or handle via their documented error paths.
+func Collinear2D(a, b geom.Point, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		t := float64(i) / float64(n-1)
+		pts[i] = geom.Point{a[0] + t*(b[0]-a[0]), a[1] + t*(b[1]-a[1])}
+	}
+	return pts
+}
+
+// Perm returns a uniformly random permutation of {0, ..., n-1}. The
+// randomized incremental algorithms insert points in this order; Theorem 4.2
+// is a statement over this distribution.
+func Perm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// ApplyPerm returns pts reordered so result[i] = pts[perm[i]].
+func ApplyPerm(pts []geom.Point, perm []int) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range perm {
+		out[i] = pts[p]
+	}
+	return out
+}
+
+// Shuffled returns a shuffled copy of pts.
+func Shuffled(rng *rand.Rand, pts []geom.Point) []geom.Point {
+	return ApplyPerm(pts, Perm(rng, len(pts)))
+}
+
+// Lift2D lifts 2D points onto the paraboloid z = x^2 + y^2. The lower hull
+// of the lifted points is the Delaunay triangulation of the originals,
+// connecting this package to the Delaunay extension.
+func Lift2D(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{p[0], p[1], p[0]*p[0] + p[1]*p[1]}
+	}
+	return out
+}
+
+// RegularPolygon returns the vertices of a regular n-gon on the unit circle
+// starting at angle phase — a deterministic all-on-hull 2D input.
+func RegularPolygon(n int, phase float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := phase + 2*math.Pi*float64(i)/float64(n)
+		pts[i] = geom.Point{math.Cos(a), math.Sin(a)}
+	}
+	return pts
+}

@@ -1,0 +1,165 @@
+package pointgen
+
+import (
+	"math"
+	"testing"
+
+	"parhull/internal/geom"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := UniformBall(NewRNG(42), 50, 3)
+	b := UniformBall(NewRNG(42), 50, 3)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := UniformBall(NewRNG(43), 50, 3)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestUniformBallInside(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		pts := UniformBall(NewRNG(1), 500, d)
+		if err := geom.ValidateCloud(pts, d); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if p.Norm() > 1+1e-12 {
+				t.Fatalf("d=%d point %d outside ball: |p|=%v", d, i, p.Norm())
+			}
+		}
+	}
+}
+
+func TestOnSphereNorm(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for i, p := range OnSphere(NewRNG(2), 300, d) {
+			if math.Abs(p.Norm()-1) > 1e-9 {
+				t.Fatalf("d=%d point %d off sphere: |p|=%v", d, i, p.Norm())
+			}
+		}
+	}
+}
+
+func TestInCubeBounds(t *testing.T) {
+	for _, p := range InCube(NewRNG(3), 300, 4) {
+		for _, c := range p {
+			if c < -1 || c > 1 {
+				t.Fatalf("coordinate out of range: %v", p)
+			}
+		}
+	}
+}
+
+func TestGaussianDims(t *testing.T) {
+	pts := Gaussian(NewRNG(4), 100, 6)
+	if err := geom.ValidateCloud(pts, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnCircle(t *testing.T) {
+	for _, p := range OnCircle(NewRNG(5), 200) {
+		if math.Abs(p.Norm()-1) > 1e-12 {
+			t.Fatalf("off circle: %v", p)
+		}
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	pts := Grid3D(3)
+	if len(pts) != 27 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	seen := map[[3]float64]bool{}
+	for _, p := range pts {
+		seen[[3]float64{p[0], p[1], p[2]}] = true
+	}
+	if len(seen) != 27 {
+		t.Fatal("duplicate grid points")
+	}
+}
+
+func TestCoplanarBox3D(t *testing.T) {
+	for _, p := range CoplanarBox3D(NewRNG(6), 300) {
+		onFace := false
+		for a := 0; a < 3; a++ {
+			if p[a] == 0 || p[a] == 1 {
+				onFace = true
+			}
+		}
+		if !onFace {
+			t.Fatalf("point not on a box face: %v", p)
+		}
+	}
+}
+
+func TestCollinear2D(t *testing.T) {
+	pts := Collinear2D(geom.Point{0, 0}, geom.Point{2, 2}, 5)
+	for _, p := range pts {
+		if p[0] != p[1] {
+			t.Fatalf("off line: %v", p)
+		}
+	}
+	if !pts[0].Equal(geom.Point{0, 0}) || !pts[4].Equal(geom.Point{2, 2}) {
+		t.Fatal("endpoints missing")
+	}
+}
+
+func TestPermAndApply(t *testing.T) {
+	rng := NewRNG(7)
+	perm := Perm(rng, 100)
+	seen := make([]bool, 100)
+	for _, p := range perm {
+		if p < 0 || p >= 100 || seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+	pts := Gaussian(NewRNG(8), 100, 2)
+	re := ApplyPerm(pts, perm)
+	for i := range perm {
+		if !re[i].Equal(pts[perm[i]]) {
+			t.Fatal("ApplyPerm misplaces")
+		}
+	}
+	sh := Shuffled(NewRNG(9), pts)
+	if len(sh) != len(pts) {
+		t.Fatal("Shuffled length")
+	}
+}
+
+func TestLift2D(t *testing.T) {
+	pts := []geom.Point{{1, 2}, {-3, 0.5}}
+	l := Lift2D(pts)
+	for i, p := range pts {
+		if l[i][2] != p[0]*p[0]+p[1]*p[1] {
+			t.Fatalf("bad lift for %v: %v", p, l[i])
+		}
+	}
+}
+
+func TestRegularPolygon(t *testing.T) {
+	pts := RegularPolygon(6, 0)
+	if len(pts) != 6 {
+		t.Fatal("len")
+	}
+	for _, p := range pts {
+		if math.Abs(p.Norm()-1) > 1e-12 {
+			t.Fatalf("off circle: %v", p)
+		}
+	}
+	if !pts[0].Equal(geom.Point{1, 0}) {
+		t.Fatalf("phase 0 start: %v", pts[0])
+	}
+}

@@ -1,0 +1,146 @@
+// Package sched provides the parallel execution substrate the hull engines
+// run on. It stands in for the machine models of the paper: goroutines on
+// Go's work-stealing runtime emulate the binary-forking model of Theorem 5.5
+// (fork-join via Group), and a round-synchronous frontier executor emulates
+// the CRCW PRAM execution of Theorem 5.4 (RunRounds), making the number of
+// rounds — the recursion depth of Theorem 5.3 — directly observable.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the parallelism level used by this package: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// ParallelFor calls fn over disjoint subranges covering [0, n), in parallel.
+// grain is the minimum chunk size (a value <= 0 selects a default). Chunks
+// are handed out dynamically so irregular iterations load-balance.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if grain <= 0 {
+		grain = 1 + n/(8*w)
+	}
+	if w == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	body := func() {
+		defer wg.Done()
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	nw := w
+	if maxChunks := (n + grain - 1) / grain; nw > maxChunks {
+		nw = maxChunks
+	}
+	wg.Add(nw)
+	for i := 0; i < nw; i++ {
+		go body()
+	}
+	wg.Wait()
+}
+
+// Group is a bounded fork-join scope: Go either spawns fn on a fresh
+// goroutine (if below the concurrency limit) or runs it inline, and Wait
+// blocks until every spawned function has returned. It is the Fork/Join of
+// the binary-forking model with a practical cap on live goroutines.
+type Group struct {
+	wg  sync.WaitGroup
+	sem chan struct{}
+}
+
+// NewGroup returns a Group allowing up to limit concurrently spawned
+// functions (limit <= 0 selects 4*GOMAXPROCS).
+func NewGroup(limit int) *Group {
+	if limit <= 0 {
+		limit = 4 * Workers()
+	}
+	return &Group{sem: make(chan struct{}, limit)}
+}
+
+// Go runs fn, concurrently when a slot is free and inline otherwise.
+// Inline execution keeps the fork semantics (fn completes before some
+// sibling forks proceed) without unbounded goroutine growth.
+func (g *Group) Go(fn func()) {
+	select {
+	case g.sem <- struct{}{}:
+		g.wg.Add(1)
+		go func() {
+			defer func() {
+				<-g.sem
+				g.wg.Done()
+			}()
+			fn()
+		}()
+	default:
+		fn()
+	}
+}
+
+// Wait blocks until all functions started with Go have completed, including
+// functions they transitively spawned on g.
+func (g *Group) Wait() { g.wg.Wait() }
+
+// RunRounds executes a frontier computation round-synchronously: every task
+// in the current frontier runs (in parallel) exactly once per round, emitting
+// tasks for the next round; a global barrier separates rounds. It returns
+// the number of rounds executed. This mirrors the PRAM schedule in the proof
+// of Theorem 5.4, so the return value is the empirical recursion depth of
+// Algorithm 3 (Theorem 5.3).
+func RunRounds[T any](initial []T, step func(task T, emitNext func(T))) int {
+	rounds, _ := RunRoundsWidths(initial, step)
+	return rounds
+}
+
+// RunRoundsWidths is RunRounds additionally reporting the frontier size of
+// every round — the number of ProcessRidge calls that could run in parallel.
+// The widths quantify the available parallelism (work/span) that Theorems
+// 5.4/5.5 promise: total tasks spread over O(log n) rounds.
+func RunRoundsWidths[T any](initial []T, step func(task T, emitNext func(T))) (int, []int) {
+	frontier := initial
+	rounds := 0
+	var widths []int
+	for len(frontier) > 0 {
+		rounds++
+		widths = append(widths, len(frontier))
+		frontier = collectParallel(frontier, step)
+	}
+	return rounds, widths
+}
+
+// collectParallel runs step on every task, gathering emitted tasks with
+// per-chunk buffers that are concatenated after the barrier.
+func collectParallel[T any](tasks []T, step func(task T, emitNext func(T))) []T {
+	var mu sync.Mutex
+	var out []T
+	ParallelFor(len(tasks), 1, func(lo, hi int) {
+		var local []T
+		emit := func(t T) { local = append(local, t) }
+		for i := lo; i < hi; i++ {
+			step(tasks[i], emit)
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+	})
+	return out
+}

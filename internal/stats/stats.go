@@ -1,0 +1,205 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: harmonic numbers (the H_n of Theorem 4.2), summary
+// statistics, least-squares fits of measured depths against ln n, and
+// low-overhead sharded counters for work accounting in the parallel engines.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Harmonic returns H_n = sum_{i=1..n} 1/i. H_0 = 0.
+func Harmonic(n int) float64 {
+	// Exact summation below a threshold; asymptotic expansion above it.
+	if n <= 0 {
+		return 0
+	}
+	if n < 1024 {
+		var h float64
+		for i := n; i >= 1; i-- { // small-to-large for accuracy
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	x := float64(n)
+	return math.Log(x) + eulerMascheroni + 1/(2*x) - 1/(12*x*x)
+}
+
+const eulerMascheroni = 0.5772156649015328606
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                 int
+	Mean, Std         float64
+	Min, Max          float64
+	P50, P90, P99     float64
+	SumOfSquaredDevia float64
+}
+
+// Summarize computes a Summary of xs. It copies xs before sorting.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	var sum float64
+	for _, x := range cp {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	for _, x := range cp {
+		d := x - s.Mean
+		s.SumOfSquaredDevia += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(s.SumOfSquaredDevia / float64(s.N-1))
+	}
+	s.Min, s.Max = cp[0], cp[s.N-1]
+	s.P50 = quantile(cp, 0.50)
+	s.P90 = quantile(cp, 0.90)
+	s.P99 = quantile(cp, 0.99)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String formats a Summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%g p50=%g p90=%g p99=%g max=%g",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// FitLine fits y = a + b*x by ordinary least squares and returns (a, b, r2).
+// It is used to fit measured dependence depth against ln n, reproducing the
+// "depth is Theta(log n)" shape of Theorem 1.1.
+func FitLine(xs, ys []float64) (a, b, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range xs {
+		e := ys[i] - (a + b*xs[i])
+		ssRes += e * e
+	}
+	if ssTot == 0 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2
+}
+
+// Theorem42Bound returns the failure-probability bound of Theorem 4.2,
+// c * n^-(sigma-g), for a configuration space with multiplicity c and
+// maximum degree g. It is only valid for sigma >= g*k*e^2.
+func Theorem42Bound(n int, c, g int, sigma float64) float64 {
+	return float64(c) * math.Pow(float64(n), -(sigma-float64(g)))
+}
+
+// Theorem42MinSigma returns the smallest sigma for which the Theorem 4.2 tail
+// bound applies: g*k*e^2.
+func Theorem42MinSigma(g, k int) float64 {
+	return float64(g*k) * math.E * math.E
+}
+
+// Theorem31Bound evaluates the Clarkson–Shor bound of Theorem 3.1:
+// n * g^2 * sum_i E[|T_i|]/i^2, where sizes[i-1] is (an estimate of)
+// E[|T({x_1..x_i})|].
+func Theorem31Bound(g int, sizes []float64) float64 {
+	n := float64(len(sizes))
+	var sum float64
+	for i, t := range sizes {
+		ii := float64(i + 1)
+		sum += t / (ii * ii)
+	}
+	return n * float64(g*g) * sum
+}
+
+// Histogram counts observations into unit-width integer buckets. It is used
+// for depth-distribution tails (experiment E2).
+type Histogram struct {
+	counts []int
+	total  int
+}
+
+// Observe adds v (>= 0) to the histogram.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int) int {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// TailProb returns the empirical Pr[X >= v].
+func (h *Histogram) TailProb(v int) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	var c int
+	for i := v; i < len(h.counts); i++ {
+		if i >= 0 {
+			c += h.counts[i]
+		}
+	}
+	if v < 0 {
+		c = h.total
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Max returns the largest observed value, or -1 if empty.
+func (h *Histogram) Max() int {
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}

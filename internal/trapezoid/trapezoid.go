@@ -1,0 +1,239 @@
+// Package trapezoid implements the configuration space of trapezoidal
+// (vertical) decomposition for horizontal segments in a bounding box — the
+// paper's counterexample (Section 4, "Relationship to History Graphs"):
+// this space does NOT have constant support, because adding a segment can
+// merge Omega(n) trapezoids into one, and the merged trapezoid depends on
+// all of them. The tests construct the paper's bad family (a comb of teeth
+// over a long segment) and measure a support-size lower bound that grows
+// linearly with n, confirming why Theorem 4.2 does not apply here.
+//
+// The restriction to horizontal segments keeps every predicate an exact
+// float64 coordinate comparison while preserving the phenomenon: cells are
+// genuine trapezoids (rectangles), walls descend/ascend from segment
+// endpoints, and one long segment still fuses arbitrarily many cells.
+//
+// Objects are non-touching horizontal segments with pairwise distinct
+// y-coordinates and endpoint x-coordinates, strictly inside the box.
+package trapezoid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a horizontal segment y = Y for X in [XL, XR].
+type Segment struct {
+	Y, XL, XR float64
+}
+
+// Box is the bounding box of the decomposition.
+type Box struct {
+	XL, XR, YB, YT float64
+}
+
+// cell is a candidate trapezoid: a rectangle [xl, xr] x [yb, yt] whose top
+// and bottom are a segment or the box boundary, and whose side walls arise
+// from segment endpoints (or the box sides). top/bot are object indices or
+// -1 for the box; lsrc/rsrc are the endpoint-owning object indices or -1.
+type cell struct {
+	top, bot       int // -1 = box
+	lsrc, rsrc     int // -1 = box side
+	xl, xr, yb, yt float64
+	def            []int // sorted distinct defining objects
+}
+
+// Space implements core.Space for the trapezoidal decomposition of a fixed
+// segment set.
+type Space struct {
+	segs  []Segment
+	box   Box
+	cells []cell
+}
+
+// NewSpace enumerates the configuration space. Candidate cells combine
+// every possible top, bottom, and wall source; geometric validity (walls
+// must emanate from an endpoint lying on the cell's boundary span, tops
+// must cover the cell's x-range) prunes the rest.
+func NewSpace(segs []Segment, box Box) (*Space, error) {
+	ys := map[float64]bool{}
+	xs := map[float64]bool{}
+	for i, s := range segs {
+		if s.XL >= s.XR || s.Y <= box.YB || s.Y >= box.YT || s.XL <= box.XL || s.XR >= box.XR {
+			return nil, fmt.Errorf("trapezoid: segment %d out of box or empty", i)
+		}
+		if ys[s.Y] {
+			return nil, fmt.Errorf("trapezoid: duplicate y %v", s.Y)
+		}
+		ys[s.Y] = true
+		for _, x := range []float64{s.XL, s.XR} {
+			if xs[x] {
+				return nil, fmt.Errorf("trapezoid: duplicate endpoint x %v", x)
+			}
+			xs[x] = true
+		}
+	}
+	s := &Space{segs: segs, box: box}
+	s.enumerate()
+	return s, nil
+}
+
+// span returns the horizontal extent and height of boundary index i
+// (-1 = box top/bottom depending on isTop).
+func (s *Space) bound(i int, isTop bool) (xl, xr, y float64) {
+	if i < 0 {
+		if isTop {
+			return s.box.XL, s.box.XR, s.box.YT
+		}
+		return s.box.XL, s.box.XR, s.box.YB
+	}
+	sg := s.segs[i]
+	return sg.XL, sg.XR, sg.Y
+}
+
+// wallXs returns the candidate wall x-positions contributed by object i:
+// its two endpoints.
+func (s *Space) enumerate() {
+	n := len(s.segs)
+	type wall struct {
+		src int // -1 = box side
+		x   float64
+	}
+	var lefts, rights []wall
+	lefts = append(lefts, wall{-1, s.box.XL})
+	rights = append(rights, wall{-1, s.box.XR})
+	for i, sg := range s.segs {
+		// A wall can descend/ascend from either endpoint of a segment.
+		lefts = append(lefts, wall{i, sg.XL}, wall{i, sg.XR})
+		rights = append(rights, wall{i, sg.XL}, wall{i, sg.XR})
+	}
+	for top := -1; top < n; top++ {
+		txl, txr, ty := s.bound(top, true)
+		for bot := -1; bot < n; bot++ {
+			bxl, bxr, by := s.bound(bot, false)
+			if by >= ty || (top >= 0 && bot >= 0 && top == bot) {
+				continue
+			}
+			for _, lw := range lefts {
+				for _, rw := range rights {
+					if lw.x >= rw.x {
+						continue
+					}
+					// Top and bottom must span the cell.
+					if lw.x < txl || rw.x > txr || lw.x < bxl || rw.x > bxr {
+						continue
+					}
+					// Wall sources must be distinct from top/bottom side
+					// sources appropriately: a wall from segment i is valid
+					// if one of i's endpoints is at that x with i's y
+					// strictly between by and ty, or i is the top/bottom
+					// itself ending at that x.
+					if !s.validWall(lw.src, lw.x, top, bot, by, ty) ||
+						!s.validWall(rw.src, rw.x, top, bot, by, ty) {
+						continue
+					}
+					c := cell{top: top, bot: bot, lsrc: lw.src, rsrc: rw.src,
+						xl: lw.x, xr: rw.x, yb: by, yt: ty}
+					set := map[int]bool{}
+					for _, o := range []int{top, bot, lw.src, rw.src} {
+						if o >= 0 {
+							set[o] = true
+						}
+					}
+					// A defining segment must not intrude the open cell
+					// (defining and conflict sets are disjoint by
+					// definition, so such candidates are geometric
+					// nonsense — e.g. a wall source crossing the cell).
+					bad := false
+					for o := range set {
+						if s.intrudes(o, c) {
+							bad = true
+							break
+						}
+					}
+					if bad {
+						continue
+					}
+					for o := range set {
+						c.def = append(c.def, o)
+					}
+					sort.Ints(c.def)
+					if len(c.def) == 0 {
+						c.def = []int{} // the whole box (before any segment)
+					}
+					s.cells = append(s.cells, c)
+				}
+			}
+		}
+	}
+}
+
+// validWall reports whether a wall at x sourced by object src can bound a
+// cell spanning heights (by, ty): the source endpoint must lie at x and
+// its segment's y within [by, ty] (touching the top or bottom counts: the
+// wall is the vertical extension through the slab).
+func (s *Space) validWall(src int, x float64, top, bot int, by, ty float64) bool {
+	if src < 0 {
+		return x == s.box.XL || x == s.box.XR
+	}
+	sg := s.segs[src]
+	if sg.XL != x && sg.XR != x {
+		return false
+	}
+	// The wall extends from the endpoint; for it to bound this slab the
+	// endpoint's segment must touch the slab's closed vertical range.
+	return sg.Y >= by && sg.Y <= ty
+}
+
+// NumObjects implements core.Space.
+func (s *Space) NumObjects() int { return len(s.segs) }
+
+// NumConfigs implements core.Space.
+func (s *Space) NumConfigs() int { return len(s.cells) }
+
+// Defining implements core.Space.
+func (s *Space) Defining(c int) []int { return s.cells[c].def }
+
+// InConflict implements core.Space: segment x conflicts with cell c when it
+// intrudes into the open rectangle — crossing it, or poking an endpoint
+// strictly inside (which would spawn a wall splitting the cell).
+func (s *Space) InConflict(c, x int) bool {
+	cl := s.cells[c]
+	for _, o := range cl.def {
+		if o == x {
+			return false
+		}
+	}
+	return s.intrudes(x, cl)
+}
+
+// intrudes reports whether segment x enters the open rectangle of cl.
+func (s *Space) intrudes(x int, cl cell) bool {
+	sg := s.segs[x]
+	if sg.Y <= cl.yb || sg.Y >= cl.yt {
+		return false // outside the slab
+	}
+	// Inside the slab: intrudes unless entirely left or right of the cell.
+	return sg.XR > cl.xl && sg.XL < cl.xr
+}
+
+// Degree implements core.Space: up to 4 defining segments.
+func (s *Space) Degree() int { return 4 }
+
+// Multiplicity implements core.Space: a defining set of 4 segments can
+// bound several cells (each can serve as top/bottom/either wall); a safe
+// constant bound is all role assignments.
+func (s *Space) Multiplicity() int { return 48 }
+
+// BaseSize implements core.Space.
+func (s *Space) BaseSize() int { return 1 }
+
+// MaxSupport implements core.Space. The whole point of this space is that
+// no constant k works; we declare the trivial bound n so core's helpers can
+// still run, and measure the real requirement in the tests.
+func (s *Space) MaxSupport() int { return len(s.segs) }
+
+// CellRect exposes cell c's rectangle for tests.
+func (s *Space) CellRect(c int) (xl, xr, yb, yt float64) {
+	cl := s.cells[c]
+	return cl.xl, cl.xr, cl.yb, cl.yt
+}

@@ -1,0 +1,174 @@
+package trapezoid
+
+import (
+	"testing"
+
+	"parhull/internal/core"
+)
+
+var box = Box{XL: 0, XR: 100, YB: 0, YT: 10}
+
+func active(t *testing.T, s *Space, y []int) []int {
+	t.Helper()
+	return core.Active(s, y)
+}
+
+func TestSingleSegmentFourCells(t *testing.T) {
+	s, err := NewSpace([]Segment{{Y: 5, XL: 20, XR: 60}}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := active(t, s, []int{0})
+	if len(act) != 4 {
+		for _, c := range act {
+			t.Logf("cell: %v", cellRectString(s, c))
+		}
+		t.Fatalf("|T| = %d, want 4 (left slab, right slab, above, below)", len(act))
+	}
+}
+
+func cellRectString(s *Space, c int) [4]float64 {
+	xl, xr, yb, yt := s.CellRect(c)
+	return [4]float64{xl, xr, yb, yt}
+}
+
+func TestTwoStackedSegments(t *testing.T) {
+	// A=[20,60]@3 below B=[10,80]@7: the decomposition has 8 cells:
+	// below A, between A and B (3 cells: left of A under B, above A,
+	// right of A under B), above B, and the four... let's count:
+	// vertical walls at 10, 20, 60, 80 with varying extents. Cells:
+	//  1. [0,10]  x (0,10)   left slab
+	//  2. [80,100] x (0,10)  right slab
+	//  3. [10,80] x (7,10)   above B
+	//  4. [20,60] x (3,7)    between A and B
+	//  5. [20,60] x (0,3)    below A
+	//  6. [10,20] x (0,7)    under B, left of A
+	//  7. [60,80] x (0,7)    under B, right of A
+	s, err := NewSpace([]Segment{{Y: 3, XL: 20, XR: 60}, {Y: 7, XL: 10, XR: 80}}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := active(t, s, []int{0, 1})
+	if len(act) != 7 {
+		for _, c := range act {
+			t.Logf("cell: %v", cellRectString(s, c))
+		}
+		t.Fatalf("|T| = %d, want 7", len(act))
+	}
+}
+
+func TestDegreeAndValidation(t *testing.T) {
+	s, err := NewSpace([]Segment{{Y: 3, XL: 20, XR: 60}, {Y: 7, XL: 10, XR: 80}}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.CheckDegree(s); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid inputs.
+	if _, err := NewSpace([]Segment{{Y: 5, XL: 60, XR: 20}}, box); err == nil {
+		t.Error("reversed segment accepted")
+	}
+	if _, err := NewSpace([]Segment{{Y: 5, XL: 20, XR: 60}, {Y: 5, XL: 70, XR: 80}}, box); err == nil {
+		t.Error("duplicate y accepted")
+	}
+	if _, err := NewSpace([]Segment{{Y: 5, XL: 20, XR: 60}, {Y: 6, XL: 20, XR: 80}}, box); err == nil {
+		t.Error("duplicate endpoint x accepted")
+	}
+	if _, err := NewSpace([]Segment{{Y: 15, XL: 20, XR: 60}}, box); err == nil {
+		t.Error("segment above box accepted")
+	}
+}
+
+// comb builds the paper's bad family: k "teeth" high up, one long segment L
+// beneath them, and one witness segment under each tooth. Objects:
+// 0..k-1 teeth, k = L, k+1..2k witnesses.
+func comb(k int) ([]Segment, Box) {
+	w := float64(10*k + 10)
+	b := Box{XL: 0, XR: w, YB: 0, YT: 10}
+	var segs []Segment
+	for i := 0; i < k; i++ {
+		segs = append(segs, Segment{Y: 8 + 0.01*float64(i), XL: float64(10*i) + 2, XR: float64(10*i) + 8})
+	}
+	segs = append(segs, Segment{Y: 4, XL: 1, XR: w - 1})
+	for i := 0; i < k; i++ {
+		segs = append(segs, Segment{Y: 2 + 0.01*float64(i), XL: float64(10*i) + 4, XR: float64(10*i) + 6})
+	}
+	return segs, b
+}
+
+// TestNoConstantSupport reproduces the Section 4 counterexample: the
+// trapezoid below the long segment L needs a support set whose size grows
+// linearly with the number of teeth, so the space has no constant support
+// and Theorem 4.2 does not apply.
+func TestNoConstantSupport(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		segs, b := comb(k)
+		s, err := NewSpace(segs, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := k // index of the long segment
+		// Y = teeth + L (witnesses stay in the universe only).
+		y := make([]int, 0, k+1)
+		for i := 0; i <= k; i++ {
+			y = append(y, i)
+		}
+		// Find pi: the active cell with top = L reaching the floor.
+		var pi = -1
+		for _, c := range active(t, s, y) {
+			xl, xr, yb, yt := s.CellRect(c)
+			if yb == b.YB && yt == 4 && xl == 1 && xr == b.XR-1 {
+				pi = c
+			}
+		}
+		if pi == -1 {
+			t.Fatalf("k=%d: cell below L not active", k)
+		}
+		// Support must come from the decomposition without L.
+		prev := active(t, s, y[:k])
+		// Every support set needs at least one distinct cell per witness
+		// column, so the minimal support size is at least k — it grows
+		// linearly with the input, which is exactly why Theorem 4.2 does
+		// not apply to trapezoidal decomposition.
+		lb := core.SupportLowerBound(s, pi, l, prev)
+		if lb < k {
+			t.Fatalf("k=%d: support lower bound %d, want >= k", k, lb)
+		}
+		// The smallest support the exhaustive search finds matches: size k
+		// (one cell per witness column), never a constant.
+		if phi, ok := core.FindSupport(s, pi, l, prev); ok && len(phi) < k {
+			t.Fatalf("k=%d: found support of size %d < k, contradicting bound %d", k, len(phi), lb)
+		}
+	}
+}
+
+// TestSupportLowerBoundSanity: on a 2-supported space the bound must not
+// exceed the true support size.
+func TestSupportLowerBoundSanity(t *testing.T) {
+	// Single segment + one above it: supports in this space are small for
+	// ordinary cells; the bound must never exceed the minimal support found.
+	s, err := NewSpace([]Segment{{Y: 3, XL: 20, XR: 60}, {Y: 7, XL: 10, XR: 80}}, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []int{0, 1}
+	for _, pi := range active(t, s, y) {
+		for _, x := range s.Defining(pi) {
+			rest := make([]int, 0, 1)
+			for _, o := range y {
+				if o != x {
+					rest = append(rest, o)
+				}
+			}
+			prev := active(t, s, rest)
+			phi, ok := core.FindSupport(s, pi, x, prev)
+			if !ok {
+				continue
+			}
+			if lb := core.SupportLowerBound(s, pi, x, prev); lb > len(phi) {
+				t.Fatalf("lower bound %d exceeds actual support size %d", lb, len(phi))
+			}
+		}
+	}
+}

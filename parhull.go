@@ -1,0 +1,178 @@
+// Package parhull is a Go implementation of the parallel randomized
+// incremental convex hull algorithm of Blelloch, Gu, Shun, and Sun,
+// "Randomized Incremental Convex Hull is Highly Parallel" (SPAA 2020),
+// together with the substrates and companion problems the paper describes:
+// the sequential incremental baseline (Algorithm 2), the parallel variant
+// with its two ridge-map protocols (Algorithms 3-5), the configuration-
+// space/support-set framework (Sections 3-4), corner configurations for
+// degenerate 3D inputs (Section 6), and half-space and unit-circle
+// intersection (Section 7).
+//
+// The headline guarantee is structural: inserting points in random order,
+// the configuration dependence graph — facet t depends only on the two
+// facets that support it — has depth O(log n) with high probability
+// (Theorem 1.1), so the parallel engine performs exactly the same facet
+// creations and plane-side tests as the sequential one, just scheduled
+// by dependence rather than by insertion index. Every Result carries the
+// instrumentation (visibility tests, dependence depth, rounds) used by the
+// experiments in EXPERIMENTS.md.
+//
+// Quick start:
+//
+//	pts := parhull.RandomPoints(10000, 2, 42)          // or your own points
+//	res, err := parhull.Hull2D(pts, &parhull.Options{Shuffle: true, Seed: 1})
+//	// res.Vertices: CCW hull indices; res.Stats.MaxDepth: dependence depth
+//
+// All coordinates are float64; every branching predicate is evaluated
+// exactly (float filter + rational fallback), so results are independent of
+// scheduling and of floating-point luck. Inputs to the Section 5 engines
+// must be in general position — see the README for what that means and how
+// the Section 6 API relaxes it in 3D.
+package parhull
+
+import (
+	"fmt"
+
+	"parhull/internal/conmap"
+	"parhull/internal/geom"
+	"parhull/internal/hull2d"
+	"parhull/internal/hulld"
+	"parhull/internal/hullstats"
+	"parhull/internal/pointgen"
+)
+
+// Point is a point in R^d (d = len(p)).
+type Point = geom.Point
+
+// Stats carries the instrumentation of one construction: plane-side test
+// counts, facet life-cycle counts, dependence depth (Theorem 1.1), and
+// rounds (Theorem 5.3, rounds engine only).
+type Stats = hullstats.Stats
+
+// Engine selects the construction schedule.
+type Engine int
+
+const (
+	// EngineParallel is Algorithm 3 under the asynchronous fork-join
+	// schedule (the binary-forking model of Theorem 5.5). Default.
+	EngineParallel Engine = iota
+	// EngineSequential is Algorithm 2, the classic sequential randomized
+	// incremental construction.
+	EngineSequential
+	// EngineRounds is Algorithm 3 under the round-synchronous schedule of
+	// Theorem 5.4; Stats.Rounds reports the recursion depth of Theorem 5.3.
+	EngineRounds
+)
+
+// MapKind selects the concurrent ridge multimap M of Algorithm 3.
+type MapKind int
+
+const (
+	// MapSharded is a growable mutex-sharded table (production default).
+	MapSharded MapKind = iota
+	// MapCAS is the paper's Algorithm 4: linear probing + CompareAndSwap.
+	MapCAS
+	// MapTAS is the paper's Algorithm 5: the TestAndSet-only protocol.
+	MapTAS
+)
+
+// Options configures a construction. The zero value is a good default:
+// parallel engine, sharded map, no shuffle, counters on.
+type Options struct {
+	// Engine selects the schedule (default EngineParallel).
+	Engine Engine
+	// Map selects the ridge multimap (default MapSharded). The fixed-size
+	// CAS/TAS maps are sized automatically from the input unless
+	// MapCapacity is set.
+	Map MapKind
+	// MapCapacity overrides the expected ridge count for MapCAS/MapTAS.
+	MapCapacity int
+	// Shuffle inserts the points in a uniformly random order derived from
+	// Seed instead of the given order. The O(log n) depth guarantee of
+	// Theorem 1.1 is over this randomness; leave it off only if the input
+	// order is already random. Reported indices always refer to the
+	// original slice.
+	Shuffle bool
+	// Seed drives Shuffle (same seed, same order).
+	Seed int64
+	// GroupLimit caps concurrently spawned ridge chains (EngineParallel).
+	GroupLimit int
+	// NoCounters disables visibility-test counting for pure-speed runs.
+	NoCounters bool
+}
+
+func (o *Options) or() *Options {
+	if o == nil {
+		return &Options{}
+	}
+	return o
+}
+
+func (o *Options) ridgeMap2D(n int) conmap.RidgeMap[*hull2d.Facet] {
+	expected := o.MapCapacity
+	if expected == 0 {
+		expected = 4 * n
+	}
+	switch o.Map {
+	case MapCAS:
+		return conmap.NewCASMap[*hull2d.Facet](expected)
+	case MapTAS:
+		return conmap.NewTASMap[*hull2d.Facet](expected)
+	default:
+		return conmap.NewShardedMap[*hull2d.Facet](expected)
+	}
+}
+
+func (o *Options) ridgeMapD(n, d int) conmap.RidgeMap[*hulld.Facet] {
+	expected := o.MapCapacity
+	if expected == 0 {
+		expected = 4 * (d + 1) * n
+	}
+	switch o.Map {
+	case MapCAS:
+		return conmap.NewCASMap[*hulld.Facet](expected)
+	case MapTAS:
+		return conmap.NewTASMap[*hulld.Facet](expected)
+	default:
+		return conmap.NewShardedMap[*hulld.Facet](expected)
+	}
+}
+
+// perm returns the insertion order and its inverse mapping under o.
+func (o *Options) perm(n int) (order []int, fromPos []int) {
+	if !o.Shuffle {
+		return nil, nil
+	}
+	rng := pointgen.NewRNG(o.Seed)
+	order = pointgen.Perm(rng, n)
+	return order, order // result[i] = pts[order[i]]: position p holds original order[p]
+}
+
+// RandomPoints returns n points of dimension d drawn uniformly from the
+// unit ball, deterministically from seed — a convenient general-position
+// test input.
+func RandomPoints(n, d int, seed int64) []Point {
+	return pointgen.UniformBall(pointgen.NewRNG(seed), n, d)
+}
+
+// RandomSpherePoints returns n points uniformly on the unit (d-1)-sphere —
+// the adversarial input where every point is a hull vertex.
+func RandomSpherePoints(n, d int, seed int64) []Point {
+	return pointgen.OnSphere(pointgen.NewRNG(seed), n, d)
+}
+
+func applyShuffle(pts []Point, order []int) []Point {
+	if order == nil {
+		return pts
+	}
+	return pointgen.ApplyPerm(pts, order)
+}
+
+func mapBack(idx int32, order []int) int {
+	if order == nil {
+		return int(idx)
+	}
+	return order[idx]
+}
+
+var errBadEngine = fmt.Errorf("parhull: unknown engine")
