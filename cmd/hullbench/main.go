@@ -9,7 +9,8 @@
 // Experiments: depth (E1), tail (E2), rounds (E3), work (E4), conflicts
 // (E5), figure1 (E6), support (E7), corner (E8), halfspace (E9),
 // circles (E9), map (E10), speedup (E11), filter (A1 ablation),
-// delaunay (extension), trapezoid (E13, the Section 4 counterexample).
+// plane (A2 ablation), delaunay (extension), trapezoid (E13, the
+// Section 4 counterexample).
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 		{"map", "E10: Algorithm 4 (CAS) vs Algorithm 5 (TAS) ridge maps", expMap},
 		{"speedup", "E11: parallel self-speedup of Algorithm 3", expSpeedup},
 		{"filter", "A1: ablation — parallel vs serial conflict filtering", expFilter},
+		{"plane", "A2: ablation — cached facet hyperplanes vs exact determinants", expPlane},
 		{"delaunay", "EXT: dependence depth of incremental 2D Delaunay", expDelaunay},
 		{"trapezoid", "E13: the Section 4 counterexample — no constant support", expTrapezoid},
 	}

@@ -34,7 +34,7 @@ type HalfspaceResult struct {
 // order unless Options.Shuffle is set.
 func HalfspaceIntersection(normals []Point, opt *Options) (*HalfspaceResult, error) {
 	o := opt.or()
-	order, _ := o.perm(len(normals))
+	order := o.perm(len(normals))
 	work := applyShuffle(normals, order)
 	d := 0
 	if len(normals) > 0 {
@@ -106,7 +106,7 @@ type DelaunayResult struct {
 // input order unless opt.Shuffle is set.
 func Delaunay(pts []Point, opt *Options) (*DelaunayResult, error) {
 	o := opt.or()
-	order, _ := o.perm(len(pts))
+	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 	res, err := delaunay.Triangulate(work)
 	if err != nil {

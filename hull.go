@@ -21,7 +21,7 @@ type Hull2DResult struct {
 // 3 points in general position.
 func Hull2D(pts []Point, opt *Options) (*Hull2DResult, error) {
 	o := opt.or()
-	order, _ := o.perm(len(pts))
+	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 
 	var res *hull2d.Result
@@ -73,7 +73,7 @@ type HullDResult struct {
 // general position. See Hull2D for ordering semantics.
 func HullD(pts []Point, opt *Options) (*HullDResult, error) {
 	o := opt.or()
-	order, _ := o.perm(len(pts))
+	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 	d := 0
 	if len(pts) > 0 {

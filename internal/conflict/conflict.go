@@ -7,16 +7,51 @@
 // parallel — the role approximate compaction plays in the paper's CRCW
 // analysis (Theorem 5.4): without it, the first rounds' O(n)-sized lists
 // would serialize the span. The output is identical either way.
+//
+// Allocation discipline: filtering writes into pooled scratch buffers and
+// only the surviving elements are copied into an exact-size result (nil for
+// an empty one). In the steady state most new facets have empty or tiny
+// conflict sets, so filtering allocates nothing — the seed code allocated a
+// |C(t1)|+|C(t2)|-capacity slice per facet regardless of survivors, which
+// dominated GC pressure in the construction hot path.
 package conflict
 
 import (
 	"sort"
+	"sync"
 
 	"parhull/internal/sched"
 )
 
 // DefaultGrain is the list size above which MergeFilter parallelizes.
 const DefaultGrain = 1 << 13
+
+// scratchPool recycles the transient merge buffers. Buffers grow to the
+// largest list a worker has filtered and are reused across facets, so
+// steady-state filtering performs no transient allocation at all.
+var scratchPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// getScratch returns an empty buffer with capacity at least need.
+func getScratch(need int) *[]int32 {
+	bp := scratchPool.Get().(*[]int32)
+	if cap(*bp) < need {
+		*bp = make([]int32, 0, need)
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+func putScratch(bp *[]int32) { scratchPool.Put(bp) }
+
+// compact returns an exact-size copy of buf, or nil when buf is empty.
+func compact(buf []int32) []int32 {
+	if len(buf) == 0 {
+		return nil
+	}
+	out := make([]int32, len(buf))
+	copy(out, buf)
+	return out
+}
 
 // MergeFilter returns the ascending union of the ascending lists c1 and c2,
 // excluding drop and keeping only elements accepted by keep. keep must be
@@ -34,7 +69,18 @@ func MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) [
 }
 
 func mergeFilterSerial(c1, c2 []int32, drop int32, keep func(int32) bool) []int32 {
-	out := make([]int32, 0, len(c1)+len(c2))
+	if len(c1)+len(c2) == 0 {
+		return nil
+	}
+	bp := getScratch(len(c1) + len(c2))
+	*bp = mergeFilterInto(*bp, c1, c2, drop, keep)
+	out := compact(*bp)
+	putScratch(bp)
+	return out
+}
+
+// mergeFilterInto appends the filtered merge of c1 and c2 to dst.
+func mergeFilterInto(dst []int32, c1, c2 []int32, drop int32, keep func(int32) bool) []int32 {
 	i, j := 0, 0
 	for i < len(c1) || j < len(c2) {
 		var v int32
@@ -60,10 +106,10 @@ func mergeFilterSerial(c1, c2 []int32, drop int32, keep func(int32) bool) []int3
 			continue
 		}
 		if keep(v) {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // mergeFilterParallel splits both lists at common values so each piece can
@@ -98,20 +144,28 @@ func mergeFilterParallel(c1, c2 []int32, drop int32, keep func(int32) bool, grai
 	}
 	spans = append(spans, span{p1, len(c1), p2, len(c2)})
 
-	parts := make([][]int32, len(spans))
+	parts := make([]*[]int32, len(spans))
 	sched.ParallelFor(len(spans), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := spans[i]
-			parts[i] = mergeFilterSerial(c1[s.a1:s.b1], c2[s.a2:s.b2], drop, keep)
+			bp := getScratch((s.b1 - s.a1) + (s.b2 - s.a2))
+			*bp = mergeFilterInto(*bp, c1[s.a1:s.b1], c2[s.a2:s.b2], drop, keep)
+			parts[i] = bp
 		}
 	})
 	n := 0
 	for _, p := range parts {
-		n += len(p)
+		n += len(*p)
 	}
-	out := make([]int32, 0, n)
+	var out []int32
+	if n > 0 {
+		out = make([]int32, 0, n)
+		for _, p := range parts {
+			out = append(out, *p...)
+		}
+	}
 	for _, p := range parts {
-		out = append(out, p...)
+		putScratch(p)
 	}
 	return out
 }
@@ -128,16 +182,20 @@ func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
 		grain = DefaultGrain
 	}
 	if n < grain || sched.Workers() == 1 {
-		out := make([]int32, 0, n/4+8)
+		bp := getScratch(n)
+		buf := *bp
 		for v := from; v < to; v++ {
 			if keep(v) {
-				out = append(out, v)
+				buf = append(buf, v)
 			}
 		}
+		*bp = buf
+		out := compact(buf)
+		putScratch(bp)
 		return out
 	}
 	chunks := (n + grain - 1) / grain
-	parts := make([][]int32, chunks)
+	parts := make([]*[]int32, chunks)
 	sched.ParallelFor(chunks, 1, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			a := from + int32(c*grain)
@@ -145,22 +203,30 @@ func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
 			if b > to {
 				b = to
 			}
-			var part []int32
+			bp := getScratch(int(b - a))
+			buf := *bp
 			for v := a; v < b; v++ {
 				if keep(v) {
-					part = append(part, v)
+					buf = append(buf, v)
 				}
 			}
-			parts[c] = part
+			*bp = buf
+			parts[c] = bp
 		}
 	})
 	total := 0
 	for _, p := range parts {
-		total += len(p)
+		total += len(*p)
 	}
-	out := make([]int32, 0, total)
+	var out []int32
+	if total > 0 {
+		out = make([]int32, 0, total)
+		for _, p := range parts {
+			out = append(out, *p...)
+		}
+	}
 	for _, p := range parts {
-		out = append(out, p...)
+		putScratch(p)
 	}
 	return out
 }

@@ -29,19 +29,23 @@ type Key struct {
 // MakeKey builds a Key from the canonical ridge id. ids must already be in
 // canonical (sorted) order; the slice is retained, not copied.
 func MakeKey(ids []int32) Key {
-	// FNV-1a over the little-endian bytes of each index.
+	// Word-at-a-time FNV-1a over the indices, followed by a splitmix64-style
+	// finalizer so the low bits (used for power-of-two table masking) see the
+	// whole word even though each step folds in 32 bits at once.
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
 	for _, v := range ids {
-		x := uint32(v)
-		for s := 0; s < 32; s += 8 {
-			h ^= uint64(byte(x >> s))
-			h *= prime64
-		}
+		h ^= uint64(uint32(v))
+		h *= prime64
 	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return Key{hash: h, id: ids}
 }
 

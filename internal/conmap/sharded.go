@@ -12,13 +12,20 @@ const shardCount = 64
 // engines. Semantics match CASMap: the first facet to arrive stores its
 // entry and InsertAndSet returns true; the second finds the entry and
 // returns false.
+//
+// Within a shard, entries live in a map keyed by the ridge's 64-bit hash.
+// Distinct ridges colliding on the full hash are vanishingly rare, so the
+// primary map holds one entry per hash and an overflow map (allocated only
+// on first collision) holds the rest — keeping the hot path free of the
+// per-ridge slice allocations a map[hash][]entry layout would pay.
 type ShardedMap[V comparable] struct {
 	shards [shardCount]shard[V]
 }
 
 type shard[V comparable] struct {
-	mu sync.Mutex
-	m  map[uint64][]casEntry[V]
+	mu       sync.Mutex
+	m        map[uint64]casEntry[V]
+	overflow map[uint64][]casEntry[V] // nil until a full-hash collision
 }
 
 // NewShardedMap returns an empty ShardedMap. The expected size hint may be
@@ -27,7 +34,7 @@ func NewShardedMap[V comparable](expected int) *ShardedMap[V] {
 	s := &ShardedMap[V]{}
 	per := expected / shardCount
 	for i := range s.shards {
-		s.shards[i].m = make(map[uint64][]casEntry[V], per)
+		s.shards[i].m = make(map[uint64]casEntry[V], per)
 	}
 	return s
 }
@@ -43,13 +50,23 @@ func (m *ShardedMap[V]) InsertAndSet(k Key, v V) bool {
 	sh := m.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	bucket := sh.m[k.hash]
-	for i := range bucket {
-		if bucket[i].key.Equal(k) {
+	e, ok := sh.m[k.hash]
+	if !ok {
+		sh.m[k.hash] = casEntry[V]{key: k, val: v}
+		return true
+	}
+	if e.key.Equal(k) {
+		return false
+	}
+	for _, o := range sh.overflow[k.hash] {
+		if o.key.Equal(k) {
 			return false
 		}
 	}
-	sh.m[k.hash] = append(bucket, casEntry[V]{key: k, val: v})
+	if sh.overflow == nil {
+		sh.overflow = map[uint64][]casEntry[V]{}
+	}
+	sh.overflow[k.hash] = append(sh.overflow[k.hash], casEntry[V]{key: k, val: v})
 	return true
 }
 
@@ -58,9 +75,12 @@ func (m *ShardedMap[V]) GetValue(k Key, not V) V {
 	sh := m.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, e := range sh.m[k.hash] {
-		if e.key.Equal(k) {
-			return e.val
+	if e, ok := sh.m[k.hash]; ok && e.key.Equal(k) {
+		return e.val
+	}
+	for _, o := range sh.overflow[k.hash] {
+		if o.key.Equal(k) {
+			return o.val
 		}
 	}
 	panic("conmap: ShardedMap.GetValue on a ridge that was never inserted")
@@ -72,7 +92,8 @@ func (m *ShardedMap[V]) Len() int {
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
-		for _, b := range sh.m {
+		n += len(sh.m)
+		for _, b := range sh.overflow {
 			n += len(b)
 		}
 		sh.mu.Unlock()

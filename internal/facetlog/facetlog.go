@@ -1,0 +1,77 @@
+// Package facetlog provides a striped append-only log for the facet records
+// the hull engines accumulate. The seed engines funneled every facet
+// creation through one global mutex-guarded slice; under the parallel
+// schedules that lock serializes the record path of every ridge chain. The
+// log shards appends across cache-line-padded stripes selected by a cheap
+// key hash, so concurrent creators almost never touch the same stripe.
+//
+// Determinism note: Snapshot concatenates stripes in index order, so with a
+// single stripe (stripes <= 1) the log preserves exact append order — the
+// sequential engines use that to keep Result.Created in creation order.
+// With several stripes the global order is schedule-dependent, which is the
+// same contract the parallel engines always had.
+package facetlog
+
+import "sync"
+
+// Log is a striped append-only collection of T.
+type Log[T any] struct {
+	stripes []stripe[T]
+	mask    uint32
+}
+
+type stripe[T any] struct {
+	mu sync.Mutex
+	xs []T
+	// Pad to a cache line so neighboring stripes do not false-share.
+	_ [32]byte
+}
+
+// New returns a Log with at least the requested number of stripes (rounded
+// up to a power of two, minimum 1).
+func New[T any](stripes int) *Log[T] {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &Log[T]{stripes: make([]stripe[T], n), mask: uint32(n - 1)}
+}
+
+// Append records x under the stripe selected by key. Keys need no quality:
+// they are spread by a Fibonacci multiply before masking.
+func (l *Log[T]) Append(key uint32, x T) {
+	s := &l.stripes[(key*2654435761)&l.mask]
+	s.mu.Lock()
+	s.xs = append(s.xs, x)
+	s.mu.Unlock()
+}
+
+// Len reports the total number of appended elements.
+func (l *Log[T]) Len() int {
+	n := 0
+	for i := range l.stripes {
+		s := &l.stripes[i]
+		s.mu.Lock()
+		n += len(s.xs)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns every appended element, stripes concatenated in index
+// order. It must not race with Append (the engines call it after the
+// construction joins).
+func (l *Log[T]) Snapshot() []T {
+	if len(l.stripes) == 1 {
+		return l.stripes[0].xs
+	}
+	n := 0
+	for i := range l.stripes {
+		n += len(l.stripes[i].xs)
+	}
+	out := make([]T, 0, n)
+	for i := range l.stripes {
+		out = append(out, l.stripes[i].xs...)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the visibility-test hot path: the exact predicates
+// (filtered determinant, rational fallback only when needed) against the
+// cached-plane strided dot product the engines now use first.
+
+func benchCloud(seed int64, n, d int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = randPt(rng, d)
+	}
+	return pts
+}
+
+func BenchmarkOrient3D(b *testing.B) {
+	pts := benchCloud(21, 400, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % 100
+		Orient3D(pts[j], pts[j+100], pts[j+200], pts[j+300])
+	}
+}
+
+func BenchmarkOrientSimplex(b *testing.B) {
+	for _, d := range []int{2, 3, 5} {
+		d := d
+		b.Run(map[int]string{2: "d=2", 3: "d=3", 5: "d=5"}[d], func(b *testing.B) {
+			pts := benchCloud(22, 100+d, d)
+			verts := pts[100 : 100+d]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				OrientSimplex(verts, pts[i%100])
+			}
+		})
+	}
+}
+
+// BenchmarkVisibleCachedPlane measures the engines' fast path: one strided
+// row load, a d-term dot product, and the filter comparison.
+func BenchmarkVisibleCachedPlane(b *testing.B) {
+	for _, d := range []int{2, 3, 5} {
+		d := d
+		b.Run(map[int]string{2: "d=2", 3: "d=3", 5: "d=5"}[d], func(b *testing.B) {
+			pts := benchCloud(23, 100+d, d)
+			store := NewPointStore(pts)
+			p := NewFacetPlane(pts[100:100+d], StaticFilterEps(store.MaxAbs()))
+			if !p.Valid() {
+				b.Fatal("NewFacetPlane failed")
+			}
+			sink := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s, cok := p.CertifiedSign(store.Row(int32(i % 100))); cok {
+					sink += s
+				}
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,224 @@
+package geom
+
+import "math"
+
+// This file implements the cached facet hyperplane used by the hull engines'
+// visibility fast path. The plane of a facet — normal N via cofactor
+// expansion of the edge-vector matrix, offset Off = N·base — is computed
+// once at facet creation in plain float64, and the per-point plane-side
+// test reduces to a strided dot product plus one comparison against a
+// static threshold Eps. The threshold is derived once per point cloud
+// (StaticFilterEps) from worst-case forward-error analysis over all facets
+// of that cloud: whenever |N·x - Off| > Eps the float sign provably equals
+// the sign of the exact orientation determinant OrientSimplex computes;
+// otherwise the caller falls back to the exact predicate, so the
+// combinatorial output is unchanged.
+//
+// A per-facet running-error bound would be tighter, but computing it costs
+// more than the determinant evaluation it replaces — the whole point of the
+// cache is that facet creation stays a handful of flops. The price of the
+// uniform threshold is pessimism on clouds mixing very different coordinate
+// magnitudes (the bound scales with the product of per-dimension maxima),
+// which only ever causes extra exact fallbacks, never wrong answers.
+
+// MaxPlaneDim caps the dimension for which planes are cached: the cofactor
+// expansion is O(d!), fine for the small constant dimensions the engines
+// target and pointless beyond.
+const MaxPlaneDim = 8
+
+// Plane is a cached oriented hyperplane N·x = Off with certification
+// threshold Eps. For any point x whose coordinates are bounded by the
+// maxAbs vector Eps was derived from, |N·x - Off| > Eps implies
+// sign(N·x - Off) equals the exact OrientSimplex(vp, x) sign of the
+// defining facet. The zero Plane is invalid (no cache).
+type Plane struct {
+	N   [MaxPlaneDim]float64
+	Off float64
+	Eps float64
+	d   uint8
+}
+
+// Valid reports whether the plane cache is populated.
+func (p *Plane) Valid() bool { return p.d != 0 }
+
+// Dim returns the dimension the plane was built in (0 if invalid).
+func (p *Plane) Dim() int { return int(p.d) }
+
+// Eval returns the float64 evaluation N·x - Off. x must have at least
+// Dim() coordinates.
+func (p *Plane) Eval(x []float64) float64 {
+	if p.d == 3 {
+		return p.N[0]*x[0] + p.N[1]*x[1] + p.N[2]*x[2] - p.Off
+	}
+	if p.d == 2 {
+		return p.N[0]*x[0] + p.N[1]*x[1] - p.Off
+	}
+	n := p.N[:p.d]
+	x = x[:len(n)]
+	s := -p.Off
+	for j, nj := range n {
+		s += nj * x[j]
+	}
+	return s
+}
+
+// CertifiedSign returns the sign of the exact orientation determinant of
+// the defining facet against x, when the static filter can certify it.
+// ok=false means the caller must use the exact predicate.
+func (p *Plane) CertifiedSign(x []float64) (s int, ok bool) {
+	v := p.Eval(x)
+	switch {
+	case v > p.Eps:
+		return 1, true
+	case v < -p.Eps:
+		return -1, true
+	default:
+		return 0, false
+	}
+}
+
+// StaticFilterEps returns the certification threshold for a point cloud
+// with per-dimension absolute coordinate bounds maxAbs (d = len(maxAbs)).
+// It upper-bounds, over every facet of the cloud and every test point in
+// it, the total rounding error of (a) the float edge-vector cofactor
+// normal, (b) the float offset, and (c) the per-test float dot product.
+//
+// Derivation (u = 2^-53 unit roundoff, M_j = maxAbs[j]): edge-vector
+// entries are bounded by 2M_j with absolute error <= 2uM_j; a k x k
+// cofactor determinant over columns S is bounded by D = k! prod_{c in S}
+// 2M_c with accumulated error alpha_k * u * D where alpha_1 = 1 and
+// alpha_k = alpha_{k-1} + k + 1 (one product, one entry-error, one
+// rounding term per expansion column, plus k-1 partial-sum roundings).
+// With Q = d! 2^(d-1) prod_j M_j, the normal components satisfy
+// |N_j| M_j <= Q/d and carry error alpha_{d-1} u Q / d each; the offset is
+// bounded by Q with error (alpha_{d-1} + d) u Q; and the (d+1)-term test
+// dot product adds gamma-style rounding (d+1) u * 2Q. Total:
+// (2 alpha_{d-1} + 3d + 2) u Q, doubled here to absorb the (1+u)^k
+// inflation of intermediate magnitudes the analysis treats as exact.
+//
+// A zero return disables the cache (d out of [2, MaxPlaneDim], a zero
+// bound — degenerate flat cloud — or overflow).
+func StaticFilterEps(maxAbs []float64) float64 {
+	d := len(maxAbs)
+	if d < 2 || d > MaxPlaneDim {
+		return 0
+	}
+	alpha, fact := 1.0, 1.0
+	for k := 2; k <= d-1; k++ {
+		alpha += float64(k + 1)
+	}
+	for k := 2; k <= d; k++ {
+		fact *= float64(k)
+	}
+	q := fact * math.Ldexp(1, d-1)
+	for _, m := range maxAbs {
+		q *= m
+	}
+	eps := 2 * (2*alpha + 3*float64(d) + 2) * epsilon * q
+	if eps <= 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return 0
+	}
+	return eps
+}
+
+// planeDet computes the determinant of the k x k matrix m (row-major,
+// stride k) by cofactor expansion along the first row. k <= MaxPlaneDim-1,
+// so the factorial cost is a small constant paid once per facet creation,
+// and all scratch lives on the stack.
+func planeDet(m []float64, k int) float64 {
+	switch k {
+	case 1:
+		return m[0]
+	case 2:
+		return m[0]*m[3] - m[1]*m[2]
+	}
+	var minor [(MaxPlaneDim - 1) * (MaxPlaneDim - 1)]float64
+	det := 0.0
+	for j := 0; j < k; j++ {
+		for r := 1; r < k; r++ {
+			mi := (r - 1) * (k - 1)
+			for c := 0; c < k; c++ {
+				if c == j {
+					continue
+				}
+				minor[mi] = m[r*k+c]
+				mi++
+			}
+		}
+		t := m[j] * planeDet(minor[:(k-1)*(k-1)], k-1)
+		if j%2 == 0 {
+			det += t
+		} else {
+			det -= t
+		}
+	}
+	return det
+}
+
+// NewFacetPlane builds the cached hyperplane of the facet with vertices vp
+// (d points of dimension d, base-first, the same convention OrientSimplex
+// uses): N_j is the signed cofactor of the edge-vector matrix, Off = N·vp[0],
+// and sign(N·x - Off) equals sign(OrientSimplex(vp, x)) whenever
+// |N·x - Off| > eps. eps must come from StaticFilterEps over a maxAbs
+// vector bounding every point the plane will be evaluated against; eps <= 0
+// (cache disabled) or a dimension mismatch returns the invalid zero Plane.
+// The constructor performs no heap allocation.
+func NewFacetPlane(vp []Point, eps float64) Plane {
+	d := len(vp)
+	if eps <= 0 || d < 2 || d > MaxPlaneDim || len(vp[0]) != d {
+		return Plane{}
+	}
+	var p Plane
+	base := vp[0]
+	switch d {
+	case 2:
+		// N = (a_y - b_y, b_x - a_x): the 2D cofactor specialization.
+		p.N[0] = vp[0][1] - vp[1][1]
+		p.N[1] = vp[1][0] - vp[0][0]
+	case 3:
+		// N = (v1-v0) x (v2-v0), which carries exactly the cofactor signs
+		// (-1)^(2+j) of the 3x3 orientation determinant.
+		v1, v2 := vp[1], vp[2]
+		u0, u1, u2 := v1[0]-base[0], v1[1]-base[1], v1[2]-base[2]
+		w0, w1, w2 := v2[0]-base[0], v2[1]-base[1], v2[2]-base[2]
+		p.N[0] = u1*w2 - u2*w1
+		p.N[1] = u2*w0 - u0*w2
+		p.N[2] = u0*w1 - u1*w0
+	default:
+		// Edge-vector matrix: d-1 rows vp[i+1]-vp[0] of width d, then
+		// N_j = (-1)^(d-1+j) det(rows without column j) — the cofactor of
+		// the x_j entry in the last row of the OrientSimplex determinant.
+		var rows [(MaxPlaneDim - 1) * MaxPlaneDim]float64
+		for i := 1; i < d; i++ {
+			for j := 0; j < d; j++ {
+				rows[(i-1)*d+j] = vp[i][j] - base[j]
+			}
+		}
+		var minor [(MaxPlaneDim - 1) * (MaxPlaneDim - 1)]float64
+		for j := 0; j < d; j++ {
+			for r := 0; r < d-1; r++ {
+				mi := r * (d - 1)
+				for c := 0; c < d; c++ {
+					if c == j {
+						continue
+					}
+					minor[mi] = rows[r*d+c]
+					mi++
+				}
+			}
+			det := planeDet(minor[:(d-1)*(d-1)], d-1)
+			if (d-1+j)%2 == 1 {
+				det = -det
+			}
+			p.N[j] = det
+		}
+	}
+	off := p.N[0] * base[0]
+	for j := 1; j < d; j++ {
+		off += p.N[j] * base[j]
+	}
+	p.Off = off
+	p.Eps = eps
+	p.d = uint8(d)
+	return p
+}

@@ -1,0 +1,200 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cloudMaxAbs computes the per-dimension coordinate bound of a cloud, the
+// way PointStore does.
+func cloudMaxAbs(pts []Point, d int) []float64 {
+	m := make([]float64, d)
+	for _, p := range pts {
+		for j := 0; j < d; j++ {
+			if a := math.Abs(p[j]); a > m[j] {
+				m[j] = a
+			}
+		}
+	}
+	return m
+}
+
+// TestFacetPlaneCertifiedMatchesOrientSimplex is the core soundness
+// property of the cached-plane filter: whenever CertifiedSign certifies a
+// sign, it equals the exact orientation predicate. On random inputs the
+// filter must also decide nearly every test, otherwise it is useless.
+func TestFacetPlaneCertifiedMatchesOrientSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for d := 2; d <= 6; d++ {
+		cloud := make([]Point, 200)
+		for i := range cloud {
+			cloud[i] = randPt(rng, d)
+		}
+		eps := StaticFilterEps(cloudMaxAbs(cloud, d))
+		if eps <= 0 {
+			t.Fatalf("d=%d: StaticFilterEps disabled on a random cloud", d)
+		}
+		certified, total := 0, 0
+		for trial := 0; trial < 50; trial++ {
+			verts := make([]Point, d)
+			for j := range verts {
+				verts[j] = cloud[rng.Intn(len(cloud))]
+			}
+			p := NewFacetPlane(verts, eps)
+			if !p.Valid() {
+				t.Fatalf("d=%d: NewFacetPlane failed on random verts", d)
+			}
+			for _, q := range cloud {
+				want := OrientSimplex(verts, q)
+				got, cok := p.CertifiedSign(q)
+				total++
+				if cok {
+					certified++
+					if got != want {
+						t.Fatalf("d=%d: certified sign %d, exact %d", d, got, want)
+					}
+				}
+			}
+		}
+		// Duplicate vertices make some planes degenerate (N = 0, everything
+		// uncertified); random distinct points certify essentially always.
+		if certified == 0 {
+			t.Fatalf("d=%d: filter certified nothing in %d tests", d, total)
+		}
+	}
+}
+
+// TestFacetPlaneVerticesUncertified: the defining vertices lie exactly on
+// the plane, so the filter must never certify a sign for them.
+func TestFacetPlaneVerticesUncertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for d := 2; d <= 6; d++ {
+		verts := make([]Point, d)
+		for j := range verts {
+			verts[j] = randPt(rng, d)
+		}
+		p := NewFacetPlane(verts, StaticFilterEps(cloudMaxAbs(verts, d)))
+		if !p.Valid() {
+			t.Fatalf("d=%d: NewFacetPlane failed", d)
+		}
+		for j, v := range verts {
+			if s, cok := p.CertifiedSign(v); cok {
+				t.Fatalf("d=%d: vertex %d certified with sign %d (exactly on plane)", d, j, s)
+			}
+		}
+	}
+}
+
+// TestFacetPlaneNearDegenerate: points collinear with the facet, or
+// perturbed off it by far less than the certification threshold, must stay
+// uncertified — and certification of clearly-off points must survive the
+// tiny margin.
+func TestFacetPlaneNearDegenerate(t *testing.T) {
+	a, b := pt(0.1, 0.2), pt(0.9, 0.7)
+	eps := StaticFilterEps([]float64{2, 2})
+	p := NewFacetPlane([]Point{a, b}, eps)
+	if !p.Valid() {
+		t.Fatal("NewFacetPlane failed")
+	}
+	// Points on the segment's line (exact arithmetic would give 0 for the
+	// first; the others differ from the line by ~1e-18, far below Eps).
+	mid := pt((a[0]+b[0])/2, (a[1]+b[1])/2)
+	for _, q := range []Point{mid, pt(mid[0]+1e-18, mid[1]), pt(mid[0], mid[1]-1e-18)} {
+		if s, cok := p.CertifiedSign(q); cok {
+			t.Fatalf("near-degenerate point %v certified with sign %d", q, s)
+		}
+	}
+	// A point well off the line must certify and agree with Orient2D.
+	for _, q := range []Point{pt(0, 1), pt(1, 0), pt(-1.5, 1.9)} {
+		s, cok := p.CertifiedSign(q)
+		if !cok {
+			t.Fatalf("clear point %v not certified", q)
+		}
+		if want := Orient2D(a, b, q); s != want {
+			t.Fatalf("point %v: certified %d, Orient2D %d", q, s, want)
+		}
+	}
+}
+
+// TestStaticFilterEps pins the closed form of the threshold and its gates.
+func TestStaticFilterEps(t *testing.T) {
+	// d=2: alpha_1 = 1, so Eps = 2*(2*1 + 3*2 + 2) * u * (2! * 2 * M0 * M1)
+	// = 80*u*M0*M1.
+	if got, want := StaticFilterEps([]float64{3, 5}), 80*epsilon*15; got != want {
+		t.Errorf("d=2 threshold %g, want %g", got, want)
+	}
+	// Monotone in the coordinate bounds.
+	if StaticFilterEps([]float64{1, 1, 1}) >= StaticFilterEps([]float64{2, 1, 1}) {
+		t.Error("threshold not monotone in maxAbs")
+	}
+	for _, bad := range [][]float64{
+		nil,
+		{1},
+		make([]float64, MaxPlaneDim+1),
+		{0, 0}, // flat cloud: zero bound
+		{math.MaxFloat64, math.MaxFloat64, math.MaxFloat64}, // overflow
+	} {
+		if eps := StaticFilterEps(bad); eps != 0 {
+			t.Errorf("StaticFilterEps(%v) = %g, want 0 (disabled)", bad, eps)
+		}
+	}
+}
+
+// TestNewFacetPlaneRejects covers the gates: out-of-range dimension,
+// disabled threshold, and mismatched inputs must disable the cache rather
+// than mis-certify.
+func TestNewFacetPlaneRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := MaxPlaneDim + 1
+	verts := make([]Point, d)
+	for j := range verts {
+		verts[j] = randPt(rng, d)
+	}
+	if p := NewFacetPlane(verts, 1e-12); p.Valid() {
+		t.Error("dimension above MaxPlaneDim accepted")
+	}
+	if p := NewFacetPlane([]Point{pt(1)}, 1e-12); p.Valid() {
+		t.Error("1-point facet accepted")
+	}
+	if p := NewFacetPlane([]Point{pt(0, 0, 1), pt(1, 1, 0)}, 1e-12); p.Valid() {
+		t.Error("vertex dimension mismatch accepted")
+	}
+	if p := NewFacetPlane([]Point{pt(0, 0), pt(1, 1)}, 0); p.Valid() {
+		t.Error("zero threshold accepted")
+	}
+	var zero Plane
+	if zero.Valid() {
+		t.Error("zero Plane reports valid")
+	}
+	if s, ok := zero.CertifiedSign([]float64{1, 2}); ok {
+		t.Errorf("zero Plane certified sign %d", s)
+	}
+}
+
+// TestPointStore checks the flat-coordinate round trip and the per-
+// dimension bound.
+func TestPointStore(t *testing.T) {
+	pts := []Point{pt(1, -2), pt(-3.5, 0.25), pt(0, 7)}
+	s := NewPointStore(pts)
+	if s.Len() != 3 || s.Dim() != 2 {
+		t.Fatalf("Len/Dim = %d/%d", s.Len(), s.Dim())
+	}
+	for i, p := range pts {
+		row := s.Row(int32(i))
+		at := s.At(int32(i))
+		for j := range p {
+			if row[j] != p[j] || at[j] != p[j] {
+				t.Fatalf("point %d coordinate %d: %g/%g vs %g", i, j, row[j], at[j], p[j])
+			}
+		}
+	}
+	if m := s.MaxAbs(); m[0] != 3.5 || m[1] != 7 {
+		t.Fatalf("MaxAbs = %v, want [3.5 7]", m)
+	}
+	// The store copies: mutating the source must not leak in.
+	pts[0][0] = 99
+	if s.Row(0)[0] != 1 {
+		t.Fatal("store aliases the input slice")
+	}
+}

@@ -1,0 +1,65 @@
+package geom
+
+// PointStore packs a point cloud into one flat coordinate array with stride
+// d. The incremental engines build one per construction so the visibility
+// hot path reads contiguous memory (a strided dot product against a cached
+// facet hyperplane) instead of chasing a []Point header per test.
+//
+// The store also records the per-dimension maximum absolute coordinate,
+// which StaticFilterEps folds into the static certification threshold valid
+// for every point in the store (and for any point inside their bounding
+// box, e.g. the interior reference point of the d-dimensional engine).
+type PointStore struct {
+	c      []float64
+	d      int
+	n      int
+	maxAbs []float64
+}
+
+// NewPointStore copies pts (all of dimension d = len(pts[0])) into a flat
+// store. The caller is responsible for validating the cloud first.
+func NewPointStore(pts []Point) *PointStore {
+	d := 0
+	if len(pts) > 0 {
+		d = len(pts[0])
+	}
+	s := &PointStore{
+		c:      make([]float64, len(pts)*d),
+		d:      d,
+		n:      len(pts),
+		maxAbs: make([]float64, d),
+	}
+	for i, p := range pts {
+		row := s.c[i*d : i*d+d]
+		copy(row, p)
+		for j, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > s.maxAbs[j] {
+				s.maxAbs[j] = v
+			}
+		}
+	}
+	return s
+}
+
+// Row returns the coordinates of point i as a slice view into the flat
+// array. The view must not be mutated.
+func (s *PointStore) Row(i int32) []float64 {
+	o := int(i) * s.d
+	return s.c[o : o+s.d : o+s.d]
+}
+
+// At returns point i as a Point view (same backing memory as Row).
+func (s *PointStore) At(i int32) Point { return Point(s.Row(i)) }
+
+// Dim returns the dimension of the stored points.
+func (s *PointStore) Dim() int { return s.d }
+
+// Len returns the number of stored points.
+func (s *PointStore) Len() int { return s.n }
+
+// MaxAbs returns the per-dimension maximum absolute coordinate over the
+// store. The slice is owned by the store and must not be mutated.
+func (s *PointStore) MaxAbs() []float64 { return s.maxAbs }

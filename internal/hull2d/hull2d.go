@@ -12,6 +12,16 @@
 // predicates, and create the identical set of facets (asserted by tests) —
 // only the schedule differs, exactly as Section 5.2 describes.
 //
+// Visibility hot path: each facet caches its line (normal and offset, three
+// subtractions and a dot product at creation), point coordinates live in a
+// flat geom.PointStore, and a single static certification threshold for the
+// whole cloud (geom.StaticFilterEps over the store's per-dimension maxima)
+// is computed once per construction. A plane-side test is then a 2-term dot
+// product over contiguous memory plus one comparison; only when the result
+// lands inside the threshold does the engine fall back to the exact Orient2D
+// predicate, so the combinatorial output is bit-identical to the pure
+// determinant path (Options.NoPlaneCache, kept for ablation).
+//
 // The engines require the input to be in general position (no 3 collinear
 // points among those that interact with the hull boundary; see README).
 package hull2d
@@ -24,8 +34,11 @@ import (
 	"sync/atomic"
 
 	"parhull/internal/conflict"
+	"parhull/internal/conmap"
+	"parhull/internal/facetlog"
 	"parhull/internal/geom"
 	"parhull/internal/hullstats"
+	"parhull/internal/sched"
 )
 
 // ErrDegenerate is returned when the input violates the general-position
@@ -39,14 +52,24 @@ const noPivot = int32(math.MaxInt32)
 
 // Facet is a directed hull edge A->B (indices into the insertion order).
 // Facets are immutable after creation except for the liveness flag: the
-// defining endpoints, conflict list and depth never change, which is what
-// makes the relaxed schedule of Algorithm 3 safe.
+// defining endpoints, conflict list, depth and cached plane never change,
+// which is what makes the relaxed schedule of Algorithm 3 safe.
 type Facet struct {
 	A, B  int32
 	Conf  []int32 // conflict set: visible points, ascending insertion index
 	Depth int32   // configuration-dependence-graph depth (Definition 4.1)
 	Round int32   // round of creation (rounds engine; 0 for initial facets)
-	dead  atomic.Bool
+
+	// Cached line of the edge: sign(nx*x + ny*y - off) = Orient2D(A, B, p)
+	// whenever |nx*x + ny*y - off| exceeds the engine's static threshold.
+	// Zero (unused) when the engine runs with the cache disabled.
+	nx, ny, off float64
+
+	// mark is scratch for the sequential engine's per-insertion visible-set
+	// membership (holds the insertion index; never touched concurrently).
+	mark int32
+
+	dead atomic.Bool
 }
 
 // pivot returns min(C(t)) — the conflict pivot b_t of Section 5.2 — or
@@ -102,30 +125,72 @@ func (r *Result) EdgeSet() map[[2]int32]int {
 
 // engine carries the state shared by all three schedules.
 type engine struct {
-	pts   []geom.Point
-	base  int // number of initial hull points (>= 3)
-	grain int // conflict-filter parallel grain (0 = default)
-	rec   *hullstats.Recorder
+	pts      []geom.Point     // original points (exact-predicate path)
+	store    *geom.PointStore // flat coordinates (plane-cache fast path)
+	base     int              // number of initial hull points (>= 3)
+	grain    int              // conflict-filter parallel grain (0 = default)
+	planeEps float64          // static certification threshold; 0 = cache off
+	rec      *hullstats.Recorder
 
-	mu  sync.Mutex
-	all []*Facet // every facet ever created
+	log *facetlog.Log[*Facet] // every facet ever created
+
+	// ridgeIDs backs allocation-free conmap keys for the concurrent
+	// engines: ridgeIDs[v:v+1] is the canonical id slice of ridge {v}.
+	// Initialized by initRidgeIDs; nil in the sequential engine.
+	ridgeIDs []int32
 
 	trace   *Trace // optional (rounds engine)
 	traceMu sync.Mutex
 }
 
+// initRidgeIDs prepares the backing array for key1 (concurrent engines).
+func (e *engine) initRidgeIDs() {
+	e.ridgeIDs = make([]int32, len(e.pts))
+	for i := range e.ridgeIDs {
+		e.ridgeIDs[i] = int32(i)
+	}
+}
+
+// key1 returns the conmap key of ridge {v} without allocating.
+func (e *engine) key1(v int32) conmap.Key {
+	return conmap.MakeKey(e.ridgeIDs[v : v+1 : v+1])
+}
+
+// initPlane caches f's line: N = (a_y - b_y, b_x - a_x) so that
+// sign(N·p - off) = Orient2D(A, B, p) outside the static threshold.
+func (e *engine) initPlane(f *Facet) {
+	if e.planeEps <= 0 {
+		return
+	}
+	a, b := e.store.Row(f.A), e.store.Row(f.B)
+	f.nx = a[1] - b[1]
+	f.ny = b[0] - a[0]
+	f.off = f.nx*a[0] + f.ny*a[1]
+}
+
 // visible reports whether point v lies strictly outside edge f (strictly to
-// the right of the directed line A->B), counting the test.
-func (e *engine) visible(v int32, a, b int32) bool {
+// the right of the directed line A->B), counting the test. The cached-plane
+// filter decides almost every call; the exact Orient2D predicate is the
+// fallback, so the answer is always the exact one.
+func (e *engine) visible(v int32, f *Facet) bool {
 	e.rec.VTests.Inc(uint64(v))
-	return geom.Orient2D(e.pts[a], e.pts[b], e.pts[v]) < 0
+	if eps := e.planeEps; eps > 0 {
+		row := e.store.Row(v)
+		s := f.nx*row[0] + f.ny*row[1] - f.off
+		if s > eps {
+			return false // certified strictly left: not visible
+		}
+		if s < -eps {
+			return true // certified strictly right: visible
+		}
+		e.rec.Fallbacks.Inc(uint64(v))
+	}
+	return geom.Orient2D(e.pts[f.A], e.pts[f.B], e.pts[v]) < 0
 }
 
 func (e *engine) record(f *Facet) {
 	e.rec.Created(f.Depth)
-	e.mu.Lock()
-	e.all = append(e.all, f)
-	e.mu.Unlock()
+	e.log.Append(uint32(f.A), f)
 }
 
 // newFacet builds the facet joining ridge r (a vertex index) with pivot p,
@@ -141,7 +206,8 @@ func (e *engine) newFacet(r, p int32, t1, t2 *Facet, round int32) *Facet {
 	}
 	f.Depth = 1 + max32(t1.Depth, t2.Depth)
 	f.Round = round
-	f.Conf = e.mergeFilter(t1.Conf, t2.Conf, p, f.A, f.B)
+	e.initPlane(f)
+	f.Conf = e.mergeFilter(t1.Conf, t2.Conf, p, f)
 	e.record(f)
 	return f
 }
@@ -150,8 +216,8 @@ func (e *engine) newFacet(r, p int32, t1, t2 *Facet, round int32) *Facet {
 // C(t) = { v in C(t1) ∪ C(t2) : visible(v, t) }, excluding the new point p.
 // Long lists are filtered in parallel (see internal/conflict); the output
 // and the multiset of tests are identical to the serial path.
-func (e *engine) mergeFilter(c1, c2 []int32, p, a, b int32) []int32 {
-	return conflict.MergeFilter(c1, c2, p, func(v int32) bool { return e.visible(v, a, b) }, e.grain)
+func (e *engine) mergeFilter(c1, c2 []int32, p int32, f *Facet) []int32 {
+	return conflict.MergeFilter(c1, c2, p, func(v int32) bool { return e.visible(v, f) }, e.grain)
 }
 
 // bury handles the equal-pivot case (line 10): both facets die.
@@ -207,13 +273,14 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	facets := make([]*Facet, e.base)
 	for i := 0; i < e.base; i++ {
 		facets[i] = &Facet{A: order[i], B: order[(i+1)%e.base]}
+		e.initPlane(facets[i])
 	}
 	// Conflict lists over the remaining points, one pass per facet so each
 	// list comes out in ascending index order (parallel chunks for large n).
 	for _, f := range facets {
-		a, b := f.A, f.B
+		f := f
 		f.Conf = conflict.Build(int32(e.base), int32(n),
-			func(v int32) bool { return e.visible(v, a, b) }, e.grain)
+			func(v int32) bool { return e.visible(v, f) }, e.grain)
 		e.record(f)
 	}
 	return facets, nil
@@ -221,15 +288,16 @@ func (e *engine) initialHull() ([]*Facet, error) {
 
 // collectResult walks the alive facets into a closed CCW cycle.
 func (e *engine) collectResult(rounds int) (*Result, error) {
-	next := map[int32]*Facet{}
+	all := e.log.Snapshot()
+	next := make([]*Facet, len(e.pts))
 	var start int32 = math.MaxInt32
 	alive := 0
-	for _, f := range e.all {
+	for _, f := range all {
 		if !f.Alive() {
 			continue
 		}
 		alive++
-		if _, dup := next[f.A]; dup {
+		if next[f.A] != nil {
 			return nil, fmt.Errorf("hull2d: two alive edges leave vertex %d", f.A)
 		}
 		next[f.A] = f
@@ -240,29 +308,43 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 	if alive < 3 {
 		return nil, fmt.Errorf("hull2d: only %d alive edges", alive)
 	}
-	res := &Result{Created: e.all}
+	res := &Result{Created: all}
 	at := start
-	seen := make(map[int32]bool, alive)
-	for range next {
-		f, ok := next[at]
-		if !ok {
+	for steps := 0; steps < alive; steps++ {
+		f := next[at]
+		if f == nil {
 			return nil, fmt.Errorf("hull2d: alive edges do not form a cycle (stuck at %d)", at)
 		}
-		if seen[at] {
-			return nil, fmt.Errorf("hull2d: alive edges form multiple cycles (revisited %d)", at)
-		}
-		seen[at] = true
+		next[at] = nil // consume, so a revisit is caught as a hole
 		res.Vertices = append(res.Vertices, f.A)
 		res.Facets = append(res.Facets, f)
 		at = f.B
 	}
 	if at != start {
-		return nil, fmt.Errorf("hull2d: alive edges form a path, not a cycle")
+		return nil, fmt.Errorf("hull2d: alive edges form a path or multiple cycles, not one cycle")
 	}
 	res.Stats = e.rec.Snapshot(rounds, alive)
 	return res, nil
 }
 
-func newEngine(pts []geom.Point, base int, counters bool, grain int) *engine {
-	return &engine{pts: pts, base: base, grain: grain, rec: hullstats.NewRecorder(counters)}
+// newEngine assembles engine state. stripes sizes the facet log: the
+// sequential engine passes 1 to keep Result.Created in creation order; the
+// parallel engines stripe by worker count so record() does not serialize.
+func newEngine(pts []geom.Point, base int, counters bool, grain, stripes int, noPlane bool) *engine {
+	e := &engine{
+		pts:   pts,
+		store: geom.NewPointStore(pts),
+		base:  base,
+		grain: grain,
+		rec:   hullstats.NewRecorder(counters),
+		log:   facetlog.New[*Facet](stripes),
+	}
+	if !noPlane {
+		e.planeEps = geom.StaticFilterEps(e.store.MaxAbs())
+	}
+	e.rec.SetPlaneCache(e.planeEps > 0)
+	return e
 }
+
+// parStripes is the facet-log stripe count for the concurrent engines.
+func parStripes() int { return 4 * sched.Workers() }

@@ -1,6 +1,8 @@
 package hull2d
 
 import (
+	"sync/atomic"
+
 	"parhull/internal/conmap"
 	"parhull/internal/geom"
 	"parhull/internal/sched"
@@ -26,6 +28,10 @@ type Options struct {
 	// The output and the multiset of plane-side tests are identical either
 	// way — this only reshapes the span (the A1 ablation in cmd/hullbench).
 	FilterGrain int
+	// NoPlaneCache disables the cached-hyperplane visibility fast path so
+	// every test runs the exact determinant predicate (the A2 ablation in
+	// cmd/hullbench). The combinatorial output is identical either way.
+	NoPlaneCache bool
 	// Trace records per-round events (rounds engine only).
 	Trace bool
 }
@@ -44,11 +50,46 @@ func (o *Options) filterGrain() int {
 	return o.FilterGrain
 }
 
-func (o *Options) ridgeMap(n int) conmap.RidgeMap[*Facet] {
+func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
+
+// ridgeSlots abstracts the ridge multimap over plain vertex ids: in 2D a
+// ridge IS a single vertex, so the default map is a flat array of CAS slots
+// indexed by vertex — a perfect-hash instance of the Algorithm 4 table with
+// no locks, no hashing, and no collisions. An explicit Options.Map routes
+// through the generic conmap implementations instead (the E10 ablation).
+type ridgeSlots interface {
+	insertAndSet(v int32, f *Facet) bool
+	getValue(v int32, not *Facet) *Facet
+}
+
+func (o *Options) ridgeSlots(e *engine) ridgeSlots {
 	if o != nil && o.Map != nil {
-		return o.Map
+		e.initRidgeIDs()
+		return conmapSlots{m: o.Map, e: e}
 	}
-	return conmap.NewShardedMap[*Facet](2 * n)
+	return &vertexSlots{slots: make([]atomic.Pointer[Facet], len(e.pts))}
+}
+
+type vertexSlots struct{ slots []atomic.Pointer[Facet] }
+
+func (m *vertexSlots) insertAndSet(v int32, f *Facet) bool {
+	return m.slots[v].CompareAndSwap(nil, f)
+}
+
+func (m *vertexSlots) getValue(v int32, not *Facet) *Facet { return m.slots[v].Load() }
+
+// conmapSlots adapts a generic conmap.RidgeMap to the vertex-id interface.
+type conmapSlots struct {
+	m conmap.RidgeMap[*Facet]
+	e *engine
+}
+
+func (s conmapSlots) insertAndSet(v int32, f *Facet) bool {
+	return s.m.InsertAndSet(s.e.key1(v), f)
+}
+
+func (s conmapSlots) getValue(v int32, not *Facet) *Facet {
+	return s.m.GetValue(s.e.key1(v), not)
 }
 
 // task is one pending ProcessRidge(t1, r, t2) invocation: ridge r (a vertex
@@ -67,12 +108,12 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain())
+	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
 	}
-	m := opt.ridgeMap(len(pts))
+	m := opt.ridgeSlots(e)
 	limit := 0
 	if opt != nil {
 		limit = opt.GroupLimit
@@ -106,8 +147,8 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 			// Lines 18-22: the ridge shared with t2 continues this chain;
 			// the fresh ridge {p} is handed to the map, and the second
 			// facet to arrive forks its chain.
-			if !m.InsertAndSet(conmap.Key1(p1), t) {
-				other := m.GetValue(conmap.Key1(p1), t)
+			if !m.insertAndSet(p1, t) {
+				other := m.getValue(p1, t)
 				g.Go(func() { chain(task{t1: t, r: p1, t2: other}) })
 			}
 			tk = task{t1: t, r: tk.r, t2: tk.t2}

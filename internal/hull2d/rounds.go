@@ -3,7 +3,6 @@ package hull2d
 import (
 	"sort"
 
-	"parhull/internal/conmap"
 	"parhull/internal/geom"
 	"parhull/internal/sched"
 )
@@ -102,7 +101,7 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, nil, err
 	}
-	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain())
+	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache())
 	if opt != nil && opt.Trace {
 		e.trace = &Trace{}
 	}
@@ -110,7 +109,7 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m := opt.ridgeMap(len(pts))
+	m := opt.ridgeSlots(e)
 
 	initial := make([]roundTask, len(facets))
 	for i, f := range facets {
@@ -139,8 +138,8 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
 		e.replace(t1)
 		e.traceEvent(Event{Round: int(tk.round), Kind: EventCreated,
 			A: [2]int32{t.A, t.B}, B: [2]int32{t1.A, t1.B}})
-		if !m.InsertAndSet(conmap.Key1(p1), t) {
-			other := m.GetValue(conmap.Key1(p1), t)
+		if !m.insertAndSet(p1, t) {
+			other := m.getValue(p1, t)
 			emit(roundTask{task: task{t1: t, r: p1, t2: other}, round: tk.round + 1})
 		}
 		emit(roundTask{task: task{t1: t, r: tk.r, t2: t2}, round: tk.round + 1})

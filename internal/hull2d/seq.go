@@ -16,31 +16,37 @@ import (
 // engines: the depth of a facet built on boundary ridge r between visible
 // facet t1 and surviving facet t2 is 1 + max(depth(t1), depth(t2)), which is
 // precisely the configuration dependence graph of Definition 4.1.
-func Seq(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true) }
+func Seq(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true, false) }
 
 // SeqFrom is Seq starting from a pre-built convex CCW polygon on the first
 // base points (used by the Figure 1 driver and cross-engine tests).
 func SeqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
-	return seqFrom(pts, base, counters)
+	return seqFrom(pts, base, counters, false)
 }
 
-func seqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
+// SeqNoPlaneCache is Seq with the cached-hyperplane fast path disabled, so
+// every visibility test runs the exact determinant predicate (ablation and
+// cross-engine identity tests).
+func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true, true) }
+
+func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, base, counters, 0)
+	e := newEngine(pts, base, counters, 0, 1, noPlane)
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
 	}
 	n := int32(len(pts))
 
-	// Doubly linked hull: successor edge at each facet's head vertex.
-	next := map[int32]*Facet{}
-	prev := map[int32]*Facet{}
+	// Doubly linked hull, indexed by vertex: next[v] is the edge leaving v,
+	// prev[v] the edge entering it (a vertex has at most one of each).
+	next := make([]*Facet, len(pts))
+	prev := make([]*Facet, len(pts))
 	for _, f := range facets {
-		next[f.A] = f // edge leaving f.A
-		prev[f.B] = f // edge entering f.B
+		next[f.A] = f
+		prev[f.B] = f
 	}
 	succ := func(f *Facet) *Facet { return next[f.B] }
 	pred := func(f *Facet) *Facet { return prev[f.A] }
@@ -62,9 +68,12 @@ func seqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
 	// polygon is given, not built incrementally); exact from here on.
 	for i := int32(e.base); i < n; i++ {
 		// R <- C^-1(v_i): the facets visible from the new point (line 5).
+		// Membership is tracked by stamping each facet's scratch mark with
+		// the insertion index (facets are born with mark 0 and i >= 3).
 		var r []*Facet
 		for _, f := range pf[i] {
 			if f.Alive() {
+				f.mark = i
 				r = append(r, f)
 			}
 		}
@@ -72,19 +81,15 @@ func seqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
 			hullSizes = append(hullSizes, alive)
 			continue // v_i falls inside the current hull
 		}
-		inR := make(map[*Facet]bool, len(r))
-		for _, f := range r {
-			inR[f] = true
-		}
 		// The visible region is a contiguous arc; find its boundary ridges
 		// (line 6): the unique start (predecessor not visible) and end
 		// (successor not visible).
 		var eStart, eEnd *Facet
 		for _, f := range r {
-			if !inR[pred(f)] {
+			if g := pred(f); g == nil || g.mark != i {
 				eStart = f
 			}
-			if !inR[succ(f)] {
+			if g := succ(f); g == nil || g.mark != i {
 				eEnd = f
 			}
 		}

@@ -6,26 +6,37 @@
 //
 // A facet is an oriented d-simplex identified by its d defining point
 // indices (sorted); a ridge is a (d-1)-subset of a facet shared with exactly
-// one neighbor; visibility is decided by the exact orientation predicate
-// against an interior reference point (the centroid of the initial simplex,
-// which remains strictly inside every prefix hull). Points must be in
-// general position: no d+1 points on a common hyperplane among those
-// touching the hull (Section 6's corner configuration space, in package
-// corner, lifts this restriction for 3D).
+// one neighbor; visibility is decided against an interior reference point
+// (the centroid of the initial simplex, which remains strictly inside every
+// prefix hull). Points must be in general position: no d+1 points on a
+// common hyperplane among those touching the hull (Section 6's corner
+// configuration space, in package corner, lifts this restriction for 3D).
+//
+// Visibility hot path: each facet caches its hyperplane (a plain-float
+// cofactor normal and offset; see geom.NewFacetPlane), coordinates live in
+// a flat geom.PointStore, and one static certification threshold for the
+// whole cloud (geom.StaticFilterEps) is computed per construction, so a
+// test is a d-term strided dot product plus a comparison. Only when the
+// cached filter cannot certify the sign does the engine fall back to the
+// exact OrientSimplex predicate — the combinatorial output is bit-identical
+// to the pure determinant path (Options.NoPlaneCache, kept for ablation;
+// also used automatically for d > geom.MaxPlaneDim where cofactor expansion
+// stops paying off).
 package hulld
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"parhull/internal/conflict"
 	"parhull/internal/conmap"
+	"parhull/internal/facetlog"
 	"parhull/internal/geom"
 	"parhull/internal/hullstats"
+	"parhull/internal/sched"
 )
 
 // ErrDegenerate is returned when the input violates general position in a
@@ -48,11 +59,19 @@ type Facet struct {
 	// Round is the creation round (rounds engine only; 0 for the base).
 	Round int32
 
-	// vp caches the vertex coordinates, outSign the orientation sign that
-	// classifies a point as strictly outside.
+	// plane caches the facet hyperplane for the filtered fast path; vp
+	// caches the vertex coordinates only when the plane cache is absent
+	// (ablation mode, d > geom.MaxPlaneDim, or a degenerate threshold) —
+	// with a valid plane, exact fallbacks reconstruct them on demand.
+	// outSign is the OrientSimplex sign that classifies a point as strictly
+	// outside.
+	plane   geom.Plane
 	vp      []geom.Point
 	outSign int
-	dead    atomic.Bool
+	// mark is scratch for the sequential engine's per-insertion visible-set
+	// membership (holds the insertion index; never touched concurrently).
+	mark int32
+	dead atomic.Bool
 }
 
 func (f *Facet) pivot() int32 {
@@ -101,6 +120,42 @@ func (r *Result) FacetSet() map[string]int {
 	return m
 }
 
+// ridgeMapKey is a comparable ridge key for the sequential engine's
+// adjacency map and the result validator. Ridges of up to 8 indices pack
+// into a fixed array (padded with -1, which no point index can collide
+// with) so key construction allocates nothing and hashing is a flat memory
+// compare; longer ridges fall back to the string encoding.
+type ridgeMapKey struct {
+	arr [8]int32
+	str string
+}
+
+// ridgeKeyOmit builds the map key of the ridge verts-minus-verts[omit].
+func ridgeKeyOmit(verts []int32, omit int) ridgeMapKey {
+	var k ridgeMapKey
+	if len(verts)-1 <= len(k.arr) {
+		i := 0
+		for j, v := range verts {
+			if j != omit {
+				k.arr[i] = v
+				i++
+			}
+		}
+		for ; i < len(k.arr); i++ {
+			k.arr[i] = -1
+		}
+		return k
+	}
+	r := make([]int32, 0, len(verts)-1)
+	for j, v := range verts {
+		if j != omit {
+			r = append(r, v)
+		}
+	}
+	k.str = ridgeString(r)
+	return k
+}
+
 // ridgeString encodes sorted indices as a compact map key.
 func ridgeString(ids []int32) string {
 	b := make([]byte, 4*len(ids))
@@ -115,22 +170,38 @@ func ridgeString(ids []int32) string {
 }
 
 type engine struct {
-	pts      []geom.Point
+	pts      []geom.Point     // original points (exact-predicate path)
+	store    *geom.PointStore // flat coordinates (plane-cache fast path)
 	d        int
-	grain    int // conflict-filter parallel grain (0 = default)
+	grain    int     // conflict-filter parallel grain (0 = default)
+	planeEps float64 // static certification threshold; 0 = cache off
 	interior geom.Point
 	rec      *hullstats.Recorder
 
-	mu  sync.Mutex
-	all []*Facet
+	log *facetlog.Log[*Facet] // every facet ever created
 
 	errOnce sync.Once
 	err     error
 	failed  atomic.Bool
 }
 
-func newEngine(pts []geom.Point, d int, counters bool, grain int) *engine {
-	return &engine{pts: pts, d: d, grain: grain, rec: hullstats.NewRecorder(counters)}
+// newEngine assembles engine state. stripes sizes the facet log (1 keeps
+// Result.Created in creation order; the parallel engines stripe by worker
+// count so record() does not serialize).
+func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPlane bool) *engine {
+	e := &engine{
+		pts:   pts,
+		store: geom.NewPointStore(pts),
+		d:     d,
+		grain: grain,
+		rec:   hullstats.NewRecorder(counters),
+		log:   facetlog.New[*Facet](stripes),
+	}
+	if !noPlane {
+		e.planeEps = geom.StaticFilterEps(e.store.MaxAbs())
+	}
+	e.rec.SetPlaneCache(e.planeEps > 0)
+	return e
 }
 
 // fail records the first error and flips the abort flag checked by chains.
@@ -139,30 +210,80 @@ func (e *engine) fail(err error) {
 	e.failed.Store(true)
 }
 
-// visible reports whether point v is strictly outside facet f.
+// facetPoints returns the vertex coordinates of f, using the cached slice
+// when present (no plane cache) and reconstructing otherwise (rare exact
+// fallbacks through a plane-cached facet).
+func (e *engine) facetPoints(f *Facet) []geom.Point {
+	if f.vp != nil {
+		return f.vp
+	}
+	vp := make([]geom.Point, len(f.Verts))
+	for i, v := range f.Verts {
+		vp[i] = e.pts[v]
+	}
+	return vp
+}
+
+// visible reports whether point v is strictly outside facet f, counting the
+// test. The cached-plane filter decides almost every call; the exact
+// OrientSimplex predicate is the fallback, so the answer is always exact.
 func (e *engine) visible(v int32, f *Facet) bool {
 	e.rec.VTests.Inc(uint64(v))
-	return geom.OrientSimplex(f.vp, e.pts[v]) == f.outSign
+	if f.plane.Valid() {
+		s := f.plane.Eval(e.store.Row(v))
+		if s > f.plane.Eps {
+			return f.outSign > 0
+		}
+		if s < -f.plane.Eps {
+			return f.outSign < 0
+		}
+		e.rec.Fallbacks.Inc(uint64(v))
+	}
+	return geom.OrientSimplex(e.facetPoints(f), e.pts[v]) == f.outSign
 }
 
 func (e *engine) record(f *Facet) {
 	e.rec.Created(f.Depth)
-	e.mu.Lock()
-	e.all = append(e.all, f)
-	e.mu.Unlock()
+	k := uint32(0)
+	for _, v := range f.Verts {
+		k = k*31 + uint32(v)
+	}
+	e.log.Append(k, f)
 }
 
 // makeFacet assembles a facet from sorted vertex indices, computing its
-// outward sign from the interior reference point. A zero sign means the
-// simplex is degenerate or its plane passes through the reference point —
-// both general-position violations.
+// cached hyperplane and its outward sign from the interior reference point.
+// A zero sign means the simplex is degenerate or its plane passes through
+// the reference point — both general-position violations.
 func (e *engine) makeFacet(verts []int32) (*Facet, error) {
 	f := &Facet{Verts: verts}
-	f.vp = make([]geom.Point, len(verts))
-	for i, v := range verts {
-		f.vp[i] = e.pts[v]
+	var s int
+	if e.planeEps > 0 {
+		// planeEps > 0 implies d <= geom.MaxPlaneDim, so the vertex slice
+		// fits a stack buffer; neither NewFacetPlane nor OrientSimplex
+		// retains it, keeping facet creation allocation-free beyond the
+		// facet itself. The interior point is a convex combination of input
+		// points, so its coordinates are bounded by the store's per-dimension
+		// maxima and the static certificate applies to it as well.
+		var buf [geom.MaxPlaneDim]geom.Point
+		vp := buf[:len(verts)]
+		for i, v := range verts {
+			vp[i] = e.pts[v]
+		}
+		f.plane = geom.NewFacetPlane(vp, e.planeEps)
+		cs, ok := f.plane.CertifiedSign(e.interior)
+		if !ok {
+			cs = geom.OrientSimplex(vp, e.interior)
+		}
+		s = cs
+	} else {
+		vp := make([]geom.Point, len(verts))
+		for i, v := range verts {
+			vp[i] = e.pts[v]
+		}
+		s = geom.OrientSimplex(vp, e.interior)
+		f.vp = vp
 	}
-	s := geom.OrientSimplex(f.vp, e.interior)
 	if s == 0 {
 		return nil, fmt.Errorf("%w: facet %v is coplanar with the interior point", ErrDegenerate, verts)
 	}
@@ -258,23 +379,6 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	return facets, nil
 }
 
-// ridges returns the d ridges of a facet: Verts minus each vertex in turn.
-// Each returned slice is freshly allocated and sorted.
-func ridges(f *Facet) [][]int32 {
-	d := len(f.Verts)
-	out := make([][]int32, d)
-	for omit := 0; omit < d; omit++ {
-		r := make([]int32, 0, d-1)
-		for i, v := range f.Verts {
-			if i != omit {
-				r = append(r, v)
-			}
-		}
-		out[omit] = r
-	}
-	return out
-}
-
 // ridgeWithout returns the ridge of f that omits vertex q.
 func ridgeWithout(f *Facet, q int32) []int32 {
 	r := make([]int32, 0, len(f.Verts)-1)
@@ -293,39 +397,47 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 	if e.failed.Load() {
 		return nil, e.err
 	}
-	res := &Result{Created: e.all}
-	ridgeCount := map[string]int{}
-	vset := map[int32]bool{}
-	for _, f := range e.all {
-		if !f.Alive() {
-			continue
-		}
-		res.Facets = append(res.Facets, f)
-		for _, v := range f.Verts {
-			vset[v] = true
-		}
-		for _, r := range ridges(f) {
-			ridgeCount[ridgeString(r)]++
+	all := e.log.Snapshot()
+	res := &Result{Created: all}
+	for _, f := range all {
+		if f.Alive() {
+			res.Facets = append(res.Facets, f)
 		}
 	}
 	if len(res.Facets) < e.d+1 {
 		return nil, fmt.Errorf("hulld: only %d alive facets (want >= %d)", len(res.Facets), e.d+1)
 	}
-	for k, c := range ridgeCount {
-		if c != 2 {
-			return nil, fmt.Errorf("hulld: ridge shared by %d alive facets, want 2 (key len %d)", c, len(k)/4)
+	// Each ridge of a closed pseudomanifold is shared by exactly two alive
+	// facets, so the count map ends at alive*d/2 entries — preallocate.
+	ridgeCount := make(map[ridgeMapKey]int32, len(res.Facets)*e.d/2+1)
+	inHull := make([]bool, len(e.pts))
+	for _, f := range res.Facets {
+		for _, v := range f.Verts {
+			inHull[v] = true
+		}
+		for omit := range f.Verts {
+			ridgeCount[ridgeKeyOmit(f.Verts, omit)]++
 		}
 	}
-	for v := range vset {
-		res.Vertices = append(res.Vertices, v)
+	for k, c := range ridgeCount {
+		if c != 2 {
+			return nil, fmt.Errorf("hulld: ridge %v shared by %d alive facets, want 2", k.arr, c)
+		}
 	}
-	sort.Slice(res.Vertices, func(i, j int) bool { return res.Vertices[i] < res.Vertices[j] })
+	for v, on := range inHull {
+		if on {
+			res.Vertices = append(res.Vertices, int32(v))
+		}
+	}
 	res.Stats = e.rec.Snapshot(rounds, len(res.Facets))
 	return res, nil
 }
 
 // ridgeKey builds the conmap key for a ridge.
 func ridgeKey(r []int32) conmap.Key { return conmap.MakeKey(r) }
+
+// parStripes is the facet-log stripe count for the concurrent engines.
+func parStripes() int { return 4 * sched.Workers() }
 
 func validate(pts []geom.Point) (int, error) {
 	if len(pts) == 0 {

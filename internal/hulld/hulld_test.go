@@ -27,8 +27,12 @@ func workloads(seed int64, n, d int) map[string][]geom.Point {
 func verifyHull(t *testing.T, pts []geom.Point, res *Result) {
 	t.Helper()
 	for _, f := range res.Facets {
+		vp := make([]geom.Point, len(f.Verts))
+		for i, u := range f.Verts {
+			vp[i] = pts[u]
+		}
 		for v := range pts {
-			if geom.OrientSimplex(f.vp, pts[v]) == f.outSign {
+			if geom.OrientSimplex(vp, pts[v]) == f.outSign {
 				t.Fatalf("point %d strictly outside alive facet %v", v, f)
 			}
 		}

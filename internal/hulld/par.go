@@ -19,6 +19,10 @@ type Options struct {
 	// FilterGrain sets the list size above which conflict filtering runs in
 	// parallel chunks (0 = default; very large forces the serial path).
 	FilterGrain int
+	// NoPlaneCache disables the cached-hyperplane visibility fast path so
+	// every test runs the exact determinant predicate (the A2 ablation in
+	// cmd/hullbench). The combinatorial output is identical either way.
+	NoPlaneCache bool
 }
 
 func (o *Options) filterGrain() int {
@@ -27,6 +31,8 @@ func (o *Options) filterGrain() int {
 	}
 	return o.FilterGrain
 }
+
+func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
 
 func (o *Options) ridgeMap(n, d int) conmap.RidgeMap[*Facet] {
 	if o != nil && o.Map != nil {
@@ -48,7 +54,7 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain())
+	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
@@ -88,8 +94,9 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 			// map; the second facet to arrive forks the chain (lines 20-22).
 			for _, q := range tk.r {
 				r2 := ridgeWithout(t, q)
-				if !m.InsertAndSet(ridgeKey(r2), t) {
-					other := m.GetValue(ridgeKey(r2), t)
+				k := ridgeKey(r2)
+				if !m.InsertAndSet(k, t) {
+					other := m.GetValue(k, t)
 					nt := task{t1: t, r: r2, t2: other}
 					g.Go(func() { chain(nt) })
 				}

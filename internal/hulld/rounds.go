@@ -20,7 +20,7 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain())
+	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
@@ -64,8 +64,9 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 		e.replace(t1)
 		for _, q := range tk.r {
 			r2 := ridgeWithout(t, q)
-			if !m.InsertAndSet(ridgeKey(r2), t) {
-				other := m.GetValue(ridgeKey(r2), t)
+			k := ridgeKey(r2)
+			if !m.InsertAndSet(k, t) {
+				other := m.GetValue(k, t)
 				emit(roundTask{task: task{t1: t, r: r2, t2: other}, round: tk.round + 1})
 			}
 		}

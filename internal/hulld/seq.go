@@ -11,17 +11,22 @@ import (
 // As in hull2d, it maintains the Clarkson–Shor bipartite conflict graph and
 // a ridge-to-facets adjacency, so its plane-side tests are exactly the
 // conflict filters — the same multiset Algorithm 3 performs.
-func Seq(pts []geom.Point) (*Result, error) { return seq(pts, true) }
+func Seq(pts []geom.Point) (*Result, error) { return seq(pts, true, false) }
 
 // SeqCounted is Seq with visibility-test counting switchable.
-func SeqCounted(pts []geom.Point, counters bool) (*Result, error) { return seq(pts, counters) }
+func SeqCounted(pts []geom.Point, counters bool) (*Result, error) { return seq(pts, counters, false) }
 
-func seq(pts []geom.Point, counters bool) (*Result, error) {
+// SeqNoPlaneCache is Seq with the cached-hyperplane fast path disabled, so
+// every visibility test runs the exact determinant predicate (ablation and
+// cross-engine identity tests).
+func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seq(pts, true, true) }
+
+func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
 	d, err := validate(pts)
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, counters, 0)
+	e := newEngine(pts, d, counters, 0, 1, noPlane)
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
@@ -31,10 +36,10 @@ func seq(pts []geom.Point, counters bool) (*Result, error) {
 	// adj registers every facet under each of its ridges; the live neighbor
 	// across a ridge is the alive registered facet other than the querying
 	// one. Dead facets are pruned lazily.
-	adj := map[string][]*Facet{}
+	adj := map[ridgeMapKey][]*Facet{}
 	register := func(f *Facet) {
-		for _, r := range ridges(f) {
-			k := ridgeString(r)
+		for omit := range f.Verts {
+			k := ridgeKeyOmit(f.Verts, omit)
 			adj[k] = append(adj[k], f)
 		}
 	}
@@ -56,13 +61,14 @@ func seq(pts []geom.Point, counters bool) (*Result, error) {
 		hullSizes = append(hullSizes, min(i+2, d+1))
 	}
 	for i := int32(d + 1); i < n; i++ {
-		// R <- C^-1(v_i).
+		// R <- C^-1(v_i). Membership is tracked by stamping each facet's
+		// scratch mark with the insertion index (facets are born with mark 0
+		// and i >= d+1 > 0, so stale marks never collide).
 		var r []*Facet
-		inR := map[*Facet]bool{}
 		for _, f := range pf[i] {
-			if f.Alive() && !inR[f] {
+			if f.Alive() && f.mark != i {
+				f.mark = i
 				r = append(r, f)
-				inR[f] = true
 			}
 		}
 		if len(r) == 0 {
@@ -73,28 +79,27 @@ func seq(pts []geom.Point, counters bool) (*Result, error) {
 		// not), build the new facet from the pair (lines 6-10).
 		var created []*Facet
 		for _, f := range r {
-			for _, q := range f.Verts {
-				rid := ridgeWithout(f, q)
-				k := ridgeString(rid)
+			for qi := range f.Verts {
+				k := ridgeKeyOmit(f.Verts, qi)
 				var g *Facet
 				list := adj[k]
-				alive := list[:0]
+				aliveList := list[:0]
 				for _, h := range list {
 					if h.Alive() {
-						alive = append(alive, h)
+						aliveList = append(aliveList, h)
 						if h != f {
 							g = h
 						}
 					}
 				}
-				adj[k] = alive
+				adj[k] = aliveList
 				if g == nil {
 					return nil, fmt.Errorf("hulld: ridge of %v has no live neighbor (degenerate input?)", f)
 				}
-				if inR[g] {
+				if g.mark == i {
 					continue // interior ridge of the visible region
 				}
-				t, err := e.newFacet(rid, i, f, g, 0)
+				t, err := e.newFacet(ridgeWithout(f, f.Verts[qi]), i, f, g, 0)
 				if err != nil {
 					return nil, err
 				}

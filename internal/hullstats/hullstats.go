@@ -17,6 +17,13 @@ type Stats struct {
 	// attributable to the algorithm: initial conflict-list construction and
 	// conflict-list filtering.
 	VisibilityTests int64
+	// PlaneCacheHits counts visibility tests decided by the cached facet
+	// hyperplane (the strided-dot-product fast path); ExactFallbacks counts
+	// tests where the cached filter could not certify the sign and the exact
+	// orientation predicate decided instead. Their sum equals the tests
+	// performed through facets that carry a plane cache; on well-separated
+	// random inputs ExactFallbacks is 0.
+	PlaneCacheHits, ExactFallbacks int64
 	// FacetsCreated counts every facet ever added, including the initial
 	// simplex.
 	FacetsCreated int64
@@ -41,35 +48,60 @@ type Stats struct {
 	RoundWidths []int
 }
 
+// fastDepths is the span of dependence depths tracked with lock-free atomic
+// bins. Depth is O(log n) whp (Theorem 1.1), so in practice every facet
+// lands here; deeper facets spill to a mutex-guarded overflow list.
+const fastDepths = 1024
+
 // Recorder accumulates Stats concurrently. The zero value is NOT ready;
 // use NewRecorder. A Recorder with nil VTests still counts facets but not
 // visibility tests.
 type Recorder struct {
-	// VTests counts plane-side tests; nil disables counting.
-	VTests *stats.ShardedCounter
+	// VTests counts plane-side tests; nil disables counting. Fallbacks
+	// counts the subset the cached-plane filter could not certify (decided
+	// by the exact predicate instead); it is nil exactly when VTests is.
+	// The filter-certified count is not tracked on the hot path: the plane
+	// cache is all-or-nothing per engine (a single static threshold covers
+	// the whole point cloud), so Snapshot derives PlaneCacheHits as
+	// VisibilityTests - ExactFallbacks when SetPlaneCache(true) was called.
+	VTests    *stats.ShardedCounter
+	Fallbacks *stats.ShardedCounter
+
+	planeOn bool
 
 	created, repl, buried, final atomic.Int64
 	maxD                         stats.MaxTracker
 
-	mu     sync.Mutex
-	depths []int32
+	depthBins []atomic.Int64
+
+	mu       sync.Mutex
+	overflow []int32
 }
 
 // NewRecorder returns a Recorder; counters enables visibility-test counting.
 func NewRecorder(counters bool) *Recorder {
-	r := &Recorder{}
+	r := &Recorder{depthBins: make([]atomic.Int64, fastDepths)}
 	if counters {
 		r.VTests = stats.NewShardedCounter(64)
+		r.Fallbacks = stats.NewShardedCounter(64)
 	}
 	return r
 }
+
+// SetPlaneCache records whether the engine runs with the cached-plane fast
+// path enabled; call once before construction starts (not thread-safe).
+func (r *Recorder) SetPlaneCache(on bool) { r.planeOn = on }
 
 // Created records a facet creation at the given dependence depth.
 func (r *Recorder) Created(depth int32) {
 	r.created.Add(1)
 	r.maxD.Observe(int64(depth))
+	if depth >= 0 && depth < fastDepths {
+		r.depthBins[depth].Add(1)
+		return
+	}
 	r.mu.Lock()
-	r.depths = append(r.depths, depth)
+	r.overflow = append(r.overflow, depth)
 	r.mu.Unlock()
 }
 
@@ -95,6 +127,7 @@ func (r *Recorder) Finalized() { r.final.Add(1) }
 func (r *Recorder) Snapshot(rounds, hullSize int) Stats {
 	s := Stats{
 		VisibilityTests: r.VTests.Load(),
+		ExactFallbacks:  r.Fallbacks.Load(),
 		FacetsCreated:   r.created.Load(),
 		Replaced:        r.repl.Load(),
 		Buried:          r.buried.Load(),
@@ -103,9 +136,15 @@ func (r *Recorder) Snapshot(rounds, hullSize int) Stats {
 		Rounds:          rounds,
 		HullSize:        hullSize,
 	}
+	if r.planeOn {
+		s.PlaneCacheHits = s.VisibilityTests - s.ExactFallbacks
+	}
 	s.DepthHist = make([]int, s.MaxDepth+1)
+	for d := 0; d <= s.MaxDepth && d < fastDepths; d++ {
+		s.DepthHist[d] = int(r.depthBins[d].Load())
+	}
 	r.mu.Lock()
-	for _, d := range r.depths {
+	for _, d := range r.overflow {
 		s.DepthHist[d]++
 	}
 	r.mu.Unlock()

@@ -61,13 +61,23 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 // goroutine (if below the concurrency limit) or runs it inline, and Wait
 // blocks until every spawned function has returned. It is the Fork/Join of
 // the binary-forking model with a practical cap on live goroutines.
+//
+// The bound is on goroutines, not on pending work: at most limit functions
+// ever run on Group-spawned goroutines at once, regardless of how many
+// forks a computation issues or how deeply forks nest. Everything beyond
+// the limit executes inline on the forking goroutine — a fork chain of
+// depth k with limit 1 runs as ordinary nested calls on at most two
+// goroutines (the caller plus one spawned), never k goroutines. This is
+// what lets the hull engines fork one chain per ridge without tying memory
+// to the ridge count (see TestGroupBoundsGoroutines for the contract).
 type Group struct {
 	wg  sync.WaitGroup
 	sem chan struct{}
 }
 
 // NewGroup returns a Group allowing up to limit concurrently spawned
-// functions (limit <= 0 selects 4*GOMAXPROCS).
+// functions (limit <= 0 selects 4*GOMAXPROCS). limit 1 still makes
+// progress — excess forks run inline, they are never queued or dropped.
 func NewGroup(limit int) *Group {
 	if limit <= 0 {
 		limit = 4 * Workers()
@@ -75,9 +85,11 @@ func NewGroup(limit int) *Group {
 	return &Group{sem: make(chan struct{}, limit)}
 }
 
-// Go runs fn, concurrently when a slot is free and inline otherwise.
-// Inline execution keeps the fork semantics (fn completes before some
-// sibling forks proceed) without unbounded goroutine growth.
+// Go runs fn exactly once: concurrently when a slot is free and inline
+// otherwise. Inline execution keeps the fork semantics (fn completes
+// before some sibling forks proceed) without unbounded goroutine growth;
+// the inline case returns only after fn returns, so callers may not assume
+// Go is non-blocking.
 func (g *Group) Go(fn func()) {
 	select {
 	case g.sem <- struct{}{}:

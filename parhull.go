@@ -138,14 +138,15 @@ func (o *Options) ridgeMapD(n, d int) conmap.RidgeMap[*hulld.Facet] {
 	}
 }
 
-// perm returns the insertion order and its inverse mapping under o.
-func (o *Options) perm(n int) (order []int, fromPos []int) {
+// perm returns the insertion order under o, or nil when the given order is
+// used as-is. Position p of the shuffled input holds original point
+// order[p], so order maps engine indices back to caller indices directly
+// (see mapBack); no separate inverse permutation is needed.
+func (o *Options) perm(n int) []int {
 	if !o.Shuffle {
-		return nil, nil
+		return nil
 	}
-	rng := pointgen.NewRNG(o.Seed)
-	order = pointgen.Perm(rng, n)
-	return order, order // result[i] = pts[order[i]]: position p holds original order[p]
+	return pointgen.Perm(pointgen.NewRNG(o.Seed), n)
 }
 
 // RandomPoints returns n points of dimension d drawn uniformly from the
