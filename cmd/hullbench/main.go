@@ -9,7 +9,8 @@
 // Experiments: depth (E1), tail (E2), rounds (E3), work (E4), conflicts
 // (E5), figure1 (E6), support (E7), corner (E8), halfspace (E9),
 // circles (E9), map (E10), speedup (E11), filter (A1 ablation),
-// plane (A2 ablation), delaunay (extension), trapezoid (E13, the
+// plane (A2 ablation), sched (A3 ablation), perf (machine-readable
+// benchmark export), delaunay (extension), trapezoid (E13, the
 // Section 4 counterexample).
 package main
 
@@ -54,6 +55,8 @@ func main() {
 		{"speedup", "E11: parallel self-speedup of Algorithm 3", expSpeedup},
 		{"filter", "A1: ablation — parallel vs serial conflict filtering", expFilter},
 		{"plane", "A2: ablation — cached facet hyperplanes vs exact determinants", expPlane},
+		{"sched", "A3: ablation — Group fork-join vs the work-stealing executor", expSched},
+		{"perf", "PERF: machine-readable ns/op + allocs/op export (BENCH_parhull.json)", expPerf},
 		{"delaunay", "EXT: dependence depth of incremental 2D Delaunay", expDelaunay},
 		{"trapezoid", "E13: the Section 4 counterexample — no constant support", expTrapezoid},
 	}

@@ -32,6 +32,7 @@ func Hull2D(pts []Point, opt *Options) (*Hull2DResult, error) {
 	case EngineParallel:
 		res, err = hull2d.Par(work, &hull2d.Options{
 			Map:        o.ridgeMap2D(len(pts)),
+			Sched:      o.schedKind(),
 			GroupLimit: o.GroupLimit,
 			NoCounters: o.NoCounters,
 		})
@@ -88,6 +89,7 @@ func HullD(pts []Point, opt *Options) (*HullDResult, error) {
 	case EngineParallel:
 		res, err = hulld.Par(work, &hulld.Options{
 			Map:        o.ridgeMapD(len(pts), d),
+			Sched:      o.schedKind(),
 			GroupLimit: o.GroupLimit,
 			NoCounters: o.NoCounters,
 		})

@@ -53,6 +53,45 @@ func compact(buf []int32) []int32 {
 	return out
 }
 
+// Scratch is a caller-owned merge buffer for the serial filter path. The
+// work-stealing engines keep one Scratch per worker (inside their arenas),
+// so steady-state filtering touches no sync.Pool — no atomic pool round-trip
+// per facet, and the buffer stays hot in the worker's cache. The buffer
+// grows to the largest list the worker has filtered and is reused forever;
+// it never escapes: only the compacted result (allocated via alloc) does.
+type Scratch struct {
+	buf []int32
+}
+
+// MergeFilter is the serial equivalent of the package-level MergeFilter
+// using s as scratch. The surviving elements are copied into a slice
+// obtained from alloc(n) (which must return a length-n slice; nil selects
+// plain make) — the engines pass their per-worker arena allocator, so a
+// steady-state facet's conflict list costs zero individual allocations.
+// Output is identical to MergeFilter.
+func (s *Scratch) MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool, alloc func(int) []int32) []int32 {
+	need := len(c1) + len(c2)
+	if need == 0 {
+		return nil
+	}
+	if cap(s.buf) < need {
+		s.buf = make([]int32, 0, need)
+	}
+	buf := mergeFilterInto(s.buf[:0], c1, c2, drop, keep)
+	s.buf = buf[:0]
+	if len(buf) == 0 {
+		return nil
+	}
+	var out []int32
+	if alloc != nil {
+		out = alloc(len(buf))
+	} else {
+		out = make([]int32, len(buf))
+	}
+	copy(out, buf)
+	return out
+}
+
 // MergeFilter returns the ascending union of the ascending lists c1 and c2,
 // excluding drop and keeping only elements accepted by keep. keep must be
 // safe for concurrent calls (the engines' visibility predicates are: they

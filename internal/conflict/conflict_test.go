@@ -55,6 +55,48 @@ func TestMergeFilterMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestScratchMatchesMergeFilter pins the work-stealing engines' contract:
+// the caller-owned Scratch path produces exactly the MergeFilter output —
+// same elements, same order, nil for empty — with either allocator, and the
+// scratch buffer is reusable across calls without cross-contamination.
+func TestScratchMatchesMergeFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc Scratch
+	var allocCalls int
+	alloc := func(n int) []int32 {
+		allocCalls++
+		return make([]int32, n)
+	}
+	for trial := 0; trial < 60; trial++ {
+		n1, n2 := rng.Intn(2000), rng.Intn(2000)
+		c1 := sortedRandom(rng, n1, 10000)
+		c2 := sortedRandom(rng, n2, 10000)
+		var drop int32 = -1
+		if len(c1) > 0 {
+			drop = c1[rng.Intn(len(c1))]
+		}
+		keep := func(v int32) bool { return v%3 != 0 }
+		want := MergeFilter(c1, c2, drop, keep, 1<<30)
+		for _, a := range []func(int) []int32{nil, alloc} {
+			got := sc.MergeFilter(c1, c2, drop, keep, a)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: lengths %d vs %d", trial, len(got), len(want))
+			}
+			if want == nil && got != nil {
+				t.Fatalf("trial %d: want nil for empty result", trial)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: element %d differs", trial, i)
+				}
+			}
+		}
+	}
+	if allocCalls == 0 {
+		t.Fatal("custom allocator was never exercised")
+	}
+}
+
 func TestMergeFilterProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

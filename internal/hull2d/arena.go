@@ -1,0 +1,62 @@
+package hull2d
+
+import "parhull/internal/conflict"
+
+// Arena sizing: facets slab-allocate in batches; conflict lists carve from
+// per-worker int32 blocks. See internal/hulld/arena.go for the discipline —
+// this is the 2D instance (a 2D facet stores its endpoints inline, so the
+// only published slices are conflict lists).
+const (
+	arenaFacetSlab = 256
+	arenaIntBlock  = 1 << 14 // 16384 int32 = 64 KiB per block
+)
+
+// arena is one worker's private bump allocator on the work-stealing path.
+// Memory handed out is never recycled, so published facets and conflict
+// lists live exactly as long as heap-allocated ones: until the Result is
+// dropped. Only the owning worker (executor worker id) touches an arena;
+// nil falls back to plain heap allocation (Group/rounds/sequential paths).
+type arena struct {
+	facets []Facet          // remaining slots of the current facet slab
+	block  []int32          // remaining space of the current int32 block
+	sc     conflict.Scratch // reusable merge-filter scratch for this worker
+	alloc  func(int) []int32
+}
+
+// newArenas returns one arena per worker, alloc closures pre-bound so the
+// hot path does not allocate method-value closures.
+func newArenas(n int) []arena {
+	as := make([]arena, n)
+	for i := range as {
+		a := &as[i]
+		a.alloc = a.intsLen
+	}
+	return as
+}
+
+// facet returns a zeroed facet from the slab (heap when a == nil).
+func (a *arena) facet() *Facet {
+	if a == nil {
+		return &Facet{}
+	}
+	if len(a.facets) == 0 {
+		a.facets = make([]Facet, arenaFacetSlab)
+	}
+	f := &a.facets[0]
+	a.facets = a.facets[1:]
+	return f
+}
+
+// intsLen carves a length-n slice (capacity clamped to n) from the block;
+// oversized requests get their own allocation.
+func (a *arena) intsLen(n int) []int32 {
+	if a == nil || n > arenaIntBlock/4 {
+		return make([]int32, n)
+	}
+	if n > len(a.block) {
+		a.block = make([]int32, arenaIntBlock)
+	}
+	s := a.block[:n:n]
+	a.block = a.block[n:]
+	return s
+}

@@ -196,18 +196,20 @@ func (e *engine) record(f *Facet) {
 // newFacet builds the facet joining ridge r (a vertex index) with pivot p,
 // supported by the pair (t1, t2): t1 is the facet being replaced (p visible
 // from it), t2 the surviving neighbor. Orientation follows the CCW hull:
-// if r is t1's tail the new edge is r->p, otherwise p->r.
-func (e *engine) newFacet(r, p int32, t1, t2 *Facet, round int32) *Facet {
-	var f *Facet
+// if r is t1's tail the new edge is r->p, otherwise p->r. With a worker
+// arena (work-stealing path) the facet and its conflict list come from
+// per-worker blocks; nil a = heap (the other schedules).
+func (e *engine) newFacet(a *arena, r, p int32, t1, t2 *Facet, round int32) *Facet {
+	f := a.facet()
 	if r == t1.A {
-		f = &Facet{A: r, B: p}
+		f.A, f.B = r, p
 	} else {
-		f = &Facet{A: p, B: r}
+		f.A, f.B = p, r
 	}
 	f.Depth = 1 + max32(t1.Depth, t2.Depth)
 	f.Round = round
 	e.initPlane(f)
-	f.Conf = e.mergeFilter(t1.Conf, t2.Conf, p, f)
+	f.Conf = e.mergeFilter(a, t1.Conf, t2.Conf, p, f)
 	e.record(f)
 	return f
 }
@@ -215,9 +217,21 @@ func (e *engine) newFacet(r, p int32, t1, t2 *Facet, round int32) *Facet {
 // mergeFilter implements line 16 of Algorithm 3 (and line 9 of Algorithm 2):
 // C(t) = { v in C(t1) ∪ C(t2) : visible(v, t) }, excluding the new point p.
 // Long lists are filtered in parallel (see internal/conflict); the output
-// and the multiset of tests are identical to the serial path.
-func (e *engine) mergeFilter(c1, c2 []int32, p int32, f *Facet) []int32 {
-	return conflict.MergeFilter(c1, c2, p, func(v int32) bool { return e.visible(v, f) }, e.grain)
+// and the multiset of tests are identical to the serial path. With a worker
+// arena, short lists (the steady state) filter through the arena's scratch
+// and compact into arena memory — no pool round-trip, no per-facet alloc.
+func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
+	keep := func(v int32) bool { return e.visible(v, f) }
+	if a != nil {
+		grain := e.grain
+		if grain <= 0 {
+			grain = conflict.DefaultGrain
+		}
+		if len(c1)+len(c2) < grain {
+			return a.sc.MergeFilter(c1, c2, p, keep, a.alloc)
+		}
+	}
+	return conflict.MergeFilter(c1, c2, p, keep, e.grain)
 }
 
 // bury handles the equal-pivot case (line 10): both facets die.

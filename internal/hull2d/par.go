@@ -18,8 +18,14 @@ type Options struct {
 	// sharded map; tests and the E10 ablation install the paper's
 	// Algorithm 4 (CAS) and Algorithm 5 (TAS) tables instead.
 	Map conmap.RidgeMap[*Facet]
+	// Sched selects the fork-join substrate of Par: the work-stealing
+	// executor with per-worker arenas (sched.KindSteal, the default) or the
+	// goroutine-per-chain Group (sched.KindGroup — the A3 ablation in
+	// cmd/hullbench). The created-edge multiset is identical either way
+	// (Theorem 5.5; asserted by TestParSchedEquivalence).
+	Sched sched.Kind
 	// GroupLimit caps concurrently spawned ridge chains in the async engine
-	// (<= 0 selects the sched default).
+	// (<= 0 selects the sched default; Group substrate only).
 	GroupLimit int
 	// NoCounters disables visibility-test counting (for pure-speed runs).
 	NoCounters bool
@@ -51,6 +57,13 @@ func (o *Options) filterGrain() int {
 }
 
 func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
+
+func (o *Options) schedKind() sched.Kind {
+	if o == nil {
+		return sched.KindSteal
+	}
+	return o.Sched
+}
 
 // ridgeSlots abstracts the ridge multimap over plain vertex ids: in 2D a
 // ridge IS a single vertex, so the default map is a flat array of CAS slots
@@ -103,7 +116,8 @@ type task struct {
 // Par computes the convex hull with the parallel incremental Algorithm 3,
 // scheduled asynchronously: every ridge chain runs as soon as its facets
 // exist, with fork-join spawns for newly ready ridges. This is the
-// binary-forking-model execution of Theorem 5.5.
+// binary-forking-model execution of Theorem 5.5. Options.Sched picks the
+// substrate: work-stealing executor (default) or goroutine-per-chain Group.
 func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
@@ -114,52 +128,103 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 		return nil, err
 	}
 	m := opt.ridgeSlots(e)
-	limit := 0
-	if opt != nil {
-		limit = opt.GroupLimit
+	if opt.schedKind() == sched.KindGroup {
+		limit := 0
+		if opt != nil {
+			limit = opt.GroupLimit
+		}
+		parGroup(e, facets, m, limit)
+	} else {
+		parSteal(e, facets, m)
 	}
-	g := sched.NewGroup(limit)
+	return e.collectResult(0)
+}
 
-	// chain runs one ProcessRidge call chain to completion: the tail
-	// recursion of line 19 is a loop, and the second-arrival recursion of
-	// line 22 forks a fresh chain.
+// step executes one ProcessRidge iteration of the chain holding tk.
+// It either finishes the chain (line 9: both conflict sets empty — the
+// ridge is final; line 10: the shared pivot buries the ridge and both
+// facets) and reports done=false, or creates the replacement facet
+// (lines 14-17: p = min C(t1); t = join(r, p) replaces t1), hands the
+// fresh ridge {p} to the map — the second facet to arrive forks its
+// chain (line 22) — and returns the continuation task for the ridge
+// shared with t2 (line 19).
+func (e *engine) step(a *arena, tk task, m ridgeSlots, fork func(task)) (task, bool) {
+	p1, p2 := tk.t1.pivot(), tk.t2.pivot()
+	switch {
+	case p1 == noPivot && p2 == noPivot:
+		e.rec.Finalized()
+		return task{}, false
+	case p1 == p2:
+		e.bury(tk.t1, tk.t2)
+		return task{}, false
+	case p2 < p1:
+		// Lines 11-12: flip so t1 is the facet to replace.
+		tk.t1, tk.t2 = tk.t2, tk.t1
+		p1 = p2
+	}
+	t := e.newFacet(a, tk.r, p1, tk.t1, tk.t2, 0)
+	e.replace(tk.t1)
+	if !m.insertAndSet(p1, t) {
+		fork(task{t1: t, r: p1, t2: m.getValue(p1, t)})
+	}
+	return task{t1: t, r: tk.r, t2: tk.t2}, true
+}
+
+// initialTasks seeds one chain per ridge (shared endpoint) of the base
+// polygon.
+func initialTasks(facets []*Facet, fork func(task)) {
+	for i, f := range facets {
+		fork(task{t1: f, r: f.B, t2: facets[(i+1)%len(facets)]})
+	}
+}
+
+// parGroup runs the chains on the bounded goroutine-per-fork Group — the
+// PR-1 substrate, kept as the A3 ablation baseline.
+func parGroup(e *engine, facets []*Facet, m ridgeSlots, limit int) {
+	g := sched.NewGroup(limit)
 	var chain func(tk task)
 	chain = func(tk task) {
 		for {
-			p1, p2 := tk.t1.pivot(), tk.t2.pivot()
-			switch {
-			case p1 == noPivot && p2 == noPivot:
-				// Line 9: both conflict sets empty — the ridge is final.
-				e.rec.Finalized()
+			next, ok := e.step(nil, tk, m, func(nt task) {
+				g.Go(func() { chain(nt) })
+			})
+			if !ok {
 				return
-			case p1 == p2:
-				// Line 10: the pivot buries the ridge and both facets.
-				e.bury(tk.t1, tk.t2)
-				return
-			case p2 < p1:
-				// Lines 11-12: flip so t1 is the facet to replace.
-				tk.t1, tk.t2 = tk.t2, tk.t1
-				p1 = p2
 			}
-			// Lines 14-17: p = min C(t1); t = join(r, p) replaces t1.
-			t := e.newFacet(tk.r, p1, tk.t1, tk.t2, 0)
-			e.replace(tk.t1)
-			// Lines 18-22: the ridge shared with t2 continues this chain;
-			// the fresh ridge {p} is handed to the map, and the second
-			// facet to arrive forks its chain.
-			if !m.insertAndSet(p1, t) {
-				other := m.getValue(p1, t)
-				g.Go(func() { chain(task{t1: t, r: p1, t2: other}) })
-			}
-			tk = task{t1: t, r: tk.r, t2: tk.t2}
+			tk = next
 		}
 	}
-
-	for i, f := range facets {
-		f2 := facets[(i+1)%len(facets)]
-		tk := task{t1: f, r: f.B, t2: f2}
+	initialTasks(facets, func(tk task) {
 		g.Go(func() { chain(tk) })
-	}
+	})
 	g.Wait()
-	return e.collectResult(0)
+}
+
+// parSteal runs the chains on the work-stealing executor: a fixed pool of
+// long-lived workers, forks pushed to the forking worker's own deque as
+// plain task values (no closure, no goroutine spawn), and every facet and
+// conflict list allocated from the executing worker's arena.
+func parSteal(e *engine, facets []*Facet, m ridgeSlots) {
+	nw := sched.Workers()
+	arenas := newArenas(nw)
+	// Per-worker fork closures are bound once, before any task can run, so
+	// the chain hot path allocates nothing to fork.
+	forkFns := make([]func(task), nw)
+	var x *sched.Executor[task]
+	x = sched.NewExecutor(nw, func(w int, tk task) {
+		a, fork := &arenas[w], forkFns[w]
+		for {
+			next, ok := e.step(a, tk, m, fork)
+			if !ok {
+				return
+			}
+			tk = next
+		}
+	})
+	for w := range forkFns {
+		w := w
+		forkFns[w] = func(nt task) { x.Fork(w, nt) }
+	}
+	initialTasks(facets, func(tk task) { x.Fork(sched.External, tk) })
+	x.Wait()
 }

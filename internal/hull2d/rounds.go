@@ -134,7 +134,7 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
 			t1, t2 = t2, t1
 			p1 = p2
 		}
-		t := e.newFacet(tk.r, p1, t1, t2, tk.round)
+		t := e.newFacet(nil, tk.r, p1, t1, t2, tk.round)
 		e.replace(t1)
 		e.traceEvent(Event{Round: int(tk.round), Kind: EventCreated,
 			A: [2]int32{t.A, t.B}, B: [2]int32{t1.A, t1.B}})

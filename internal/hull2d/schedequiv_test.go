@@ -1,0 +1,40 @@
+package hull2d
+
+import (
+	"testing"
+
+	"parhull/internal/sched"
+)
+
+// TestParSchedEquivalence is the cross-schedule contract of Theorem 5.5 in
+// 2D: the work-stealing executor and the Group substrate must create the
+// identical edge multiset (and test count) on fixed seeds — the schedule
+// and the arena backing the memory are the only differences.
+func TestParSchedEquivalence(t *testing.T) {
+	for name, pts := range workloads(17, 400) {
+		group, err := Par(pts, &Options{Sched: sched.KindGroup})
+		if err != nil {
+			t.Fatalf("%s group: %v", name, err)
+		}
+		steal, err := Par(pts, &Options{Sched: sched.KindSteal})
+		if err != nil {
+			t.Fatalf("%s steal: %v", name, err)
+		}
+		ge, se := group.EdgeSet(), steal.EdgeSet()
+		if len(ge) != len(se) {
+			t.Fatalf("%s: %d distinct edges under group vs %d under steal", name, len(ge), len(se))
+		}
+		for e, c := range ge {
+			if se[e] != c {
+				t.Fatalf("%s: edge %v created %d times under group, %d under steal", name, e, c, se[e])
+			}
+		}
+		if group.Stats.VisibilityTests != steal.Stats.VisibilityTests {
+			t.Fatalf("%s: vtests group=%d steal=%d", name,
+				group.Stats.VisibilityTests, steal.Stats.VisibilityTests)
+		}
+		if !sameIntSet(hullVertexSet(group.Vertices), hullVertexSet(steal.Vertices)) {
+			t.Fatalf("%s: hulls differ between schedules", name)
+		}
+	}
+}

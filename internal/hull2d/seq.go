@@ -100,8 +100,8 @@ func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error
 
 		// Lines 7-10: one new facet per boundary ridge, with conflict lists
 		// filtered from the two incident facets.
-		left := e.newFacet(eStart.A, i, eStart, t2L, 0)
-		right := e.newFacet(eEnd.B, i, eEnd, t2R, 0)
+		left := e.newFacet(nil, eStart.A, i, eStart, t2L, 0)
+		right := e.newFacet(nil, eEnd.B, i, eEnd, t2R, 0)
 
 		// Line 11: H <- H \ R.
 		for _, f := range r {

@@ -1,0 +1,75 @@
+package hulld
+
+import "parhull/internal/conflict"
+
+// Arena sizing: facets are slab-allocated in batches and every small int32
+// slice the construction publishes (Verts, ridges, conflict lists) is carved
+// from per-worker blocks, so the steady-state cost of creating a facet is a
+// few pointer bumps instead of 4-6 heap allocations.
+const (
+	arenaFacetSlab = 256
+	arenaIntBlock  = 1 << 14 // 16384 int32 = 64 KiB per block
+)
+
+// arena is one worker's private allocator on the work-stealing path. It is
+// a monotone bump allocator: memory handed out is never recycled, so every
+// published slice stays valid (and immutable) for the lifetime of the
+// Result — the same lifetime heap-allocated facets had. Only the owning
+// worker ever touches an arena (indexed by the executor's worker id), so no
+// synchronization is needed; a nil *arena falls back to plain heap
+// allocation, which is what the Group, rounds, and sequential schedules use.
+type arena struct {
+	facets []Facet          // remaining slots of the current facet slab
+	block  []int32          // remaining space of the current int32 block
+	sc     conflict.Scratch // reusable merge-filter scratch for this worker
+	// alloc is the bound intsLen method, created once so the hot path does
+	// not allocate a fresh method-value closure per facet.
+	alloc func(int) []int32
+}
+
+// newArenas returns one arena per worker, alloc closures pre-bound.
+func newArenas(n int) []arena {
+	as := make([]arena, n)
+	for i := range as {
+		a := &as[i]
+		a.alloc = a.intsLen
+	}
+	return as
+}
+
+// facet returns a zeroed facet from the slab (or the heap when a == nil).
+// Whole slabs stay reachable as long as any facet in them does, which is
+// exactly the facet lifetime: until the Result is dropped.
+func (a *arena) facet() *Facet {
+	if a == nil {
+		return &Facet{}
+	}
+	if len(a.facets) == 0 {
+		a.facets = make([]Facet, arenaFacetSlab)
+	}
+	f := &a.facets[0]
+	a.facets = a.facets[1:]
+	return f
+}
+
+// ints carves a zero-length, capacity-n slice from the worker's block. The
+// capacity is clamped to n, so an append beyond n can never write into a
+// neighboring carve. Oversized requests (longer than a quarter block) get
+// their own allocation rather than wasting block space.
+func (a *arena) ints(n int) []int32 {
+	if a == nil || n > arenaIntBlock/4 {
+		return make([]int32, 0, n)
+	}
+	if n > len(a.block) {
+		a.block = make([]int32, arenaIntBlock)
+	}
+	s := a.block[:0:n]
+	a.block = a.block[n:]
+	return s
+}
+
+// intsLen is ints with the slice pre-extended to length n (for copy-style
+// fills, e.g. the conflict scratch's compaction allocator).
+func (a *arena) intsLen(n int) []int32 {
+	return a.ints(n)[:n]
+}

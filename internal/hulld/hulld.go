@@ -254,9 +254,11 @@ func (e *engine) record(f *Facet) {
 // makeFacet assembles a facet from sorted vertex indices, computing its
 // cached hyperplane and its outward sign from the interior reference point.
 // A zero sign means the simplex is degenerate or its plane passes through
-// the reference point — both general-position violations.
-func (e *engine) makeFacet(verts []int32) (*Facet, error) {
-	f := &Facet{Verts: verts}
+// the reference point — both general-position violations. The facet struct
+// comes from the worker arena when one is supplied (work-stealing path).
+func (e *engine) makeFacet(a *arena, verts []int32) (*Facet, error) {
+	f := a.facet()
+	f.Verts = verts
 	var s int
 	if e.planeEps > 0 {
 		// planeEps > 0 implies d <= geom.MaxPlaneDim, so the vertex slice
@@ -292,9 +294,11 @@ func (e *engine) makeFacet(verts []int32) (*Facet, error) {
 }
 
 // newFacet builds the facet joining ridge r with pivot p, supported by
-// (t1, t2), filtering the conflict list per line 16 of Algorithm 3.
-func (e *engine) newFacet(r []int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
-	verts := make([]int32, 0, len(r)+1)
+// (t1, t2), filtering the conflict list per line 16 of Algorithm 3. With a
+// worker arena the facet, its Verts, and its conflict list all come from
+// per-worker blocks (nil a = heap, used by the other schedules).
+func (e *engine) newFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
+	verts := a.ints(len(r) + 1)
 	ins := false
 	for _, v := range r {
 		if !ins && p < v {
@@ -306,21 +310,34 @@ func (e *engine) newFacet(r []int32, p int32, t1, t2 *Facet, round int32) (*Face
 	if !ins {
 		verts = append(verts, p)
 	}
-	f, err := e.makeFacet(verts)
+	f, err := e.makeFacet(a, verts)
 	if err != nil {
 		return nil, err
 	}
 	f.Depth = 1 + max32(t1.Depth, t2.Depth)
 	f.Round = round
-	f.Conf = e.mergeFilter(t1.Conf, t2.Conf, p, f)
+	f.Conf = e.mergeFilter(a, t1.Conf, t2.Conf, p, f)
 	e.record(f)
 	return f, nil
 }
 
 // mergeFilter merges the two ascending conflict lists, drops p, and keeps
 // the points visible from f (parallel for long lists; identical output).
-func (e *engine) mergeFilter(c1, c2 []int32, p int32, f *Facet) []int32 {
-	return conflict.MergeFilter(c1, c2, p, func(v int32) bool { return e.visible(v, f) }, e.grain)
+// With a worker arena, lists below the parallel threshold filter through
+// the arena's scratch and compact into arena memory — the steady-state case,
+// with no pool round-trip and no per-facet allocation.
+func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
+	keep := func(v int32) bool { return e.visible(v, f) }
+	if a != nil {
+		grain := e.grain
+		if grain <= 0 {
+			grain = conflict.DefaultGrain
+		}
+		if len(c1)+len(c2) < grain {
+			return a.sc.MergeFilter(c1, c2, p, keep, a.alloc)
+		}
+	}
+	return conflict.MergeFilter(c1, c2, p, keep, e.grain)
 }
 
 func (e *engine) bury(t1, t2 *Facet) {
@@ -364,7 +381,7 @@ func (e *engine) initialHull() ([]*Facet, error) {
 				verts = append(verts, int32(i))
 			}
 		}
-		f, err := e.makeFacet(verts)
+		f, err := e.makeFacet(nil, verts)
 		if err != nil {
 			return nil, err
 		}
@@ -380,8 +397,12 @@ func (e *engine) initialHull() ([]*Facet, error) {
 }
 
 // ridgeWithout returns the ridge of f that omits vertex q.
-func ridgeWithout(f *Facet, q int32) []int32 {
-	r := make([]int32, 0, len(f.Verts)-1)
+func ridgeWithout(f *Facet, q int32) []int32 { return ridgeWithoutIn(nil, f, q) }
+
+// ridgeWithoutIn is ridgeWithout carving the ridge slice from the worker
+// arena when one is supplied.
+func ridgeWithoutIn(a *arena, f *Facet, q int32) []int32 {
+	r := a.ints(len(f.Verts) - 1)
 	for _, v := range f.Verts {
 		if v != q {
 			r = append(r, v)

@@ -12,7 +12,14 @@ type Options struct {
 	// sharded map; install conmap.NewCASMap/NewTASMap for the paper's
 	// Algorithm 4/5 tables).
 	Map conmap.RidgeMap[*Facet]
-	// GroupLimit caps concurrently spawned ridge chains (async engine).
+	// Sched selects the fork-join substrate of Par: the work-stealing
+	// executor with per-worker arenas (sched.KindSteal, the default) or the
+	// goroutine-per-chain Group (sched.KindGroup — the A3 ablation in
+	// cmd/hullbench). The facet multiset is identical either way
+	// (Theorem 5.5; asserted by TestParSchedEquivalence).
+	Sched sched.Kind
+	// GroupLimit caps concurrently spawned ridge chains (Group substrate
+	// only; the work-stealing pool is fixed at GOMAXPROCS workers).
 	GroupLimit int
 	// NoCounters disables visibility-test counting.
 	NoCounters bool
@@ -34,6 +41,13 @@ func (o *Options) filterGrain() int {
 
 func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
 
+func (o *Options) schedKind() sched.Kind {
+	if o == nil {
+		return sched.KindSteal
+	}
+	return o.Sched
+}
+
 func (o *Options) ridgeMap(n, d int) conmap.RidgeMap[*Facet] {
 	if o != nil && o.Map != nil {
 		return o.Map
@@ -49,6 +63,8 @@ type task struct {
 
 // Par computes the d-dimensional convex hull with the parallel incremental
 // Algorithm 3 under the asynchronous fork-join schedule (Theorem 5.5).
+// Options.Sched picks the substrate: work-stealing executor (default) or
+// goroutine-per-chain Group.
 func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	d, err := validate(pts)
 	if err != nil {
@@ -60,54 +76,21 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 		return nil, err
 	}
 	m := opt.ridgeMap(len(pts), d)
-	limit := 0
-	if opt != nil {
-		limit = opt.GroupLimit
-	}
-	g := sched.NewGroup(limit)
-
-	var chain func(tk task)
-	chain = func(tk task) {
-		for {
-			if e.failed.Load() {
-				return
-			}
-			p1, p2 := tk.t1.pivot(), tk.t2.pivot()
-			switch {
-			case p1 == noPivot && p2 == noPivot:
-				e.rec.Finalized()
-				return
-			case p1 == p2:
-				e.bury(tk.t1, tk.t2)
-				return
-			case p2 < p1:
-				tk.t1, tk.t2 = tk.t2, tk.t1
-				p1 = p2
-			}
-			t, err := e.newFacet(tk.r, p1, tk.t1, tk.t2, 0)
-			if err != nil {
-				e.fail(err)
-				return
-			}
-			e.replace(tk.t1)
-			// Hand the d-1 fresh ridges (those containing the pivot) to the
-			// map; the second facet to arrive forks the chain (lines 20-22).
-			for _, q := range tk.r {
-				r2 := ridgeWithout(t, q)
-				k := ridgeKey(r2)
-				if !m.InsertAndSet(k, t) {
-					other := m.GetValue(k, t)
-					nt := task{t1: t, r: r2, t2: other}
-					g.Go(func() { chain(nt) })
-				}
-			}
-			// The ridge shared with t2 continues this chain (line 19).
-			tk = task{t1: t, r: tk.r, t2: tk.t2}
+	if opt.schedKind() == sched.KindGroup {
+		limit := 0
+		if opt != nil {
+			limit = opt.GroupLimit
 		}
+		parGroup(e, facets, m, limit)
+	} else {
+		parSteal(e, facets, m)
 	}
+	return e.collectResult(0)
+}
 
-	// One chain per ridge of the initial simplex: the ridge omitting
-	// vertices {i, j} is shared by the facets omitting i and omitting j.
+// initialTasks forks one chain per ridge of the initial simplex: the ridge
+// omitting vertices {i, j} is shared by the facets omitting i and omitting j.
+func initialTasks(d int, facets []*Facet, fork func(task)) {
 	for i := 0; i <= d; i++ {
 		for j := i + 1; j <= d; j++ {
 			r := make([]int32, 0, d-1)
@@ -116,10 +99,102 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 					r = append(r, int32(v))
 				}
 			}
-			tk := task{t1: facets[i], r: r, t2: facets[j]}
-			g.Go(func() { chain(tk) })
+			fork(task{t1: facets[i], r: r, t2: facets[j]})
 		}
 	}
+}
+
+// step executes one ProcessRidge iteration of the chain holding tk: it
+// either finishes the chain (both pivots empty, or equal pivots bury the
+// ridge) and reports done=false, or creates the replacement facet, hands the
+// fresh ridges to the map (forking the second-arrival chains), and returns
+// the continuation task for the surviving ridge (line 19).
+func (e *engine) step(a *arena, tk task, m conmap.RidgeMap[*Facet], fork func(task)) (task, bool) {
+	p1, p2 := tk.t1.pivot(), tk.t2.pivot()
+	switch {
+	case p1 == noPivot && p2 == noPivot:
+		e.rec.Finalized()
+		return task{}, false
+	case p1 == p2:
+		e.bury(tk.t1, tk.t2)
+		return task{}, false
+	case p2 < p1:
+		tk.t1, tk.t2 = tk.t2, tk.t1
+		p1 = p2
+	}
+	t, err := e.newFacet(a, tk.r, p1, tk.t1, tk.t2, 0)
+	if err != nil {
+		e.fail(err)
+		return task{}, false
+	}
+	e.replace(tk.t1)
+	// Hand the d-1 fresh ridges (those containing the pivot) to the map;
+	// the second facet to arrive forks the chain (lines 20-22).
+	for _, q := range tk.r {
+		r2 := ridgeWithoutIn(a, t, q)
+		k := ridgeKey(r2)
+		if !m.InsertAndSet(k, t) {
+			fork(task{t1: t, r: r2, t2: m.GetValue(k, t)})
+		}
+	}
+	// The ridge shared with t2 continues this chain (line 19).
+	return task{t1: t, r: tk.r, t2: tk.t2}, true
+}
+
+// parGroup runs the chains on the bounded goroutine-per-fork Group — the
+// PR-1 substrate, kept as the A3 ablation baseline.
+func parGroup(e *engine, facets []*Facet, m conmap.RidgeMap[*Facet], limit int) {
+	g := sched.NewGroup(limit)
+	var chain func(tk task)
+	chain = func(tk task) {
+		for {
+			if e.failed.Load() {
+				return
+			}
+			next, ok := e.step(nil, tk, m, func(nt task) {
+				g.Go(func() { chain(nt) })
+			})
+			if !ok {
+				return
+			}
+			tk = next
+		}
+	}
+	initialTasks(e.d, facets, func(tk task) {
+		g.Go(func() { chain(tk) })
+	})
 	g.Wait()
-	return e.collectResult(0)
+}
+
+// parSteal runs the chains on the work-stealing executor: one long-lived
+// worker per P, forks pushed to the forking worker's own deque as plain
+// task values (no closure, no goroutine spawn), and every facet allocated
+// from the executing worker's arena.
+func parSteal(e *engine, facets []*Facet, m conmap.RidgeMap[*Facet]) {
+	nw := sched.Workers()
+	arenas := newArenas(nw)
+	// Per-worker fork closures are bound once, before any task can run, so
+	// the chain hot path allocates nothing to fork (task values ride the
+	// deques directly).
+	forkFns := make([]func(task), nw)
+	var x *sched.Executor[task]
+	x = sched.NewExecutor(nw, func(w int, tk task) {
+		a, fork := &arenas[w], forkFns[w]
+		for {
+			if e.failed.Load() {
+				return
+			}
+			next, ok := e.step(a, tk, m, fork)
+			if !ok {
+				return
+			}
+			tk = next
+		}
+	})
+	for w := range forkFns {
+		w := w
+		forkFns[w] = func(nt task) { x.Fork(w, nt) }
+	}
+	initialTasks(e.d, facets, func(tk task) { x.Fork(sched.External, tk) })
+	x.Wait()
 }

@@ -56,7 +56,7 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 			t1, t2 = t2, t1
 			p1 = p2
 		}
-		t, err := e.newFacet(tk.r, p1, t1, t2, tk.round)
+		t, err := e.newFacet(nil, tk.r, p1, t1, t2, tk.round)
 		if err != nil {
 			e.fail(err)
 			return

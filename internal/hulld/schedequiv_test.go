@@ -1,0 +1,49 @@
+package hulld
+
+import (
+	"testing"
+
+	"parhull/internal/sched"
+)
+
+// TestParSchedEquivalence is the cross-schedule contract of Theorem 5.5:
+// Algorithm 3 performs the same facet creations under any legal schedule,
+// so the work-stealing executor and the Group substrate must produce the
+// identical facet multiset, test count, and dependence-depth profile on
+// fixed seeds — only the order (and the arena backing the memory) differs.
+func TestParSchedEquivalence(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		n := 150
+		if d == 4 {
+			n = 60
+		}
+		for name, pts := range workloads(11, n, d) {
+			group, err := Par(pts, &Options{Sched: sched.KindGroup})
+			if err != nil {
+				t.Fatalf("d=%d %s group: %v", d, name, err)
+			}
+			steal, err := Par(pts, &Options{Sched: sched.KindSteal})
+			if err != nil {
+				t.Fatalf("d=%d %s steal: %v", d, name, err)
+			}
+			gs, ss := group.FacetSet(), steal.FacetSet()
+			if len(gs) != len(ss) {
+				t.Fatalf("d=%d %s: %d distinct facets under group vs %d under steal", d, name, len(gs), len(ss))
+			}
+			for k, c := range gs {
+				if ss[k] != c {
+					t.Fatalf("d=%d %s: facet multiplicity differs between schedules", d, name)
+				}
+			}
+			if group.Stats.VisibilityTests != steal.Stats.VisibilityTests {
+				t.Fatalf("d=%d %s: vtests group=%d steal=%d", d, name,
+					group.Stats.VisibilityTests, steal.Stats.VisibilityTests)
+			}
+			if group.Stats.MaxDepth != steal.Stats.MaxDepth {
+				t.Fatalf("d=%d %s: depth group=%d steal=%d", d, name,
+					group.Stats.MaxDepth, steal.Stats.MaxDepth)
+			}
+			verifyHull(t, pts, steal)
+		}
+	}
+}

@@ -99,7 +99,7 @@ func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
 				if g.mark == i {
 					continue // interior ridge of the visible region
 				}
-				t, err := e.newFacet(ridgeWithout(f, f.Verts[qi]), i, f, g, 0)
+				t, err := e.newFacet(nil, ridgeWithout(f, f.Verts[qi]), i, f, g, 0)
 				if err != nil {
 					return nil, err
 				}

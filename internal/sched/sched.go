@@ -137,22 +137,31 @@ func RunRoundsWidths[T any](initial []T, step func(task T, emitNext func(T))) (i
 	return rounds, widths
 }
 
-// collectParallel runs step on every task, gathering emitted tasks with
-// per-chunk buffers that are concatenated after the barrier.
+// collectParallel runs step on every task, gathering emitted tasks into a
+// per-task slot and concatenating the slots after the barrier. No shared
+// mutex is involved — the seed version funneled every chunk's output through
+// one global lock, serializing the wide early rounds — and the concatenation
+// order is deterministic (task index), so the next frontier's order does not
+// depend on chunk timing.
 func collectParallel[T any](tasks []T, step func(task T, emitNext func(T))) []T {
-	var mu sync.Mutex
-	var out []T
+	parts := make([][]T, len(tasks))
 	ParallelFor(len(tasks), 1, func(lo, hi int) {
-		var local []T
-		emit := func(t T) { local = append(local, t) }
 		for i := lo; i < hi; i++ {
-			step(tasks[i], emit)
-		}
-		if len(local) > 0 {
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
+			var local []T
+			step(tasks[i], func(t T) { local = append(local, t) })
+			parts[i] = local
 		}
 	})
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
 	return out
 }

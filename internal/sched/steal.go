@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kind selects the fork-join substrate the asynchronous hull engines run
+// on. The work-stealing executor is the default; the Group engine is kept
+// as a selectable fallback (the A3 ablation in cmd/hullbench). Both
+// substrates execute the same facet creations — only the schedule differs
+// (Theorem 5.5's relaxed-order guarantee).
+type Kind int
+
+const (
+	// KindSteal runs chains on a fixed pool of long-lived workers with
+	// per-worker LIFO deques and steal-on-empty (Blumofe-Leiserson work
+	// stealing, the scheduler the binary-forking model assumes).
+	KindSteal Kind = iota
+	// KindGroup spawns a bounded goroutine per forked chain (sched.Group).
+	KindGroup
+)
+
+// External is the worker id to pass to Executor.Fork from outside the pool
+// (root tasks submitted before Wait). External forks are spread round-robin
+// across the deques.
+const External = -1
+
+// Executor is a work-stealing fork-join pool: a fixed set of long-lived
+// worker goroutines, each owning a LIFO deque of pending tasks. A worker
+// pushes its forks onto its own deque and pops from the same end (depth-
+// first, cache-warm, the order a serial execution would use); a worker whose
+// deque is empty steals from the opposite end of a sibling's deque (oldest
+// task, most likely to fan out); a worker that finds nothing parks until new
+// work arrives. This is the Fork of the binary-forking model (Theorem 5.5)
+// run on the scheduler that model assumes, replacing Group's goroutine-per-
+// fork: no channel-semaphore handshake and no goroutine spawn per forked
+// ridge chain, and — because the pool is fixed — every task learns a stable
+// worker id it can use to index per-worker state (the engines' arenas).
+//
+// The task type T is a value, not a closure: forks carry plain task structs
+// through the deques, so the steady-state fork path performs no allocation
+// (deque slabs amortize). The run callback receives the executing worker's
+// id alongside the task — this is how spawned chains learn their worker.
+//
+// An Executor is one-shot: NewExecutor starts the workers, Fork submits
+// work (from root context or from inside run), and Wait blocks until the
+// pool is quiescent, then stops the workers. Fork must not be called after
+// Wait has been entered from the submitting goroutine.
+type Executor[T any] struct {
+	run    func(worker int, task T)
+	deques []deque[T]
+
+	// pending counts unfinished tasks plus one submission token held by the
+	// constructor and released by Wait, so the count cannot touch zero while
+	// roots are still being forked. done closes on the unique 1 -> 0 step.
+	pending atomic.Int64
+	done    chan struct{}
+
+	// idlers is read on every fork: only when a worker is parked does Fork
+	// take the wake lock. In the facet-creation steady state every worker is
+	// busy and a fork is a deque push plus two uncontended atomics.
+	idlers atomic.Int32
+	rr     atomic.Uint32 // round-robin target for external forks
+
+	mu      sync.Mutex
+	wake    sync.Cond
+	seq     uint64 // bumped under mu by every wake, guards against lost signals
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// deque is one worker's task queue: owner pushes and pops at the tail
+// (LIFO), thieves take from the head (FIFO). A plain mutex suffices — the
+// owner's push/pop touch an uncontended lock in the steady state, and steals
+// are rare by construction (they only happen when a deque runs dry).
+type deque[T any] struct {
+	mu   sync.Mutex
+	head int
+	buf  []T
+	// Pad so neighboring deques do not false-share a cache line.
+	_ [64]byte
+}
+
+func (d *deque[T]) push(t T) {
+	d.mu.Lock()
+	d.buf = append(d.buf, t)
+	d.mu.Unlock()
+}
+
+// pop takes the newest task (owner side). Slots are zeroed on removal so
+// the deque does not retain dead facets, and the buffer resets when drained.
+func (d *deque[T]) pop() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	if d.head == len(d.buf) {
+		d.head = 0
+		d.buf = d.buf[:0]
+		d.mu.Unlock()
+		return zero, false
+	}
+	t := d.buf[len(d.buf)-1]
+	d.buf[len(d.buf)-1] = zero
+	d.buf = d.buf[:len(d.buf)-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+// steal takes the oldest task (thief side).
+func (d *deque[T]) steal() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	if d.head == len(d.buf) {
+		d.mu.Unlock()
+		return zero, false
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head++
+	d.mu.Unlock()
+	return t, true
+}
+
+// NewExecutor starts a pool of workers goroutines (workers <= 0 selects
+// GOMAXPROCS) executing run(worker, task) for every forked task. Exactly
+// workers goroutines exist for the lifetime of the pool, regardless of how
+// many tasks are forked or how deeply forks nest — the goroutine-bound
+// contract TestExecutorBoundsGoroutines pins, mirroring Group's.
+func NewExecutor[T any](workers int, run func(worker int, task T)) *Executor[T] {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	x := &Executor[T]{
+		run:    run,
+		deques: make([]deque[T], workers),
+		done:   make(chan struct{}),
+	}
+	x.wake.L = &x.mu
+	x.pending.Store(1) // the submission token; Wait releases it
+	x.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go x.worker(i)
+	}
+	return x
+}
+
+// Fork enqueues a task. from is the worker id of the calling task (so the
+// fork lands on the caller's own deque, preserving the LIFO depth-first
+// order of the binary-forking model) or External from outside the pool.
+func (x *Executor[T]) Fork(from int, task T) {
+	x.pending.Add(1)
+	w := from
+	if w < 0 || w >= len(x.deques) {
+		w = int(x.rr.Add(1)-1) % len(x.deques)
+	}
+	x.deques[w].push(task)
+	if x.idlers.Load() > 0 {
+		x.mu.Lock()
+		x.seq++
+		x.wake.Broadcast()
+		x.mu.Unlock()
+	}
+}
+
+// Wait blocks until every forked task (including tasks forked by tasks) has
+// completed, then stops the workers and returns. One-shot.
+func (x *Executor[T]) Wait() {
+	x.release() // drop the submission token
+	<-x.done
+	x.mu.Lock()
+	x.stopped = true
+	x.wake.Broadcast()
+	x.mu.Unlock()
+	x.wg.Wait()
+}
+
+// release retires one pending count; the unique transition to zero opens
+// the quiescence gate.
+func (x *Executor[T]) release() {
+	if x.pending.Add(-1) == 0 {
+		close(x.done)
+	}
+}
+
+func (x *Executor[T]) worker(id int) {
+	defer x.wg.Done()
+	for {
+		t, ok := x.find(id)
+		if !ok {
+			t, ok = x.park(id)
+			if !ok {
+				return
+			}
+		}
+		x.run(id, t)
+		x.release()
+	}
+}
+
+// find pops the worker's own deque, then tries to steal from each sibling
+// in turn (starting just past its own index so thieves spread out).
+func (x *Executor[T]) find(id int) (T, bool) {
+	if t, ok := x.deques[id].pop(); ok {
+		return t, true
+	}
+	n := len(x.deques)
+	for k := 1; k < n; k++ {
+		if t, ok := x.deques[(id+k)%n].steal(); ok {
+			return t, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// park blocks until a task is available (returned) or the pool stops
+// (ok=false). The idlers counter is raised before the final rescan, so a
+// concurrent Fork either makes its push visible to that rescan or sees
+// idlers > 0 and bumps seq under the lock — a lost wakeup is impossible.
+func (x *Executor[T]) park(id int) (T, bool) {
+	var zero T
+	x.idlers.Add(1)
+	defer x.idlers.Add(-1)
+	for {
+		x.mu.Lock()
+		seq := x.seq
+		stopped := x.stopped
+		x.mu.Unlock()
+		if stopped {
+			return zero, false
+		}
+		if t, ok := x.find(id); ok {
+			return t, true
+		}
+		x.mu.Lock()
+		for x.seq == seq && !x.stopped {
+			x.wake.Wait()
+		}
+		x.mu.Unlock()
+	}
+}

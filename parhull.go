@@ -39,6 +39,7 @@ import (
 	"parhull/internal/hulld"
 	"parhull/internal/hullstats"
 	"parhull/internal/pointgen"
+	"parhull/internal/sched"
 )
 
 // Point is a point in R^d (d = len(p)).
@@ -62,6 +63,20 @@ const (
 	// EngineRounds is Algorithm 3 under the round-synchronous schedule of
 	// Theorem 5.4; Stats.Rounds reports the recursion depth of Theorem 5.3.
 	EngineRounds
+)
+
+// SchedKind selects the fork-join substrate of the EngineParallel schedule.
+type SchedKind int
+
+const (
+	// SchedSteal runs ridge chains on a fixed pool of long-lived workers
+	// with per-worker LIFO deques, steal-on-empty, and per-worker arenas
+	// (Blumofe-Leiserson work stealing — the scheduler the binary-forking
+	// model of Theorem 5.5 assumes). Default.
+	SchedSteal SchedKind = iota
+	// SchedGroup spawns a bounded goroutine per forked chain — the previous
+	// substrate, kept for the A3 ablation in cmd/hullbench.
+	SchedGroup
 )
 
 // MapKind selects the concurrent ridge multimap M of Algorithm 3.
@@ -95,10 +110,23 @@ type Options struct {
 	Shuffle bool
 	// Seed drives Shuffle (same seed, same order).
 	Seed int64
-	// GroupLimit caps concurrently spawned ridge chains (EngineParallel).
+	// Sched selects the fork-join substrate of EngineParallel (default
+	// SchedSteal). The facet output is identical across substrates
+	// (Theorem 5.5) — only scheduling and allocation behavior differ.
+	Sched SchedKind
+	// GroupLimit caps concurrently spawned ridge chains (EngineParallel
+	// with SchedGroup only).
 	GroupLimit int
 	// NoCounters disables visibility-test counting for pure-speed runs.
 	NoCounters bool
+}
+
+// schedKind maps the public knob onto the internal scheduler kind.
+func (o *Options) schedKind() sched.Kind {
+	if o != nil && o.Sched == SchedGroup {
+		return sched.KindGroup
+	}
+	return sched.KindSteal
 }
 
 func (o *Options) or() *Options {
