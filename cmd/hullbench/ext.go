@@ -7,6 +7,7 @@ import (
 	"parhull/internal/circles"
 	"parhull/internal/core"
 	"parhull/internal/corner"
+	"parhull/internal/engine"
 	"parhull/internal/geom"
 	"parhull/internal/halfspace"
 	"parhull/internal/hulld"
@@ -76,6 +77,42 @@ func expCorner() {
 		sk := corner.SkeletonOf(faces)
 		fmt.Fprintf(w, "grid %dx%dx%d\t%d\t%d\t24 (cube corners)\tV=%d E=%d F=%d\n",
 			k, k, k, len(pts), len(act), sk.V, sk.E, sk.F)
+	}
+	w.Flush()
+
+	// The generic rounds engine (engine.SpaceRounds) vs the brute-force
+	// enumeration: same final active set, at a fraction of the conflict
+	// tests, plus the recursion depth the simulator cannot report cheaply.
+	fmt.Println()
+	w = table()
+	fmt.Fprintln(w, "input\tpoints\t|T(Y)| engine\t|T(Y)| core\tagree\tcreated\trounds")
+	for _, k := range []int{2, 3} {
+		pts := pointgen.Grid3D(k)
+		if k == 2 {
+			pts = append(pts, geom.Point{0.5, 0.5, 0}, geom.Point{0.5, 0, 0.5}, geom.Point{0, 0.5, 0.5})
+		}
+		sp, err := corner.NewSpace(pts)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		y := make([]int, len(pts))
+		for i := range y {
+			y[i] = i
+		}
+		res, err := engine.SpaceRounds(sp, y)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		act := core.Active(sp, y)
+		agree := len(res.Alive) == len(act)
+		for i := 0; agree && i < len(act); i++ {
+			agree = res.Alive[i] == act[i]
+		}
+		fmt.Fprintf(w, "grid %dx%dx%d%s\t%d\t%d\t%d\t%v\t%d\t%d\n",
+			k, k, k, map[bool]string{true: "+extras", false: ""}[k == 2],
+			len(pts), len(res.Alive), len(act), agree, res.Created, res.Rounds)
 	}
 	w.Flush()
 

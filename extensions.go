@@ -2,9 +2,9 @@ package parhull
 
 import (
 	"parhull/internal/circles"
-	"parhull/internal/core"
 	"parhull/internal/corner"
 	"parhull/internal/delaunay"
+	"parhull/internal/engine"
 	"parhull/internal/halfspace"
 	"parhull/internal/hulld"
 )
@@ -41,9 +41,11 @@ func HalfspaceIntersection(normals []Point, opt *Options) (*HalfspaceResult, err
 		d = len(normals[0])
 	}
 	res, err := halfspace.IntersectDual(work, &hulld.Options{
-		Map:        o.ridgeMapD(len(normals), d),
-		GroupLimit: o.GroupLimit,
-		NoCounters: o.NoCounters,
+		Map:          o.ridgeMapD(len(normals), d),
+		GroupLimit:   o.GroupLimit,
+		NoCounters:   o.NoCounters,
+		FilterGrain:  o.FilterGrain,
+		NoPlaneCache: o.NoPlaneCache,
 	})
 	if err != nil {
 		return nil, err
@@ -129,14 +131,18 @@ type Face3D struct {
 
 // Hull3DDegenerate computes the convex hull of 3D points that may be
 // degenerate (four or more coplanar, three or more collinear), using the
-// corner configuration space of Section 6. It returns the hull's faces as
-// vertex cycles — squares for a cube, general polygons for planar clusters —
-// rather than a simplicial facet list.
+// corner configuration space of Section 6 (a 4-supported space) run through
+// the generic rounds engine (engine.SpaceRounds). It returns the hull's
+// faces as vertex cycles — squares for a cube, general polygons for planar
+// clusters — rather than a simplicial facet list.
 //
 // The corner space is enumerated explicitly (O(n^3) configurations with
 // O(n) conflict tests each), so this is intended for moderate inputs
 // (hundreds of points); for large inputs in general position use Hull3D.
 // Exact duplicates must be removed first (they are reported as errors).
+// The engine's final active set provably equals T(X) — the set the
+// brute-force core simulator computes — which is asserted on degenerate
+// fixtures by tests.
 func Hull3DDegenerate(pts []Point) ([]Face3D, error) {
 	s, err := corner.NewSpace(pts)
 	if err != nil {
@@ -146,7 +152,11 @@ func Hull3DDegenerate(pts []Point) ([]Face3D, error) {
 	for i := range all {
 		all[i] = i
 	}
-	faces, err := corner.Faces(s, core.Active(s, all))
+	res, err := engine.SpaceRounds(s, all)
+	if err != nil {
+		return nil, err
+	}
+	faces, err := corner.Faces(s, res.Alive)
 	if err != nil {
 		return nil, err
 	}

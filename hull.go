@@ -28,18 +28,26 @@ func Hull2D(pts []Point, opt *Options) (*Hull2DResult, error) {
 	var err error
 	switch o.Engine {
 	case EngineSequential:
-		res, err = hull2d.Seq(work)
+		if o.NoPlaneCache {
+			res, err = hull2d.SeqNoPlaneCache(work)
+		} else {
+			res, err = hull2d.Seq(work)
+		}
 	case EngineParallel:
 		res, err = hull2d.Par(work, &hull2d.Options{
-			Map:        o.ridgeMap2D(len(pts)),
-			Sched:      o.schedKind(),
-			GroupLimit: o.GroupLimit,
-			NoCounters: o.NoCounters,
+			Map:          o.ridgeMap2D(len(pts)),
+			Sched:        o.schedKind(),
+			GroupLimit:   o.GroupLimit,
+			NoCounters:   o.NoCounters,
+			FilterGrain:  o.FilterGrain,
+			NoPlaneCache: o.NoPlaneCache,
 		})
 	case EngineRounds:
 		res, _, err = hull2d.Rounds(work, &hull2d.Options{
-			Map:        o.ridgeMap2D(len(pts)),
-			NoCounters: o.NoCounters,
+			Map:          o.ridgeMap2D(len(pts)),
+			NoCounters:   o.NoCounters,
+			FilterGrain:  o.FilterGrain,
+			NoPlaneCache: o.NoPlaneCache,
 		})
 	default:
 		return nil, errBadEngine
@@ -85,18 +93,26 @@ func HullD(pts []Point, opt *Options) (*HullDResult, error) {
 	var err error
 	switch o.Engine {
 	case EngineSequential:
-		res, err = hulld.Seq(work)
+		if o.NoPlaneCache {
+			res, err = hulld.SeqNoPlaneCache(work)
+		} else {
+			res, err = hulld.Seq(work)
+		}
 	case EngineParallel:
 		res, err = hulld.Par(work, &hulld.Options{
-			Map:        o.ridgeMapD(len(pts), d),
-			Sched:      o.schedKind(),
-			GroupLimit: o.GroupLimit,
-			NoCounters: o.NoCounters,
+			Map:          o.ridgeMapD(len(pts), d),
+			Sched:        o.schedKind(),
+			GroupLimit:   o.GroupLimit,
+			NoCounters:   o.NoCounters,
+			FilterGrain:  o.FilterGrain,
+			NoPlaneCache: o.NoPlaneCache,
 		})
 	case EngineRounds:
 		res, err = hulld.Rounds(work, &hulld.Options{
-			Map:        o.ridgeMapD(len(pts), d),
-			NoCounters: o.NoCounters,
+			Map:          o.ridgeMapD(len(pts), d),
+			NoCounters:   o.NoCounters,
+			FilterGrain:  o.FilterGrain,
+			NoPlaneCache: o.NoPlaneCache,
 		})
 	default:
 		return nil, errBadEngine

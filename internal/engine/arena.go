@@ -1,0 +1,79 @@
+package engine
+
+import "parhull/internal/conflict"
+
+// Arena sizing: facets are slab-allocated in batches and every small int32
+// slice a construction publishes (vertex tuples, ridges, conflict lists) is
+// carved from per-worker blocks, so the steady-state cost of creating a
+// facet is a few pointer bumps instead of 4-6 heap allocations.
+const (
+	arenaFacetSlab = 256
+	arenaIntBlock  = 1 << 14 // 16384 int32 = 64 KiB per block
+)
+
+// Arena is one worker's private allocator on the work-stealing path, generic
+// over the kernel's facet value type. It is a monotone bump allocator:
+// memory handed out is never recycled, so every published slice stays valid
+// (and immutable) for the lifetime of the Result — the same lifetime
+// heap-allocated facets had. Only the owning worker ever touches an arena
+// (indexed by the executor's worker id), so no synchronization is needed; a
+// nil *Arena falls back to plain heap allocation, which is what the Group,
+// rounds, and sequential schedules use.
+type Arena[FV any] struct {
+	facets []FV    // remaining slots of the current facet slab
+	block  []int32 // remaining space of the current int32 block
+	// Scratch is the worker's reusable merge-filter buffer (see
+	// conflict.Scratch): steady-state conflict filtering touches no
+	// sync.Pool and stays hot in the worker's cache.
+	Scratch conflict.Scratch
+	// Alloc is the bound IntsLen method, created once by NewArenas so the
+	// hot path does not allocate a fresh method-value closure per facet.
+	Alloc func(int) []int32
+}
+
+// NewArenas returns one arena per worker, Alloc closures pre-bound.
+func NewArenas[FV any](n int) []Arena[FV] {
+	as := make([]Arena[FV], n)
+	for i := range as {
+		a := &as[i]
+		a.Alloc = a.IntsLen
+	}
+	return as
+}
+
+// Facet returns a zeroed facet from the slab (or the heap when a == nil).
+// Whole slabs stay reachable as long as any facet in them does, which is
+// exactly the facet lifetime: until the Result is dropped.
+func (a *Arena[FV]) Facet() *FV {
+	if a == nil {
+		return new(FV)
+	}
+	if len(a.facets) == 0 {
+		a.facets = make([]FV, arenaFacetSlab)
+	}
+	f := &a.facets[0]
+	a.facets = a.facets[1:]
+	return f
+}
+
+// Ints carves a zero-length, capacity-n slice from the worker's block. The
+// capacity is clamped to n, so an append beyond n can never write into a
+// neighboring carve. Oversized requests (longer than a quarter block) get
+// their own allocation rather than wasting block space.
+func (a *Arena[FV]) Ints(n int) []int32 {
+	if a == nil || n > arenaIntBlock/4 {
+		return make([]int32, 0, n)
+	}
+	if n > len(a.block) {
+		a.block = make([]int32, arenaIntBlock)
+	}
+	s := a.block[:0:n]
+	a.block = a.block[n:]
+	return s
+}
+
+// IntsLen is Ints with the slice pre-extended to length n (for copy-style
+// fills, e.g. the conflict scratch's compaction allocator).
+func (a *Arena[FV]) IntsLen(n int) []int32 {
+	return a.Ints(n)[:n]
+}

@@ -1,0 +1,50 @@
+package engine_test
+
+import (
+	"testing"
+
+	"parhull/internal/engine"
+)
+
+func TestArenaNilFallsBackToHeap(t *testing.T) {
+	var a *engine.Arena[int]
+	if f := a.Facet(); f == nil || *f != 0 {
+		t.Fatal("nil arena Facet not zeroed heap value")
+	}
+	s := a.Ints(5)
+	if len(s) != 0 || cap(s) != 5 {
+		t.Fatalf("nil arena Ints: len=%d cap=%d", len(s), cap(s))
+	}
+	if l := a.IntsLen(3); len(l) != 3 {
+		t.Fatalf("nil arena IntsLen: len=%d", len(l))
+	}
+}
+
+func TestArenaCarvesAreIsolated(t *testing.T) {
+	as := engine.NewArenas[int](1)
+	a := &as[0]
+	x := a.Ints(2)
+	y := a.Ints(2)
+	x = append(x, 1, 2)
+	y = append(y, 3, 4)
+	// Capacity clamping must prevent an overflowing append from touching the
+	// neighboring carve.
+	x = append(x, 9)
+	if y[0] != 3 || y[1] != 4 {
+		t.Fatalf("append beyond capacity corrupted neighbor carve: %v", y)
+	}
+	if x[2] != 9 {
+		t.Fatalf("overflow append lost: %v", x)
+	}
+	if a.Alloc == nil {
+		t.Fatal("NewArenas did not bind Alloc")
+	}
+	if l := a.Alloc(4); len(l) != 4 {
+		t.Fatalf("Alloc(4): len=%d", len(l))
+	}
+	// Distinct facets from the same slab.
+	f1, f2 := a.Facet(), a.Facet()
+	if f1 == f2 {
+		t.Fatal("slab returned the same facet twice")
+	}
+}

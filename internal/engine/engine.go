@@ -1,0 +1,317 @@
+// Package engine is the generic Algorithm-3 driver: the ridge-chain
+// machinery of the paper's parallel randomized incremental construction,
+// extracted from the per-geometry packages and parameterized by a compact
+// kernel interface. The paper's central claim (Theorems 1.1/4.2) is that the
+// algorithm is generic over any configuration space with constant-size
+// support sets; this package makes the code reflect that: internal/hull2d
+// and internal/hulld are thin geometry kernels, and every schedule — the
+// sequential Algorithm 2 loop (Seq), the asynchronous fork-join schedule on
+// the work-stealing executor or the goroutine Group (Par), and the
+// round-synchronous PRAM schedule (Rounds) — lives here exactly once.
+//
+// Division of responsibility:
+//
+//   - The driver owns scheduling (chain loops, forking, the rounds barrier),
+//     the ridge-table handshake (InsertAndSet/GetValue — the second facet to
+//     arrive at a ridge forks its chain, lines 20-22 of Algorithm 3), facet
+//     life-cycle counters, error/abort propagation, and the per-worker
+//     arena + scratch-buffer lifetime discipline.
+//   - The kernel owns geometry: facet and ridge representation, pivot
+//     lookup, facet construction with exact conflict filtering (the
+//     float-filter fast path included), and fresh-ridge enumeration.
+//
+// A schedule or scheduler fix now lands once instead of once per geometry,
+// and a new configuration space gets all three schedules by implementing the
+// kernel interface (see space.go for the generic route that needs no kernel
+// at all, only a core.Space).
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"parhull/internal/hullstats"
+	"parhull/internal/sched"
+)
+
+// NoPivot is the conflict pivot of an empty conflict set: later than every
+// real point index. Kernels must return it from Pivot for facets with no
+// conflicts.
+const NoPivot = int32(math.MaxInt32)
+
+// Task is one pending ProcessRidge(t1, r, t2) invocation: ridge R currently
+// shared by facets T1 and T2. FV is the kernel's facet value type (facets
+// are handled as *FV so they can carry atomic liveness state); R is the
+// ridge representation (a single vertex index in 2D, a sorted index slice in
+// general dimension).
+type Task[FV any, R any] struct {
+	T1 *FV
+	R  R
+	T2 *FV
+}
+
+// Kernel is the geometry plug of the driver: everything Algorithm 3 needs
+// that depends on the configuration space. Implementations must be safe for
+// concurrent calls on distinct facets; the driver guarantees each facet is
+// created by exactly one worker and killed through atomic test-and-set.
+type Kernel[FV any, R any] interface {
+	// Pivot returns min C(f) — the conflict pivot b_t of Section 5.2 — or
+	// NoPivot for an empty conflict set.
+	Pivot(f *FV) int32
+	// NewFacet builds the facet joining ridge r with pivot p, supported by
+	// (t1, t2): t1 is the facet being replaced (p visible from it), t2 the
+	// surviving neighbor. It filters the conflict list per line 16 of
+	// Algorithm 3 and records the facet (creation counter, dependence
+	// depth). With a non-nil arena the facet and its published slices come
+	// from per-worker blocks. An error reports degenerate input and aborts
+	// the construction.
+	NewFacet(a *Arena[FV], r R, p int32, t1, t2 *FV, round int32) (*FV, error)
+	// FreshRidges appends to buf the ridges of t that contain the pivot —
+	// every ridge of t except r itself (line 20) — and returns the extended
+	// slice. Ridge values handed out here are published into the ridge table
+	// and into forked tasks, so kernels must carve them from the arena (or
+	// heap), never from reused scratch.
+	FreshRidges(a *Arena[FV], t *FV, r R, buf []R) []R
+	// Kill marks f dead, reporting whether this call was the first. (A facet
+	// can be condemned twice — replaced through one ridge and buried through
+	// the other — so counters fire only on the first kill.)
+	Kill(f *FV) bool
+}
+
+// Table is the concurrent ridge multimap M of Algorithm 3, keyed by the
+// kernel's ridge representation. Of the two InsertAndSet calls on one ridge
+// exactly one returns false, and by then the other facet is visible to
+// GetValue (the one-loser contract of Theorems A.1/A.2). The general-
+// dimension kernels route through conmap (see table.go); the 2D kernel
+// substitutes a flat array of CAS slots indexed by vertex.
+type Table[FV any, R any] interface {
+	InsertAndSet(r R, f *FV) bool
+	GetValue(r R, not *FV) *FV
+}
+
+// Config assembles one parallel construction: kernel, ridge table, and the
+// shared stats recorder (the same Recorder instance the kernel counts
+// visibility tests on).
+type Config[FV any, R any] struct {
+	Kernel Kernel[FV, R]
+	Table  Table[FV, R]
+	Rec    *hullstats.Recorder
+	// Sched selects the fork-join substrate of Par: the work-stealing
+	// executor with per-worker arenas (sched.KindSteal, default) or the
+	// goroutine-per-chain Group (sched.KindGroup). Ignored by Rounds.
+	Sched sched.Kind
+	// GroupLimit caps concurrently spawned ridge chains (Group only).
+	GroupLimit int
+}
+
+// driver carries the per-run scheduling state shared by the chain loops.
+type driver[FV any, R any] struct {
+	k   Kernel[FV, R]
+	tbl Table[FV, R]
+	rec *hullstats.Recorder
+
+	errOnce sync.Once
+	err     error
+	failed  atomic.Bool
+}
+
+func (d *driver[FV, R]) fail(err error) {
+	d.errOnce.Do(func() { d.err = err })
+	d.failed.Store(true)
+}
+
+// step executes one ProcessRidge iteration of the chain holding tk: it
+// either finishes the chain (line 9: both conflict sets empty — the ridge is
+// final; line 10: the shared pivot buries the ridge and both facets) and
+// reports done=false, or creates the replacement facet (lines 14-17), hands
+// the fresh ridges to the table — the second facet to arrive forks its chain
+// (lines 20-22) — and returns the continuation task for the ridge shared
+// with t2 (line 19). ridges is caller-owned scratch reused across steps
+// (nil forces fresh allocation, the Group/rounds behavior).
+func (d *driver[FV, R]) step(a *Arena[FV], tk Task[FV, R], ridges []R, round int32, fork func(Task[FV, R])) (Task[FV, R], []R, bool) {
+	var zero Task[FV, R]
+	p1, p2 := d.k.Pivot(tk.T1), d.k.Pivot(tk.T2)
+	switch {
+	case p1 == NoPivot && p2 == NoPivot:
+		d.rec.Finalized()
+		return zero, ridges, false
+	case p1 == p2:
+		d.rec.Buried(d.k.Kill(tk.T1))
+		d.rec.Buried(d.k.Kill(tk.T2))
+		return zero, ridges, false
+	case p2 < p1:
+		// Lines 11-12: flip so T1 is the facet to replace.
+		tk.T1, tk.T2 = tk.T2, tk.T1
+		p1 = p2
+	}
+	t, err := d.k.NewFacet(a, tk.R, p1, tk.T1, tk.T2, round)
+	if err != nil {
+		d.fail(err)
+		return zero, ridges, false
+	}
+	d.rec.Replaced(d.k.Kill(tk.T1))
+	ridges = d.k.FreshRidges(a, t, tk.R, ridges[:0])
+	for _, r2 := range ridges {
+		if !d.tbl.InsertAndSet(r2, t) {
+			fork(Task[FV, R]{T1: t, R: r2, T2: d.tbl.GetValue(r2, t)})
+		}
+	}
+	return Task[FV, R]{T1: t, R: tk.R, T2: tk.T2}, ridges, true
+}
+
+// Par runs Algorithm 3 under the asynchronous fork-join schedule (the
+// binary-forking model of Theorem 5.5) over the initial ridge tasks. seed is
+// called once with the root fork function (one call per ridge of the base
+// simplex/polygon). It returns the first kernel error, if any.
+func Par[FV any, R any](cfg Config[FV, R], seed func(fork func(Task[FV, R]))) error {
+	d := &driver[FV, R]{k: cfg.Kernel, tbl: cfg.Table, rec: cfg.Rec}
+	if cfg.Sched == sched.KindGroup {
+		d.parGroup(cfg.GroupLimit, seed)
+	} else {
+		d.parSteal(seed)
+	}
+	return d.err
+}
+
+// parGroup runs the chains on the bounded goroutine-per-fork Group — the
+// PR-1 substrate, kept as the A3 ablation baseline. No arenas: facets and
+// ridges heap-allocate, as they always did on this substrate.
+func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) {
+	g := sched.NewGroup(limit)
+	var chain func(tk Task[FV, R])
+	chain = func(tk Task[FV, R]) {
+		for {
+			if d.failed.Load() {
+				return
+			}
+			next, _, ok := d.step(nil, tk, nil, 0, func(nt Task[FV, R]) {
+				g.Go(func() { chain(nt) })
+			})
+			if !ok {
+				return
+			}
+			tk = next
+		}
+	}
+	seed(func(tk Task[FV, R]) {
+		g.Go(func() { chain(tk) })
+	})
+	g.Wait()
+}
+
+// parSteal runs the chains on the work-stealing executor: one long-lived
+// worker per P, forks pushed to the forking worker's own deque as plain task
+// values (no closure, no goroutine spawn), every facet and published slice
+// allocated from the executing worker's arena, and the fresh-ridge scratch
+// reused per worker so the steady-state step allocates nothing beyond the
+// facet's own arena carves.
+func (d *driver[FV, R]) parSteal(seed func(fork func(Task[FV, R]))) {
+	nw := sched.Workers()
+	arenas := NewArenas[FV](nw)
+	ridgeBufs := make([][]R, nw)
+	// Per-worker fork closures are bound once, before any task can run, so
+	// the chain hot path allocates nothing to fork.
+	forkFns := make([]func(Task[FV, R]), nw)
+	var x *sched.Executor[Task[FV, R]]
+	x = sched.NewExecutor(nw, func(w int, tk Task[FV, R]) {
+		a, fork := &arenas[w], forkFns[w]
+		for {
+			if d.failed.Load() {
+				return
+			}
+			next, buf, ok := d.step(a, tk, ridgeBufs[w], 0, fork)
+			ridgeBufs[w] = buf
+			if !ok {
+				return
+			}
+			tk = next
+		}
+	})
+	for w := range forkFns {
+		w := w
+		forkFns[w] = func(nt Task[FV, R]) { x.Fork(w, nt) }
+	}
+	seed(func(tk Task[FV, R]) { x.Fork(sched.External, tk) })
+	x.Wait()
+}
+
+// EventKind classifies an observed ProcessRidge outcome of the rounds
+// schedule (the machine-readable form of the paper's Figure 1 narrative).
+type EventKind int
+
+const (
+	// EventCreated records a new facet replacing an old one (lines 14-17):
+	// the observer receives (new facet, replaced facet).
+	EventCreated EventKind = iota
+	// EventBuried records an equal-pivot ridge burying both facets (line
+	// 10): the observer receives the two facets incident on the ridge.
+	EventBuried
+	// EventFinal records a ridge whose facets both have empty conflict sets
+	// (line 9): the observer receives the two facets.
+	EventFinal
+)
+
+// Rounds runs Algorithm 3 under the round-synchronous schedule of Theorem
+// 5.4 over the initial tasks: each ready ProcessRidge call executes one step
+// per round with a global barrier between rounds, so the returned round
+// count is the recursion depth of Theorem 5.3 and widths[r] the ready-task
+// frontier of round r+1. Flips (lines 11-12) run inline and do not consume a
+// round. observe, when non-nil, is called for every outcome with the round
+// and the two facets of the event (it must be safe for concurrent calls;
+// the 2D kernel uses it to build its per-round Trace).
+func Rounds[FV any, R any](cfg Config[FV, R], initial []Task[FV, R],
+	observe func(kind EventKind, round int32, a, b *FV)) (rounds int, widths []int, err error) {
+
+	d := &driver[FV, R]{k: cfg.Kernel, tbl: cfg.Table, rec: cfg.Rec}
+	type roundTask struct {
+		Task[FV, R]
+		round int32
+	}
+	seed := make([]roundTask, len(initial))
+	for i, tk := range initial {
+		seed[i] = roundTask{Task: tk, round: 1}
+	}
+	rounds, widths = sched.RunRoundsWidths(seed, func(tk roundTask, emit func(roundTask)) {
+		if d.failed.Load() {
+			return
+		}
+		t1, t2 := tk.T1, tk.T2
+		p1, p2 := d.k.Pivot(t1), d.k.Pivot(t2)
+		switch {
+		case p1 == NoPivot && p2 == NoPivot:
+			d.rec.Finalized()
+			if observe != nil {
+				observe(EventFinal, tk.round, t1, t2)
+			}
+			return
+		case p1 == p2:
+			d.rec.Buried(d.k.Kill(t1))
+			d.rec.Buried(d.k.Kill(t2))
+			if observe != nil {
+				observe(EventBuried, tk.round, t1, t2)
+			}
+			return
+		case p2 < p1:
+			t1, t2 = t2, t1
+			p1 = p2
+		}
+		t, err := d.k.NewFacet(nil, tk.R, p1, t1, t2, tk.round)
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		d.rec.Replaced(d.k.Kill(t1))
+		if observe != nil {
+			observe(EventCreated, tk.round, t, t1)
+		}
+		for _, r2 := range d.k.FreshRidges(nil, t, tk.R, nil) {
+			if !d.tbl.InsertAndSet(r2, t) {
+				other := d.tbl.GetValue(r2, t)
+				emit(roundTask{Task: Task[FV, R]{T1: t, R: r2, T2: other}, round: tk.round + 1})
+			}
+		}
+		emit(roundTask{Task: Task[FV, R]{T1: t, R: tk.R, T2: t2}, round: tk.round + 1})
+	})
+	return rounds, widths, d.err
+}

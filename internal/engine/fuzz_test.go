@@ -1,0 +1,135 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"parhull/internal/geom"
+	"parhull/internal/hull2d"
+	"parhull/internal/hulld"
+	"parhull/internal/pointgen"
+	"parhull/internal/sched"
+)
+
+// FuzzEngineEquivalence drives random point sets through all three schedules
+// of both kernels and asserts Theorem 5.5's guarantee: the schedules create
+// the identical facet multiset and hull vertex set (previously pinned only
+// on fixed seeds). Inputs the engines reject as degenerate are skipped —
+// rejection must then be unanimous.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(2), false)
+	f.Add(int64(2), uint8(40), uint8(3), true)
+	f.Add(int64(3), uint8(9), uint8(4), false)
+	f.Add(int64(99), uint8(64), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed int64, n, dim uint8, sphere bool) {
+		d := 2 + int(dim)%3 // dimensions 2..4
+		np := int(n)
+		if np < d+2 {
+			np = d + 2
+		}
+		rng := pointgen.NewRNG(seed)
+		var pts []geom.Point
+		if sphere {
+			pts = pointgen.OnSphere(rng, np, d)
+		} else {
+			pts = pointgen.UniformBall(rng, np, d)
+		}
+		if d == 2 {
+			fuzz2D(t, pts)
+		} else {
+			fuzzD(t, pts)
+		}
+	})
+}
+
+// degenerate reports whether err is an input-rejection either kernel may
+// legitimately raise on fuzzed points (near-collinear base, wrapped visible
+// region, coplanar facet).
+func degenerate(err error) bool {
+	return errors.Is(err, hull2d.ErrDegenerate) || errors.Is(err, hulld.ErrDegenerate)
+}
+
+func fuzz2D(t *testing.T, pts []geom.Point) {
+	seq, err := hull2d.Seq(pts)
+	if degenerate(err) {
+		return
+	}
+	if err != nil {
+		t.Fatalf("Seq: %v", err)
+	}
+	results := map[string]*hull2d.Result{}
+	for name, opt := range map[string]*hull2d.Options{
+		"par/steal": {},
+		"par/group": {Sched: sched.KindGroup},
+	} {
+		r, err := hull2d.Par(pts, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = r
+	}
+	rr, _, err := hull2d.Rounds(pts, nil)
+	if err != nil {
+		t.Fatalf("Rounds: %v", err)
+	}
+	results["rounds"] = rr
+	want := seq.EdgeSet()
+	wantV := fmt.Sprint(seq.Vertices)
+	for name, r := range results {
+		if gotV := fmt.Sprint(r.Vertices); gotV != wantV {
+			t.Errorf("%s vertices = %s, seq = %s", name, gotV, wantV)
+		}
+		got := r.EdgeSet()
+		if len(got) != len(want) {
+			t.Fatalf("%s created %d distinct edges, seq %d", name, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Errorf("%s edge %v multiplicity %d, seq %d", name, k, got[k], c)
+			}
+		}
+	}
+}
+
+func fuzzD(t *testing.T, pts []geom.Point) {
+	seq, err := hulld.Seq(pts)
+	if degenerate(err) {
+		return
+	}
+	if err != nil {
+		t.Fatalf("Seq: %v", err)
+	}
+	results := map[string]*hulld.Result{}
+	for name, opt := range map[string]*hulld.Options{
+		"par/steal": {},
+		"par/group": {Sched: sched.KindGroup},
+	} {
+		r, err := hulld.Par(pts, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = r
+	}
+	rr, err := hulld.Rounds(pts, nil)
+	if err != nil {
+		t.Fatalf("Rounds: %v", err)
+	}
+	results["rounds"] = rr
+	want := seq.FacetSet()
+	wantV := fmt.Sprint(seq.Vertices)
+	for name, r := range results {
+		if gotV := fmt.Sprint(r.Vertices); gotV != wantV {
+			t.Errorf("%s vertices = %s, seq = %s", name, gotV, wantV)
+		}
+		got := r.FacetSet()
+		if len(got) != len(want) {
+			t.Fatalf("%s created %d distinct facets, seq %d", name, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Errorf("%s facet %x multiplicity %d, seq %d", name, k, got[k], c)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package engine
+
+import "parhull/internal/hullstats"
+
+// SeqGeometry supplies the geometry-specific pieces of the sequential
+// Algorithm 2 loop that are not already in the Kernel: the bipartite
+// conflict graph is generic (point -> facets it is visible from), but how a
+// geometry finds the boundary ridges of a visible region — the linked hull
+// cycle in 2D, the ridge-adjacency map in general dimension — is not.
+type SeqGeometry[FV any, R any] interface {
+	// Conf returns f's conflict list (ascending insertion indices).
+	Conf(f *FV) []int32
+	// MarkVisible stamps f as visible for insertion step i and reports
+	// whether f belongs to the visible set R <- C^-1(v_i) of line 5 (alive,
+	// and not already stamped this step). Stamps are how Boundary later
+	// distinguishes visible facets from survivors.
+	MarkVisible(f *FV, i int32) bool
+	// Boundary appends one task per boundary ridge of the visible region
+	// (line 6) — ridge r with visible facet T1 and surviving neighbor T2 —
+	// and returns the extended slice. It runs after every member of vis has
+	// been stamped. An error reports degenerate input.
+	Boundary(vis []*FV, i int32, tasks []Task[FV, R]) ([]Task[FV, R], error)
+	// Register links a facet into the geometry's adjacency structure (the
+	// 2D hull cycle, the d-dimensional ridge map). Called for the base
+	// facets and for every created facet, after the step's kills.
+	Register(f *FV)
+}
+
+// Seq runs the sequential randomized incremental method — Algorithm 2 —
+// inserting points base..n-1 in index order over the given base facets. It
+// maintains the Clarkson–Shor bipartite conflict graph, so its plane-side
+// tests are exactly the conflict filters: the same multiset Algorithm 3
+// performs (asserted by the cross-engine tests of both kernels).
+//
+// baseSizes seeds the per-step hull-size series for the base prefix; the
+// returned slice extends it with the facet count after each insertion (the
+// |T(Y_i)| of the Theorem 3.1 bound).
+func Seq[FV any, R any](k Kernel[FV, R], g SeqGeometry[FV, R], rec *hullstats.Recorder,
+	facets []*FV, n int32, baseSizes []int) ([]int, error) {
+
+	// Bipartite conflict graph: point -> facets whose conflict list holds it.
+	pf := make([][]*FV, n)
+	addPF := func(f *FV) {
+		for _, v := range g.Conf(f) {
+			pf[v] = append(pf[v], f)
+		}
+	}
+	for _, f := range facets {
+		g.Register(f)
+		addPF(f)
+	}
+
+	hullSizes := append(make([]int, 0, n), baseSizes...)
+	alive := len(facets)
+	base := int32(len(baseSizes))
+	var vis []*FV
+	var tasks []Task[FV, R]
+	var created []*FV
+	for i := base; i < n; i++ {
+		// R <- C^-1(v_i): the facets visible from the new point (line 5).
+		vis = vis[:0]
+		for _, f := range pf[i] {
+			if g.MarkVisible(f, i) {
+				vis = append(vis, f)
+			}
+		}
+		if len(vis) == 0 {
+			hullSizes = append(hullSizes, alive)
+			continue // v_i falls inside the current hull
+		}
+		// Lines 6-10: one new facet per boundary ridge, with conflict lists
+		// filtered from the two incident facets.
+		var err error
+		tasks, err = g.Boundary(vis, i, tasks[:0])
+		if err != nil {
+			return nil, err
+		}
+		created = created[:0]
+		for _, tk := range tasks {
+			t, err := k.NewFacet(nil, tk.R, i, tk.T1, tk.T2, 0)
+			if err != nil {
+				return nil, err
+			}
+			created = append(created, t)
+		}
+		// Line 11: H <- H \ R.
+		for _, f := range vis {
+			rec.Replaced(k.Kill(f))
+		}
+		for _, t := range created {
+			g.Register(t)
+			addPF(t)
+		}
+		alive += len(created) - len(vis)
+		hullSizes = append(hullSizes, alive)
+	}
+	return hullSizes, nil
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"parhull/internal/core"
+	"parhull/internal/sched"
+)
+
+// SpaceResult is the outcome of SpaceRounds.
+type SpaceResult struct {
+	// Alive is the final active set T(order): every configuration whose
+	// defining objects all appear in order and whose conflict set avoids it.
+	// Sorted ascending by configuration index.
+	Alive []int
+	// Created counts configurations ever activated (the |Added| analogue of
+	// core.RunGeneric, but without the brute-force search's transient extras:
+	// this engine creates exactly the configurations that enter T at some
+	// prefix).
+	Created int
+	// Rounds is the number of synchronous rounds executed — the recursion
+	// depth of the dependence structure under the Theorem 5.4 schedule.
+	Rounds int
+	// Widths[r] is the number of ready tasks in round r+1.
+	Widths []int
+}
+
+// SpaceRounds runs the parallel incremental construction over an arbitrary
+// enumerated configuration space under the round-synchronous schedule,
+// inserting the objects of order (a duplicate-free subset of the space's
+// objects, base prefix first) in index order. It is the generic route onto
+// the driver's rounds schedule: a space needs no kernel, only its core.Space
+// enumeration — this is how degenerate 3D inputs get a real engine through
+// the corner space of Section 6 (see parhull.Hull3DDegenerate).
+//
+// Unlike core.RunGeneric — the brute-force Algorithm 1 validator, which
+// rediscovers support sets by subset search and rescans the full active set
+// every round — this engine exploits the structure the paper's analysis
+// rests on:
+//
+//   - A configuration's fate is decided by one number: the first object (in
+//     insertion order) of its conflict set. The configuration activates when
+//     its last defining object arrives (provided no earlier object conflicts)
+//     and dies exactly when that first conflicting object does. One ascending
+//     scan with early exit computes both.
+//   - When a pending configuration's pivot x is claimed (first claimant per
+//     object, the same one-loser discipline as the ridge table), the claimant
+//     creates every configuration whose defining set peaks at x — a static,
+//     precomputed bucket — and each new configuration with a pivot becomes a
+//     task of the next round.
+//
+// Completeness of claiming follows from the support property (Definition
+// 3.3): if anything activates at x, some member of its support set is active
+// just before x and has x at the head of its conflict set, so a task with
+// pivot x exists. Spaces without the support property (e.g. the trapezoid
+// counterexample) may leave activations unclaimed; SpaceRounds requires a
+// supported space, which every space in this repository except trapezoid is.
+func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
+	n := s.NumObjects()
+	nb := s.BaseSize()
+	if len(order) < nb {
+		return nil, fmt.Errorf("engine: need at least base size %d objects, got %d", nb, len(order))
+	}
+	// rank[o] is o's insertion position, or -1 for objects not inserted.
+	rank := make([]int32, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for i, o := range order {
+		if o < 0 || o >= n {
+			return nil, fmt.Errorf("engine: object %d out of range [0,%d)", o, n)
+		}
+		if rank[o] >= 0 {
+			return nil, fmt.Errorf("engine: object %d appears twice in order", o)
+		}
+		rank[o] = int32(i)
+	}
+
+	// firstConflict returns the insertion rank of the earliest inserted
+	// object conflicting with configuration c, or NoPivot if none does.
+	firstConflict := func(c int) int32 {
+		for r, o := range order {
+			if s.InConflict(c, o) {
+				return int32(r)
+			}
+		}
+		return NoPivot
+	}
+
+	// Bucket each constructible configuration under the rank at which its
+	// defining set completes; configurations completing within the base
+	// prefix are base candidates.
+	m := s.NumConfigs()
+	byPeak := make([][]int32, len(order))
+	var baseCand []int32
+	for c := 0; c < m; c++ {
+		peak := int32(-1)
+		ok := true
+		for _, o := range s.Defining(c) {
+			r := rank[o]
+			if r < 0 {
+				ok = false // a defining object is never inserted
+				break
+			}
+			if r > peak {
+				peak = r
+			}
+		}
+		if !ok {
+			continue
+		}
+		if peak < int32(nb) {
+			baseCand = append(baseCand, int32(c))
+		} else {
+			byPeak[peak] = append(byPeak[peak], int32(c))
+		}
+	}
+
+	created := make([]bool, m)
+	pivotOf := make([]int32, m)
+	claimed := make([]atomic.Bool, len(order))
+	var nCreated atomic.Int64
+
+	// create activates c at activation rank at (its defining peak): c enters
+	// T iff no inserted object of rank < at conflicts with it. It returns the
+	// pivot rank, or NoPivot for a final configuration, and false if c never
+	// activates.
+	create := func(c int32, at int32) (int32, bool) {
+		p := firstConflict(int(c))
+		if p < at {
+			return 0, false // killed before its defining set completes
+		}
+		created[c] = true
+		pivotOf[c] = p
+		return p, true
+	}
+
+	type task struct {
+		c     int32 // pending configuration
+		round int32
+	}
+	var initial []task
+	for _, c := range baseCand {
+		p, ok := create(c, int32(nb))
+		if !ok {
+			continue
+		}
+		nCreated.Add(1)
+		if p != NoPivot {
+			initial = append(initial, task{c: c, round: 1})
+		}
+	}
+	rounds, widths := sched.RunRoundsWidths(initial, func(tk task, emit func(task)) {
+		// tk.c dies here: its pivot's insertion kills it (one task per
+		// configuration, so no double counting). The first task to claim the
+		// pivot performs the insertion's creations; each configuration sits in
+		// exactly one peak bucket and each rank is claimed once, so the
+		// created/pivotOf entries have exclusive writers.
+		x := pivotOf[tk.c]
+		if !claimed[x].CompareAndSwap(false, true) {
+			return
+		}
+		for _, c := range byPeak[x] {
+			p, ok := create(c, x)
+			if !ok {
+				continue
+			}
+			nCreated.Add(1)
+			if p != NoPivot {
+				emit(task{c: c, round: tk.round + 1})
+			}
+		}
+	})
+
+	res := &SpaceResult{Created: int(nCreated.Load()), Rounds: rounds, Widths: widths}
+	for c := 0; c < m; c++ {
+		if created[c] && pivotOf[c] == NoPivot {
+			res.Alive = append(res.Alive, c)
+		}
+	}
+	return res, nil
+}

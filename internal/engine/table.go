@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"parhull/internal/conflict"
+	"parhull/internal/conmap"
+)
+
+// DefaultMapCapacity is the sizing rule for growable ridge multimaps: the
+// expected number of distinct ridges touched by a construction on n points
+// in dimension d — every facet registers at most d ridges and the expected
+// number of created facets is O(d·n) for a random order. This is a pre-size,
+// not a limit: the sharded map grows past it, so over-sizing only wastes
+// memory (a 4x pre-size costs ~90 MB and ~10% wall-clock on the ball-100k
+// benchmark for nothing). Earlier code used this rule internally but 4x it
+// in the public layer; the driver now owns both rules — see
+// FixedMapCapacity for the tables that genuinely need the headroom.
+func DefaultMapCapacity(n, d int) int { return (d + 1) * n }
+
+// FixedMapCapacity is the sizing rule for the fixed-capacity CAS/TAS tables
+// (the paper's Algorithms 4/5): open-addressing with no growth, so they must
+// never fill. 4x the expected ridge count keeps the load factor low even on
+// adversarial inputs where every point is a hull vertex (sphere workloads).
+func FixedMapCapacity(n, d int) int { return 4 * DefaultMapCapacity(n, d) }
+
+// ConmapTable adapts a conmap.RidgeMap (MapSharded/MapCAS/MapTAS) to the
+// driver's Table over sorted-index-slice ridges. Ridge slices are retained
+// as map keys, which is why FreshRidges must publish arena- or
+// heap-allocated slices.
+type ConmapTable[FV any] struct {
+	M conmap.RidgeMap[*FV]
+}
+
+// InsertAndSet implements Table.
+func (t ConmapTable[FV]) InsertAndSet(r []int32, f *FV) bool {
+	return t.M.InsertAndSet(conmap.MakeKey(r), f)
+}
+
+// GetValue implements Table.
+func (t ConmapTable[FV]) GetValue(r []int32, not *FV) *FV {
+	return t.M.GetValue(conmap.MakeKey(r), not)
+}
+
+// MergeFilter implements line 16 of Algorithm 3 (and line 9 of Algorithm 2):
+// C(t) = { v in C(t1) ∪ C(t2) : keep(v) }, excluding the new point p, where
+// keep is the kernel's exact visibility predicate against the new facet.
+// Lists at least grain long (0 selects conflict.DefaultGrain) filter in
+// parallel chunks; with a worker arena, shorter lists — the steady state —
+// filter through the arena's scratch and compact into arena memory, with no
+// pool round-trip and no per-facet allocation. The output and the multiset
+// of visibility tests are identical on every path.
+func MergeFilter[FV any](a *Arena[FV], c1, c2 []int32, p int32, keep func(int32) bool, grain int) []int32 {
+	if a != nil {
+		g := grain
+		if g <= 0 {
+			g = conflict.DefaultGrain
+		}
+		if len(c1)+len(c2) < g {
+			return a.Scratch.MergeFilter(c1, c2, p, keep, a.Alloc)
+		}
+	}
+	return conflict.MergeFilter(c1, c2, p, keep, grain)
+}

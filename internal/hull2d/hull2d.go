@@ -35,6 +35,7 @@ import (
 
 	"parhull/internal/conflict"
 	"parhull/internal/conmap"
+	eng "parhull/internal/engine"
 	"parhull/internal/facetlog"
 	"parhull/internal/geom"
 	"parhull/internal/hullstats"
@@ -47,8 +48,39 @@ import (
 var ErrDegenerate = errors.New("hull2d: degenerate input (need 3 non-collinear initial points)")
 
 // noPivot is the conflict pivot of an empty conflict set: later than every
-// real point index.
-const noPivot = int32(math.MaxInt32)
+// real point index (the driver's sentinel).
+const noPivot = eng.NoPivot
+
+// arena is this kernel's per-worker allocator: the generic bump arena
+// instantiated at the 2D facet type. A 2D facet stores its endpoints inline,
+// so the only published slices are conflict lists.
+type arena = eng.Arena[Facet]
+
+// kernel adapts the 2D geometry to the generic Algorithm-3 driver in
+// internal/engine: facets are directed edges, a ridge is a single shared
+// endpoint, and the fresh ridge of a new edge is the pivot it just absorbed.
+type kernel struct{ e *engine }
+
+// Pivot implements engine.Kernel.
+func (k kernel) Pivot(f *Facet) int32 { return f.pivot() }
+
+// NewFacet implements engine.Kernel (2D facet construction cannot fail: the
+// base triangle fixed the orientation and conflict filtering is total).
+func (k kernel) NewFacet(a *arena, r int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
+	return k.e.newFacet(a, r, p, t1, t2, round), nil
+}
+
+// FreshRidges implements engine.Kernel: the one fresh ridge of the new edge
+// is its endpoint other than r — the pivot just inserted.
+func (k kernel) FreshRidges(a *arena, t *Facet, r int32, buf []int32) []int32 {
+	if t.A == r {
+		return append(buf, t.B)
+	}
+	return append(buf, t.A)
+}
+
+// Kill implements engine.Kernel.
+func (k kernel) Kill(f *Facet) bool { return f.kill() }
 
 // Facet is a directed hull edge A->B (indices into the insertion order).
 // Facets are immutable after creation except for the liveness flag: the
@@ -200,7 +232,7 @@ func (e *engine) record(f *Facet) {
 // arena (work-stealing path) the facet and its conflict list come from
 // per-worker blocks; nil a = heap (the other schedules).
 func (e *engine) newFacet(a *arena, r, p int32, t1, t2 *Facet, round int32) *Facet {
-	f := a.facet()
+	f := a.Facet()
 	if r == t1.A {
 		f.A, f.B = r, p
 	} else {
@@ -214,35 +246,12 @@ func (e *engine) newFacet(a *arena, r, p int32, t1, t2 *Facet, round int32) *Fac
 	return f
 }
 
-// mergeFilter implements line 16 of Algorithm 3 (and line 9 of Algorithm 2):
-// C(t) = { v in C(t1) ∪ C(t2) : visible(v, t) }, excluding the new point p.
-// Long lists are filtered in parallel (see internal/conflict); the output
-// and the multiset of tests are identical to the serial path. With a worker
-// arena, short lists (the steady state) filter through the arena's scratch
-// and compact into arena memory — no pool round-trip, no per-facet alloc.
+// mergeFilter implements line 16 of Algorithm 3 (and line 9 of Algorithm 2)
+// through the driver's shared grain/arena discipline (engine.MergeFilter),
+// with this kernel's exact visibility predicate as the filter.
 func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
 	keep := func(v int32) bool { return e.visible(v, f) }
-	if a != nil {
-		grain := e.grain
-		if grain <= 0 {
-			grain = conflict.DefaultGrain
-		}
-		if len(c1)+len(c2) < grain {
-			return a.sc.MergeFilter(c1, c2, p, keep, a.alloc)
-		}
-	}
-	return conflict.MergeFilter(c1, c2, p, keep, e.grain)
-}
-
-// bury handles the equal-pivot case (line 10): both facets die.
-func (e *engine) bury(t1, t2 *Facet) {
-	e.rec.Buried(t1.kill())
-	e.rec.Buried(t2.kill())
-}
-
-// replace marks t1 replaced by a new facet (line 17).
-func (e *engine) replace(t1 *Facet) {
-	e.rec.Replaced(t1.kill())
+	return eng.MergeFilter(a, c1, c2, p, keep, e.grain)
 }
 
 func max32(a, b int32) int32 {

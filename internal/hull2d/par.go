@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"parhull/internal/conmap"
+	eng "parhull/internal/engine"
 	"parhull/internal/geom"
 	"parhull/internal/sched"
 )
@@ -65,17 +66,12 @@ func (o *Options) schedKind() sched.Kind {
 	return o.Sched
 }
 
-// ridgeSlots abstracts the ridge multimap over plain vertex ids: in 2D a
-// ridge IS a single vertex, so the default map is a flat array of CAS slots
+// ridgeSlots builds the driver's ridge table over plain vertex ids: in 2D a
+// ridge IS a single vertex, so the default table is a flat array of CAS slots
 // indexed by vertex — a perfect-hash instance of the Algorithm 4 table with
 // no locks, no hashing, and no collisions. An explicit Options.Map routes
 // through the generic conmap implementations instead (the E10 ablation).
-type ridgeSlots interface {
-	insertAndSet(v int32, f *Facet) bool
-	getValue(v int32, not *Facet) *Facet
-}
-
-func (o *Options) ridgeSlots(e *engine) ridgeSlots {
+func (o *Options) ridgeSlots(e *engine) eng.Table[Facet, int32] {
 	if o != nil && o.Map != nil {
 		e.initRidgeIDs()
 		return conmapSlots{m: o.Map, e: e}
@@ -85,39 +81,59 @@ func (o *Options) ridgeSlots(e *engine) ridgeSlots {
 
 type vertexSlots struct{ slots []atomic.Pointer[Facet] }
 
-func (m *vertexSlots) insertAndSet(v int32, f *Facet) bool {
+// InsertAndSet implements engine.Table.
+func (m *vertexSlots) InsertAndSet(v int32, f *Facet) bool {
 	return m.slots[v].CompareAndSwap(nil, f)
 }
 
-func (m *vertexSlots) getValue(v int32, not *Facet) *Facet { return m.slots[v].Load() }
+// GetValue implements engine.Table.
+func (m *vertexSlots) GetValue(v int32, not *Facet) *Facet { return m.slots[v].Load() }
 
-// conmapSlots adapts a generic conmap.RidgeMap to the vertex-id interface.
+// conmapSlots adapts a generic conmap.RidgeMap to the vertex-id table.
 type conmapSlots struct {
 	m conmap.RidgeMap[*Facet]
 	e *engine
 }
 
-func (s conmapSlots) insertAndSet(v int32, f *Facet) bool {
+// InsertAndSet implements engine.Table.
+func (s conmapSlots) InsertAndSet(v int32, f *Facet) bool {
 	return s.m.InsertAndSet(s.e.key1(v), f)
 }
 
-func (s conmapSlots) getValue(v int32, not *Facet) *Facet {
+// GetValue implements engine.Table.
+func (s conmapSlots) GetValue(v int32, not *Facet) *Facet {
 	return s.m.GetValue(s.e.key1(v), not)
 }
 
-// task is one pending ProcessRidge(t1, r, t2) invocation: ridge r (a vertex
-// index) currently shared by facets t1 and t2.
-type task struct {
-	t1 *Facet
-	r  int32
-	t2 *Facet
+// config assembles the driver configuration for this construction.
+func (o *Options) config(e *engine) eng.Config[Facet, int32] {
+	limit := 0
+	if o != nil {
+		limit = o.GroupLimit
+	}
+	return eng.Config[Facet, int32]{
+		Kernel:     kernel{e: e},
+		Table:      o.ridgeSlots(e),
+		Rec:        e.rec,
+		Sched:      o.schedKind(),
+		GroupLimit: limit,
+	}
+}
+
+// initialTasks yields one task per ridge (shared endpoint) of the base
+// polygon.
+func initialTasks(facets []*Facet, fork func(eng.Task[Facet, int32])) {
+	for i, f := range facets {
+		fork(eng.Task[Facet, int32]{T1: f, R: f.B, T2: facets[(i+1)%len(facets)]})
+	}
 }
 
 // Par computes the convex hull with the parallel incremental Algorithm 3,
 // scheduled asynchronously: every ridge chain runs as soon as its facets
 // exist, with fork-join spawns for newly ready ridges. This is the
-// binary-forking-model execution of Theorem 5.5. Options.Sched picks the
-// substrate: work-stealing executor (default) or goroutine-per-chain Group.
+// binary-forking-model execution of Theorem 5.5, run by the generic driver in
+// internal/engine. Options.Sched picks the substrate: work-stealing executor
+// (default) or goroutine-per-chain Group.
 func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
@@ -127,104 +143,10 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := opt.ridgeSlots(e)
-	if opt.schedKind() == sched.KindGroup {
-		limit := 0
-		if opt != nil {
-			limit = opt.GroupLimit
-		}
-		parGroup(e, facets, m, limit)
-	} else {
-		parSteal(e, facets, m)
+	if err := eng.Par(opt.config(e), func(fork func(eng.Task[Facet, int32])) {
+		initialTasks(facets, fork)
+	}); err != nil {
+		return nil, err
 	}
 	return e.collectResult(0)
-}
-
-// step executes one ProcessRidge iteration of the chain holding tk.
-// It either finishes the chain (line 9: both conflict sets empty — the
-// ridge is final; line 10: the shared pivot buries the ridge and both
-// facets) and reports done=false, or creates the replacement facet
-// (lines 14-17: p = min C(t1); t = join(r, p) replaces t1), hands the
-// fresh ridge {p} to the map — the second facet to arrive forks its
-// chain (line 22) — and returns the continuation task for the ridge
-// shared with t2 (line 19).
-func (e *engine) step(a *arena, tk task, m ridgeSlots, fork func(task)) (task, bool) {
-	p1, p2 := tk.t1.pivot(), tk.t2.pivot()
-	switch {
-	case p1 == noPivot && p2 == noPivot:
-		e.rec.Finalized()
-		return task{}, false
-	case p1 == p2:
-		e.bury(tk.t1, tk.t2)
-		return task{}, false
-	case p2 < p1:
-		// Lines 11-12: flip so t1 is the facet to replace.
-		tk.t1, tk.t2 = tk.t2, tk.t1
-		p1 = p2
-	}
-	t := e.newFacet(a, tk.r, p1, tk.t1, tk.t2, 0)
-	e.replace(tk.t1)
-	if !m.insertAndSet(p1, t) {
-		fork(task{t1: t, r: p1, t2: m.getValue(p1, t)})
-	}
-	return task{t1: t, r: tk.r, t2: tk.t2}, true
-}
-
-// initialTasks seeds one chain per ridge (shared endpoint) of the base
-// polygon.
-func initialTasks(facets []*Facet, fork func(task)) {
-	for i, f := range facets {
-		fork(task{t1: f, r: f.B, t2: facets[(i+1)%len(facets)]})
-	}
-}
-
-// parGroup runs the chains on the bounded goroutine-per-fork Group — the
-// PR-1 substrate, kept as the A3 ablation baseline.
-func parGroup(e *engine, facets []*Facet, m ridgeSlots, limit int) {
-	g := sched.NewGroup(limit)
-	var chain func(tk task)
-	chain = func(tk task) {
-		for {
-			next, ok := e.step(nil, tk, m, func(nt task) {
-				g.Go(func() { chain(nt) })
-			})
-			if !ok {
-				return
-			}
-			tk = next
-		}
-	}
-	initialTasks(facets, func(tk task) {
-		g.Go(func() { chain(tk) })
-	})
-	g.Wait()
-}
-
-// parSteal runs the chains on the work-stealing executor: a fixed pool of
-// long-lived workers, forks pushed to the forking worker's own deque as
-// plain task values (no closure, no goroutine spawn), and every facet and
-// conflict list allocated from the executing worker's arena.
-func parSteal(e *engine, facets []*Facet, m ridgeSlots) {
-	nw := sched.Workers()
-	arenas := newArenas(nw)
-	// Per-worker fork closures are bound once, before any task can run, so
-	// the chain hot path allocates nothing to fork.
-	forkFns := make([]func(task), nw)
-	var x *sched.Executor[task]
-	x = sched.NewExecutor(nw, func(w int, tk task) {
-		a, fork := &arenas[w], forkFns[w]
-		for {
-			next, ok := e.step(a, tk, m, fork)
-			if !ok {
-				return
-			}
-			tk = next
-		}
-	})
-	for w := range forkFns {
-		w := w
-		forkFns[w] = func(nt task) { x.Fork(w, nt) }
-	}
-	initialTasks(facets, func(tk task) { x.Fork(sched.External, tk) })
-	x.Wait()
 }

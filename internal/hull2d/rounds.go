@@ -3,8 +3,8 @@ package hull2d
 import (
 	"sort"
 
+	eng "parhull/internal/engine"
 	"parhull/internal/geom"
-	"parhull/internal/sched"
 )
 
 // EventKind classifies a trace event of the rounds engine.
@@ -83,18 +83,27 @@ func (e *engine) traceEvent(ev Event) {
 	e.traceMu.Unlock()
 }
 
-// roundTask is a ProcessRidge invocation scheduled for a specific round.
-type roundTask struct {
-	task
-	round int32
+// observe maps the driver's rounds events onto the 2D Trace.
+func (e *engine) observe(kind eng.EventKind, round int32, a, b *Facet) {
+	var k EventKind
+	switch kind {
+	case eng.EventCreated:
+		k = EventCreated
+	case eng.EventBuried:
+		k = EventBuried
+	default:
+		k = EventFinal
+	}
+	e.traceEvent(Event{Round: int(round), Kind: k,
+		A: [2]int32{a.A, a.B}, B: [2]int32{b.A, b.B}})
 }
 
 // Rounds computes the convex hull with Algorithm 3 under the
 // round-synchronous PRAM-style schedule of Theorem 5.4: every ready
 // ProcessRidge call executes exactly one step per round, with a barrier
-// between rounds. Stats.Rounds is then the recursion depth of Theorem 5.3.
-// The flip of lines 11-12 is performed inline (it does not consume a round),
-// matching the Figure 1 narrative.
+// between rounds (engine.Rounds). Stats.Rounds is then the recursion depth of
+// Theorem 5.3. The flip of lines 11-12 is performed inline (it does not
+// consume a round), matching the Figure 1 narrative.
 //
 // The returned Result additionally carries a Trace when opt.Trace is set.
 func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
@@ -109,41 +118,17 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m := opt.ridgeSlots(e)
 
-	initial := make([]roundTask, len(facets))
-	for i, f := range facets {
-		f2 := facets[(i+1)%len(facets)]
-		initial[i] = roundTask{task: task{t1: f, r: f.B, t2: f2}, round: 1}
+	var initial []eng.Task[Facet, int32]
+	initialTasks(facets, func(tk eng.Task[Facet, int32]) { initial = append(initial, tk) })
+	var observe func(eng.EventKind, int32, *Facet, *Facet)
+	if e.trace != nil {
+		observe = e.observe
 	}
-	rounds, widths := sched.RunRoundsWidths(initial, func(tk roundTask, emit func(roundTask)) {
-		t1, t2 := tk.t1, tk.t2
-		p1, p2 := t1.pivot(), t2.pivot()
-		switch {
-		case p1 == noPivot && p2 == noPivot:
-			e.rec.Finalized()
-			e.traceEvent(Event{Round: int(tk.round), Kind: EventFinal,
-				A: [2]int32{t1.A, t1.B}, B: [2]int32{t2.A, t2.B}})
-			return
-		case p1 == p2:
-			e.bury(t1, t2)
-			e.traceEvent(Event{Round: int(tk.round), Kind: EventBuried,
-				A: [2]int32{t1.A, t1.B}, B: [2]int32{t2.A, t2.B}})
-			return
-		case p2 < p1:
-			t1, t2 = t2, t1
-			p1 = p2
-		}
-		t := e.newFacet(nil, tk.r, p1, t1, t2, tk.round)
-		e.replace(t1)
-		e.traceEvent(Event{Round: int(tk.round), Kind: EventCreated,
-			A: [2]int32{t.A, t.B}, B: [2]int32{t1.A, t1.B}})
-		if !m.insertAndSet(p1, t) {
-			other := m.getValue(p1, t)
-			emit(roundTask{task: task{t1: t, r: p1, t2: other}, round: tk.round + 1})
-		}
-		emit(roundTask{task: task{t1: t, r: tk.r, t2: t2}, round: tk.round + 1})
-	})
+	rounds, widths, err := eng.Rounds(opt.config(e), initial, observe)
+	if err != nil {
+		return nil, nil, err
+	}
 	res, err := e.collectResult(rounds)
 	if err != nil {
 		return nil, nil, err

@@ -3,6 +3,7 @@ package hull2d
 import (
 	"fmt"
 
+	eng "parhull/internal/engine"
 	"parhull/internal/geom"
 )
 
@@ -29,6 +30,60 @@ func SeqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
 // cross-engine identity tests).
 func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true, true) }
 
+// seqGeom supplies the 2D geometry of the generic Algorithm 2 loop
+// (engine.Seq): the hull is a doubly linked cycle of directed edges indexed
+// by vertex, and the visible region of a point is a contiguous arc whose two
+// boundary ridges are found from the arc's endpoints.
+type seqGeom struct {
+	// next[v] is the alive edge leaving vertex v, prev[v] the edge entering
+	// it (a vertex has at most one of each; replaced entries are simply
+	// overwritten by Register).
+	next, prev []*Facet
+}
+
+// Conf implements engine.SeqGeometry.
+func (g *seqGeom) Conf(f *Facet) []int32 { return f.Conf }
+
+// MarkVisible implements engine.SeqGeometry: membership in the visible set is
+// tracked by stamping the facet's scratch mark with the insertion index
+// (facets are born with mark 0 and i >= 3; a facet appears at most once in a
+// point's conflict-graph bucket, so no dedup check is needed).
+func (g *seqGeom) MarkVisible(f *Facet, i int32) bool {
+	if !f.Alive() {
+		return false
+	}
+	f.mark = i
+	return true
+}
+
+// Boundary implements engine.SeqGeometry: the visible region is a contiguous
+// arc; its boundary ridges (line 6) are the unique start (predecessor not
+// visible) and end (successor not visible) of the arc.
+func (g *seqGeom) Boundary(vis []*Facet, i int32, tasks []eng.Task[Facet, int32]) ([]eng.Task[Facet, int32], error) {
+	var eStart, eEnd *Facet
+	for _, f := range vis {
+		if p := g.prev[f.A]; p == nil || p.mark != i {
+			eStart = f
+		}
+		if s := g.next[f.B]; s == nil || s.mark != i {
+			eEnd = f
+		}
+	}
+	if eStart == nil || eEnd == nil {
+		return nil, fmt.Errorf("hull2d: visible region of point %d wraps the whole hull (degenerate input?)", i)
+	}
+	tasks = append(tasks,
+		eng.Task[Facet, int32]{T1: eStart, R: eStart.A, T2: g.prev[eStart.A]},
+		eng.Task[Facet, int32]{T1: eEnd, R: eEnd.B, T2: g.next[eEnd.B]})
+	return tasks, nil
+}
+
+// Register implements engine.SeqGeometry.
+func (g *seqGeom) Register(f *Facet) {
+	g.next[f.A] = f
+	g.prev[f.B] = f
+}
+
 func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
@@ -38,87 +93,16 @@ func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	n := int32(len(pts))
-
-	// Doubly linked hull, indexed by vertex: next[v] is the edge leaving v,
-	// prev[v] the edge entering it (a vertex has at most one of each).
-	next := make([]*Facet, len(pts))
-	prev := make([]*Facet, len(pts))
-	for _, f := range facets {
-		next[f.A] = f
-		prev[f.B] = f
-	}
-	succ := func(f *Facet) *Facet { return next[f.B] }
-	pred := func(f *Facet) *Facet { return prev[f.A] }
-
-	// Bipartite conflict graph: point -> facets whose conflict list holds it.
-	pf := make([][]*Facet, n)
-	for _, f := range facets {
-		for _, v := range f.Conf {
-			pf[v] = append(pf[v], f)
-		}
-	}
-
-	hullSizes := make([]int, 0, n)
-	alive := e.base
-	for i := 0; i < e.base; i++ {
-		hullSizes = append(hullSizes, min(i+1, e.base))
-	}
-	// hullSizes[i] approximates |T(Y_{i+1})| for the base prefix (the base
+	g := &seqGeom{next: make([]*Facet, len(pts)), prev: make([]*Facet, len(pts))}
+	// baseSizes[i] approximates |T(Y_{i+1})| for the base prefix (the base
 	// polygon is given, not built incrementally); exact from here on.
-	for i := int32(e.base); i < n; i++ {
-		// R <- C^-1(v_i): the facets visible from the new point (line 5).
-		// Membership is tracked by stamping each facet's scratch mark with
-		// the insertion index (facets are born with mark 0 and i >= 3).
-		var r []*Facet
-		for _, f := range pf[i] {
-			if f.Alive() {
-				f.mark = i
-				r = append(r, f)
-			}
-		}
-		if len(r) == 0 {
-			hullSizes = append(hullSizes, alive)
-			continue // v_i falls inside the current hull
-		}
-		// The visible region is a contiguous arc; find its boundary ridges
-		// (line 6): the unique start (predecessor not visible) and end
-		// (successor not visible).
-		var eStart, eEnd *Facet
-		for _, f := range r {
-			if g := pred(f); g == nil || g.mark != i {
-				eStart = f
-			}
-			if g := succ(f); g == nil || g.mark != i {
-				eEnd = f
-			}
-		}
-		if eStart == nil || eEnd == nil {
-			return nil, fmt.Errorf("hull2d: visible region of point %d wraps the whole hull (degenerate input?)", i)
-		}
-		t2L, t2R := pred(eStart), succ(eEnd)
-
-		// Lines 7-10: one new facet per boundary ridge, with conflict lists
-		// filtered from the two incident facets.
-		left := e.newFacet(nil, eStart.A, i, eStart, t2L, 0)
-		right := e.newFacet(nil, eEnd.B, i, eEnd, t2R, 0)
-
-		// Line 11: H <- H \ R.
-		for _, f := range r {
-			e.rec.Replaced(f.kill())
-		}
-		// Relink: ... t2L, left, right, t2R ...
-		next[left.A] = left
-		prev[left.B] = left
-		next[right.A] = right
-		prev[right.B] = right
-		for _, f := range []*Facet{left, right} {
-			for _, v := range f.Conf {
-				pf[v] = append(pf[v], f)
-			}
-		}
-		alive += 2 - len(r)
-		hullSizes = append(hullSizes, alive)
+	baseSizes := make([]int, e.base)
+	for i := range baseSizes {
+		baseSizes[i] = min(i+1, e.base)
+	}
+	hullSizes, err := eng.Seq[Facet, int32](kernel{e: e}, g, e.rec, facets, int32(len(pts)), baseSizes)
+	if err != nil {
+		return nil, err
 	}
 	res, err := e.collectResult(0)
 	if err == nil {

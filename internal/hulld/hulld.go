@@ -27,12 +27,10 @@ package hulld
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sync"
 	"sync/atomic"
 
 	"parhull/internal/conflict"
-	"parhull/internal/conmap"
+	eng "parhull/internal/engine"
 	"parhull/internal/facetlog"
 	"parhull/internal/geom"
 	"parhull/internal/hullstats"
@@ -44,7 +42,41 @@ import (
 // facet whose plane passes through the interior reference point).
 var ErrDegenerate = errors.New("hulld: degenerate input (points not in general position)")
 
-const noPivot = int32(math.MaxInt32)
+// noPivot is the driver's empty-conflict-set sentinel.
+const noPivot = eng.NoPivot
+
+// arena is this kernel's per-worker allocator: the generic bump arena
+// instantiated at the d-dimensional facet type. Verts, ridges, and conflict
+// lists all carve from its int32 blocks on the work-stealing path.
+type arena = eng.Arena[Facet]
+
+// kernel adapts the d-dimensional geometry to the generic Algorithm-3 driver
+// in internal/engine: facets are oriented d-simplices, a ridge is a sorted
+// (d-1)-subset, and a new facet has d-1 fresh ridges — those containing the
+// pivot.
+type kernel struct{ e *engine }
+
+// Pivot implements engine.Kernel.
+func (k kernel) Pivot(f *Facet) int32 { return f.pivot() }
+
+// NewFacet implements engine.Kernel.
+func (k kernel) NewFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
+	return k.e.newFacet(a, r, p, t1, t2, round)
+}
+
+// FreshRidges implements engine.Kernel: the fresh ridges of t are the d-1
+// ridges omitting one vertex of r each — exactly the ridges containing the
+// pivot. The ridge slices are published into the table, so they carve from
+// the arena (heap when a is nil).
+func (k kernel) FreshRidges(a *arena, t *Facet, r []int32, buf [][]int32) [][]int32 {
+	for _, q := range r {
+		buf = append(buf, ridgeWithoutIn(a, t, q))
+	}
+	return buf
+}
+
+// Kill implements engine.Kernel.
+func (k kernel) Kill(f *Facet) bool { return f.kill() }
 
 // Facet is an oriented d-simplex of the hull. Immutable after creation
 // except for the liveness flag.
@@ -179,10 +211,6 @@ type engine struct {
 	rec      *hullstats.Recorder
 
 	log *facetlog.Log[*Facet] // every facet ever created
-
-	errOnce sync.Once
-	err     error
-	failed  atomic.Bool
 }
 
 // newEngine assembles engine state. stripes sizes the facet log (1 keeps
@@ -202,12 +230,6 @@ func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPla
 	}
 	e.rec.SetPlaneCache(e.planeEps > 0)
 	return e
-}
-
-// fail records the first error and flips the abort flag checked by chains.
-func (e *engine) fail(err error) {
-	e.errOnce.Do(func() { e.err = err })
-	e.failed.Store(true)
 }
 
 // facetPoints returns the vertex coordinates of f, using the cached slice
@@ -257,7 +279,7 @@ func (e *engine) record(f *Facet) {
 // the reference point — both general-position violations. The facet struct
 // comes from the worker arena when one is supplied (work-stealing path).
 func (e *engine) makeFacet(a *arena, verts []int32) (*Facet, error) {
-	f := a.facet()
+	f := a.Facet()
 	f.Verts = verts
 	var s int
 	if e.planeEps > 0 {
@@ -298,7 +320,7 @@ func (e *engine) makeFacet(a *arena, verts []int32) (*Facet, error) {
 // worker arena the facet, its Verts, and its conflict list all come from
 // per-worker blocks (nil a = heap, used by the other schedules).
 func (e *engine) newFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
-	verts := a.ints(len(r) + 1)
+	verts := a.Ints(len(r) + 1)
 	ins := false
 	for _, v := range r {
 		if !ins && p < v {
@@ -322,31 +344,11 @@ func (e *engine) newFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int
 }
 
 // mergeFilter merges the two ascending conflict lists, drops p, and keeps
-// the points visible from f (parallel for long lists; identical output).
-// With a worker arena, lists below the parallel threshold filter through
-// the arena's scratch and compact into arena memory — the steady-state case,
-// with no pool round-trip and no per-facet allocation.
+// the points visible from f, through the driver's shared grain/arena
+// discipline (engine.MergeFilter).
 func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
 	keep := func(v int32) bool { return e.visible(v, f) }
-	if a != nil {
-		grain := e.grain
-		if grain <= 0 {
-			grain = conflict.DefaultGrain
-		}
-		if len(c1)+len(c2) < grain {
-			return a.sc.MergeFilter(c1, c2, p, keep, a.alloc)
-		}
-	}
-	return conflict.MergeFilter(c1, c2, p, keep, e.grain)
-}
-
-func (e *engine) bury(t1, t2 *Facet) {
-	e.rec.Buried(t1.kill())
-	e.rec.Buried(t2.kill())
-}
-
-func (e *engine) replace(t1 *Facet) {
-	e.rec.Replaced(t1.kill())
+	return eng.MergeFilter(a, c1, c2, p, keep, e.grain)
 }
 
 func max32(a, b int32) int32 {
@@ -402,7 +404,7 @@ func ridgeWithout(f *Facet, q int32) []int32 { return ridgeWithoutIn(nil, f, q) 
 // ridgeWithoutIn is ridgeWithout carving the ridge slice from the worker
 // arena when one is supplied.
 func ridgeWithoutIn(a *arena, f *Facet, q int32) []int32 {
-	r := a.ints(len(f.Verts) - 1)
+	r := a.Ints(len(f.Verts) - 1)
 	for _, v := range f.Verts {
 		if v != q {
 			r = append(r, v)
@@ -415,9 +417,6 @@ func ridgeWithoutIn(a *arena, f *Facet, q int32) []int32 {
 // property: every ridge of an alive facet is shared by exactly one other
 // alive facet.
 func (e *engine) collectResult(rounds int) (*Result, error) {
-	if e.failed.Load() {
-		return nil, e.err
-	}
 	all := e.log.Snapshot()
 	res := &Result{Created: all}
 	for _, f := range all {
@@ -453,9 +452,6 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 	res.Stats = e.rec.Snapshot(rounds, len(res.Facets))
 	return res, nil
 }
-
-// ridgeKey builds the conmap key for a ridge.
-func ridgeKey(r []int32) conmap.Key { return conmap.MakeKey(r) }
 
 // parStripes is the facet-log stripe count for the concurrent engines.
 func parStripes() int { return 4 * sched.Workers() }

@@ -2,6 +2,7 @@ package hulld
 
 import (
 	"parhull/internal/conmap"
+	eng "parhull/internal/engine"
 	"parhull/internal/geom"
 	"parhull/internal/sched"
 )
@@ -52,19 +53,44 @@ func (o *Options) ridgeMap(n, d int) conmap.RidgeMap[*Facet] {
 	if o != nil && o.Map != nil {
 		return o.Map
 	}
-	return conmap.NewShardedMap[*Facet]((d + 1) * n)
+	return conmap.NewShardedMap[*Facet](eng.DefaultMapCapacity(n, d))
 }
 
-type task struct {
-	t1 *Facet
-	r  []int32
-	t2 *Facet
+// config assembles the driver configuration for this construction.
+func (o *Options) config(e *engine, n int) eng.Config[Facet, []int32] {
+	limit := 0
+	if o != nil {
+		limit = o.GroupLimit
+	}
+	return eng.Config[Facet, []int32]{
+		Kernel:     kernel{e: e},
+		Table:      eng.ConmapTable[Facet]{M: o.ridgeMap(n, e.d)},
+		Rec:        e.rec,
+		Sched:      o.schedKind(),
+		GroupLimit: limit,
+	}
+}
+
+// initialTasks yields one task per ridge of the initial simplex: the ridge
+// omitting vertices {i, j} is shared by the facets omitting i and omitting j.
+func initialTasks(d int, facets []*Facet, fork func(eng.Task[Facet, []int32])) {
+	for i := 0; i <= d; i++ {
+		for j := i + 1; j <= d; j++ {
+			r := make([]int32, 0, d-1)
+			for v := 0; v <= d; v++ {
+				if v != i && v != j {
+					r = append(r, int32(v))
+				}
+			}
+			fork(eng.Task[Facet, []int32]{T1: facets[i], R: r, T2: facets[j]})
+		}
+	}
 }
 
 // Par computes the d-dimensional convex hull with the parallel incremental
-// Algorithm 3 under the asynchronous fork-join schedule (Theorem 5.5).
-// Options.Sched picks the substrate: work-stealing executor (default) or
-// goroutine-per-chain Group.
+// Algorithm 3 under the asynchronous fork-join schedule (Theorem 5.5), run by
+// the generic driver in internal/engine. Options.Sched picks the substrate:
+// work-stealing executor (default) or goroutine-per-chain Group.
 func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	d, err := validate(pts)
 	if err != nil {
@@ -75,126 +101,10 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := opt.ridgeMap(len(pts), d)
-	if opt.schedKind() == sched.KindGroup {
-		limit := 0
-		if opt != nil {
-			limit = opt.GroupLimit
-		}
-		parGroup(e, facets, m, limit)
-	} else {
-		parSteal(e, facets, m)
+	if err := eng.Par(opt.config(e, len(pts)), func(fork func(eng.Task[Facet, []int32])) {
+		initialTasks(d, facets, fork)
+	}); err != nil {
+		return nil, err
 	}
 	return e.collectResult(0)
-}
-
-// initialTasks forks one chain per ridge of the initial simplex: the ridge
-// omitting vertices {i, j} is shared by the facets omitting i and omitting j.
-func initialTasks(d int, facets []*Facet, fork func(task)) {
-	for i := 0; i <= d; i++ {
-		for j := i + 1; j <= d; j++ {
-			r := make([]int32, 0, d-1)
-			for v := 0; v <= d; v++ {
-				if v != i && v != j {
-					r = append(r, int32(v))
-				}
-			}
-			fork(task{t1: facets[i], r: r, t2: facets[j]})
-		}
-	}
-}
-
-// step executes one ProcessRidge iteration of the chain holding tk: it
-// either finishes the chain (both pivots empty, or equal pivots bury the
-// ridge) and reports done=false, or creates the replacement facet, hands the
-// fresh ridges to the map (forking the second-arrival chains), and returns
-// the continuation task for the surviving ridge (line 19).
-func (e *engine) step(a *arena, tk task, m conmap.RidgeMap[*Facet], fork func(task)) (task, bool) {
-	p1, p2 := tk.t1.pivot(), tk.t2.pivot()
-	switch {
-	case p1 == noPivot && p2 == noPivot:
-		e.rec.Finalized()
-		return task{}, false
-	case p1 == p2:
-		e.bury(tk.t1, tk.t2)
-		return task{}, false
-	case p2 < p1:
-		tk.t1, tk.t2 = tk.t2, tk.t1
-		p1 = p2
-	}
-	t, err := e.newFacet(a, tk.r, p1, tk.t1, tk.t2, 0)
-	if err != nil {
-		e.fail(err)
-		return task{}, false
-	}
-	e.replace(tk.t1)
-	// Hand the d-1 fresh ridges (those containing the pivot) to the map;
-	// the second facet to arrive forks the chain (lines 20-22).
-	for _, q := range tk.r {
-		r2 := ridgeWithoutIn(a, t, q)
-		k := ridgeKey(r2)
-		if !m.InsertAndSet(k, t) {
-			fork(task{t1: t, r: r2, t2: m.GetValue(k, t)})
-		}
-	}
-	// The ridge shared with t2 continues this chain (line 19).
-	return task{t1: t, r: tk.r, t2: tk.t2}, true
-}
-
-// parGroup runs the chains on the bounded goroutine-per-fork Group — the
-// PR-1 substrate, kept as the A3 ablation baseline.
-func parGroup(e *engine, facets []*Facet, m conmap.RidgeMap[*Facet], limit int) {
-	g := sched.NewGroup(limit)
-	var chain func(tk task)
-	chain = func(tk task) {
-		for {
-			if e.failed.Load() {
-				return
-			}
-			next, ok := e.step(nil, tk, m, func(nt task) {
-				g.Go(func() { chain(nt) })
-			})
-			if !ok {
-				return
-			}
-			tk = next
-		}
-	}
-	initialTasks(e.d, facets, func(tk task) {
-		g.Go(func() { chain(tk) })
-	})
-	g.Wait()
-}
-
-// parSteal runs the chains on the work-stealing executor: one long-lived
-// worker per P, forks pushed to the forking worker's own deque as plain
-// task values (no closure, no goroutine spawn), and every facet allocated
-// from the executing worker's arena.
-func parSteal(e *engine, facets []*Facet, m conmap.RidgeMap[*Facet]) {
-	nw := sched.Workers()
-	arenas := newArenas(nw)
-	// Per-worker fork closures are bound once, before any task can run, so
-	// the chain hot path allocates nothing to fork (task values ride the
-	// deques directly).
-	forkFns := make([]func(task), nw)
-	var x *sched.Executor[task]
-	x = sched.NewExecutor(nw, func(w int, tk task) {
-		a, fork := &arenas[w], forkFns[w]
-		for {
-			if e.failed.Load() {
-				return
-			}
-			next, ok := e.step(a, tk, m, fork)
-			if !ok {
-				return
-			}
-			tk = next
-		}
-	})
-	for w := range forkFns {
-		w := w
-		forkFns[w] = func(nt task) { x.Fork(w, nt) }
-	}
-	initialTasks(e.d, facets, func(tk task) { x.Fork(sched.External, tk) })
-	x.Wait()
 }

@@ -1,20 +1,15 @@
 package hulld
 
 import (
+	eng "parhull/internal/engine"
 	"parhull/internal/geom"
-	"parhull/internal/sched"
 )
 
-type roundTask struct {
-	task
-	round int32
-}
-
 // Rounds computes the d-dimensional hull with Algorithm 3 under the
-// round-synchronous schedule of Theorem 5.4: each ready ProcessRidge call
-// executes one step per round with a global barrier between rounds, so
-// Stats.Rounds is the recursion depth of Theorem 5.3. Flips (lines 11-12)
-// run inline and do not consume a round.
+// round-synchronous schedule of Theorem 5.4 (engine.Rounds): each ready
+// ProcessRidge call executes one step per round with a global barrier between
+// rounds, so Stats.Rounds is the recursion depth of Theorem 5.3. Flips (lines
+// 11-12) run inline and do not consume a round.
 func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 	d, err := validate(pts)
 	if err != nil {
@@ -25,57 +20,16 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := opt.ridgeMap(len(pts), d)
-
-	var initial []roundTask
-	for i := 0; i <= d; i++ {
-		for j := i + 1; j <= d; j++ {
-			r := make([]int32, 0, d-1)
-			for v := 0; v <= d; v++ {
-				if v != i && v != j {
-					r = append(r, int32(v))
-				}
-			}
-			initial = append(initial, roundTask{task: task{t1: facets[i], r: r, t2: facets[j]}, round: 1})
-		}
+	var initial []eng.Task[Facet, []int32]
+	initialTasks(d, facets, func(tk eng.Task[Facet, []int32]) { initial = append(initial, tk) })
+	rounds, widths, err := eng.Rounds(opt.config(e, len(pts)), initial, nil)
+	if err != nil {
+		return nil, err
 	}
-	rounds, widths := sched.RunRoundsWidths(initial, func(tk roundTask, emit func(roundTask)) {
-		if e.failed.Load() {
-			return
-		}
-		t1, t2 := tk.t1, tk.t2
-		p1, p2 := t1.pivot(), t2.pivot()
-		switch {
-		case p1 == noPivot && p2 == noPivot:
-			e.rec.Finalized()
-			return
-		case p1 == p2:
-			e.bury(t1, t2)
-			return
-		case p2 < p1:
-			t1, t2 = t2, t1
-			p1 = p2
-		}
-		t, err := e.newFacet(nil, tk.r, p1, t1, t2, tk.round)
-		if err != nil {
-			e.fail(err)
-			return
-		}
-		e.replace(t1)
-		for _, q := range tk.r {
-			r2 := ridgeWithout(t, q)
-			k := ridgeKey(r2)
-			if !m.InsertAndSet(k, t) {
-				other := m.GetValue(k, t)
-				emit(roundTask{task: task{t1: t, r: r2, t2: other}, round: tk.round + 1})
-			}
-		}
-		emit(roundTask{task: task{t1: t, r: tk.r, t2: t2}, round: tk.round + 1})
-	})
 	res, err := e.collectResult(rounds)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.RoundWidths = widths
-	return res, err
+	return res, nil
 }

@@ -3,14 +3,16 @@ package hulld
 import (
 	"fmt"
 
+	eng "parhull/internal/engine"
 	"parhull/internal/geom"
 )
 
 // Seq computes the d-dimensional convex hull by the sequential randomized
-// incremental method (Algorithm 2), inserting points in the order given.
-// As in hull2d, it maintains the Clarkson–Shor bipartite conflict graph and
-// a ridge-to-facets adjacency, so its plane-side tests are exactly the
-// conflict filters — the same multiset Algorithm 3 performs.
+// incremental method — Algorithm 2, run by the generic loop in
+// internal/engine — inserting points in the order given. As in hull2d, it
+// maintains the Clarkson–Shor bipartite conflict graph and a ridge-to-facets
+// adjacency, so its plane-side tests are exactly the conflict filters — the
+// same multiset Algorithm 3 performs.
 func Seq(pts []geom.Point) (*Result, error) { return seq(pts, true, false) }
 
 // SeqCounted is Seq with visibility-test counting switchable.
@@ -20,6 +22,66 @@ func SeqCounted(pts []geom.Point, counters bool) (*Result, error) { return seq(p
 // every visibility test runs the exact determinant predicate (ablation and
 // cross-engine identity tests).
 func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seq(pts, true, true) }
+
+// seqGeom supplies the d-dimensional geometry of the generic Algorithm 2 loop
+// (engine.Seq): a ridge-to-facets adjacency map, pruned lazily, locates the
+// live neighbor across each ridge of a visible facet.
+type seqGeom struct {
+	adj map[ridgeMapKey][]*Facet
+}
+
+// Conf implements engine.SeqGeometry.
+func (g *seqGeom) Conf(f *Facet) []int32 { return f.Conf }
+
+// MarkVisible implements engine.SeqGeometry: membership is tracked by
+// stamping the facet's scratch mark with the insertion index (facets are born
+// with mark 0 and i >= d+1 > 0, so stale marks never collide).
+func (g *seqGeom) MarkVisible(f *Facet, i int32) bool {
+	if !f.Alive() || f.mark == i {
+		return false
+	}
+	f.mark = i
+	return true
+}
+
+// Boundary implements engine.SeqGeometry: a boundary ridge has one incident
+// facet visible and its live neighbor not (an interior ridge of the visible
+// region has both marked, and is skipped).
+func (g *seqGeom) Boundary(vis []*Facet, i int32, tasks []eng.Task[Facet, []int32]) ([]eng.Task[Facet, []int32], error) {
+	for _, f := range vis {
+		for qi := range f.Verts {
+			k := ridgeKeyOmit(f.Verts, qi)
+			var nb *Facet
+			list := g.adj[k]
+			aliveList := list[:0]
+			for _, h := range list {
+				if h.Alive() {
+					aliveList = append(aliveList, h)
+					if h != f {
+						nb = h
+					}
+				}
+			}
+			g.adj[k] = aliveList
+			if nb == nil {
+				return nil, fmt.Errorf("hulld: ridge of %v has no live neighbor (degenerate input?)", f)
+			}
+			if nb.mark == i {
+				continue // interior ridge of the visible region
+			}
+			tasks = append(tasks, eng.Task[Facet, []int32]{T1: f, R: ridgeWithout(f, f.Verts[qi]), T2: nb})
+		}
+	}
+	return tasks, nil
+}
+
+// Register implements engine.SeqGeometry.
+func (g *seqGeom) Register(f *Facet) {
+	for omit := range f.Verts {
+		k := ridgeKeyOmit(f.Verts, omit)
+		g.adj[k] = append(g.adj[k], f)
+	}
+}
 
 func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
 	d, err := validate(pts)
@@ -31,92 +93,16 @@ func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := int32(len(pts))
-
-	// adj registers every facet under each of its ridges; the live neighbor
-	// across a ridge is the alive registered facet other than the querying
-	// one. Dead facets are pruned lazily.
-	adj := map[ridgeMapKey][]*Facet{}
-	register := func(f *Facet) {
-		for omit := range f.Verts {
-			k := ridgeKeyOmit(f.Verts, omit)
-			adj[k] = append(adj[k], f)
-		}
+	g := &seqGeom{adj: map[ridgeMapKey][]*Facet{}}
+	// baseSizes[i] approximates the hull size over the base prefix (the base
+	// simplex is given, not built incrementally); exact from here on.
+	baseSizes := make([]int, d+1)
+	for i := range baseSizes {
+		baseSizes[i] = min(i+2, d+1)
 	}
-	for _, f := range facets {
-		register(f)
-	}
-
-	// Bipartite conflict graph: point -> facets it is visible from.
-	pf := make([][]*Facet, n)
-	for _, f := range facets {
-		for _, v := range f.Conf {
-			pf[v] = append(pf[v], f)
-		}
-	}
-
-	hullSizes := make([]int, 0, n)
-	alive := d + 1
-	for i := 0; i <= d; i++ {
-		hullSizes = append(hullSizes, min(i+2, d+1))
-	}
-	for i := int32(d + 1); i < n; i++ {
-		// R <- C^-1(v_i). Membership is tracked by stamping each facet's
-		// scratch mark with the insertion index (facets are born with mark 0
-		// and i >= d+1 > 0, so stale marks never collide).
-		var r []*Facet
-		for _, f := range pf[i] {
-			if f.Alive() && f.mark != i {
-				f.mark = i
-				r = append(r, f)
-			}
-		}
-		if len(r) == 0 {
-			hullSizes = append(hullSizes, alive)
-			continue
-		}
-		// For each boundary ridge (one incident facet visible, the other
-		// not), build the new facet from the pair (lines 6-10).
-		var created []*Facet
-		for _, f := range r {
-			for qi := range f.Verts {
-				k := ridgeKeyOmit(f.Verts, qi)
-				var g *Facet
-				list := adj[k]
-				aliveList := list[:0]
-				for _, h := range list {
-					if h.Alive() {
-						aliveList = append(aliveList, h)
-						if h != f {
-							g = h
-						}
-					}
-				}
-				adj[k] = aliveList
-				if g == nil {
-					return nil, fmt.Errorf("hulld: ridge of %v has no live neighbor (degenerate input?)", f)
-				}
-				if g.mark == i {
-					continue // interior ridge of the visible region
-				}
-				t, err := e.newFacet(nil, ridgeWithout(f, f.Verts[qi]), i, f, g, 0)
-				if err != nil {
-					return nil, err
-				}
-				created = append(created, t)
-			}
-		}
-		for _, f := range r {
-			e.rec.Replaced(f.kill())
-		}
-		for _, t := range created {
-			register(t)
-			for _, v := range t.Conf {
-				pf[v] = append(pf[v], t)
-			}
-		}
-		alive += len(created) - len(r)
-		hullSizes = append(hullSizes, alive)
+	hullSizes, err := eng.Seq[Facet, []int32](kernel{e: e}, g, e.rec, facets, int32(len(pts)), baseSizes)
+	if err != nil {
+		return nil, err
 	}
 	res, err := e.collectResult(0)
 	if err == nil {

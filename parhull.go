@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"parhull/internal/conmap"
+	"parhull/internal/engine"
 	"parhull/internal/geom"
 	"parhull/internal/hull2d"
 	"parhull/internal/hulld"
@@ -119,6 +120,15 @@ type Options struct {
 	GroupLimit int
 	// NoCounters disables visibility-test counting for pure-speed runs.
 	NoCounters bool
+	// FilterGrain sets the conflict-list size above which conflict filtering
+	// runs in parallel chunks (0 = default; a very large value forces the
+	// serial path — the A1 ablation). The hull output and the multiset of
+	// plane-side tests are identical either way; only the span changes.
+	FilterGrain int
+	// NoPlaneCache disables the cached-hyperplane visibility fast path so
+	// every plane-side test runs the exact determinant predicate (the A2
+	// ablation). The combinatorial output is identical either way.
+	NoPlaneCache bool
 }
 
 // schedKind maps the public knob onto the internal scheduler kind.
@@ -136,34 +146,37 @@ func (o *Options) or() *Options {
 	return o
 }
 
+// In 2D a ridge is a single vertex, so the expected distinct ridge count is
+// n itself (DefaultMapCapacity with d = 0); the fixed CAS/TAS tables get the
+// 4x headroom of FixedMapCapacity. An explicit MapCapacity overrides both.
 func (o *Options) ridgeMap2D(n int) conmap.RidgeMap[*hull2d.Facet] {
-	expected := o.MapCapacity
-	if expected == 0 {
-		expected = 4 * n
-	}
 	switch o.Map {
 	case MapCAS:
-		return conmap.NewCASMap[*hull2d.Facet](expected)
+		return conmap.NewCASMap[*hull2d.Facet](o.capacity(engine.FixedMapCapacity(n, 0)))
 	case MapTAS:
-		return conmap.NewTASMap[*hull2d.Facet](expected)
+		return conmap.NewTASMap[*hull2d.Facet](o.capacity(engine.FixedMapCapacity(n, 0)))
 	default:
-		return conmap.NewShardedMap[*hull2d.Facet](expected)
+		return conmap.NewShardedMap[*hull2d.Facet](o.capacity(engine.DefaultMapCapacity(n, 0)))
 	}
 }
 
 func (o *Options) ridgeMapD(n, d int) conmap.RidgeMap[*hulld.Facet] {
-	expected := o.MapCapacity
-	if expected == 0 {
-		expected = 4 * (d + 1) * n
-	}
 	switch o.Map {
 	case MapCAS:
-		return conmap.NewCASMap[*hulld.Facet](expected)
+		return conmap.NewCASMap[*hulld.Facet](o.capacity(engine.FixedMapCapacity(n, d)))
 	case MapTAS:
-		return conmap.NewTASMap[*hulld.Facet](expected)
+		return conmap.NewTASMap[*hulld.Facet](o.capacity(engine.FixedMapCapacity(n, d)))
 	default:
-		return conmap.NewShardedMap[*hulld.Facet](expected)
+		return conmap.NewShardedMap[*hulld.Facet](o.capacity(engine.DefaultMapCapacity(n, d)))
 	}
+}
+
+// capacity applies the MapCapacity override to a default sizing rule.
+func (o *Options) capacity(def int) int {
+	if o.MapCapacity != 0 {
+		return o.MapCapacity
+	}
+	return def
 }
 
 // perm returns the insertion order under o, or nil when the given order is
