@@ -28,6 +28,7 @@ type perfEntry struct {
 	N           int     `json:"n"`
 	Dim         int     `json:"dim"`
 	Sched       string  `json:"sched"`
+	Filter      string  `json:"filter"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -72,7 +73,7 @@ func expPerf() {
 		Date:       time.Now().UTC().Format(time.RFC3339),
 	}
 	w := table()
-	fmt.Fprintln(w, "workload\tsched\tns/op\tallocs/op\tB/op\tfacets\tdepth\trounds")
+	fmt.Fprintln(w, "workload\tsched\tfilter\tns/op\tallocs/op\tB/op\tfacets\tdepth\trounds")
 	for _, wl := range wls {
 		var facets, depth, rounds int
 		if wl.dim == 2 {
@@ -99,18 +100,24 @@ func expPerf() {
 			rounds = rres.Stats.Rounds
 		}
 		for _, c := range []struct {
-			name string
-			kind sched.Kind
-		}{{"steal", sched.KindSteal}, {"group", sched.KindGroup}} {
-			kind := c.kind
+			name    string
+			kind    sched.Kind
+			filter  string
+			closure bool
+		}{
+			{"steal", sched.KindSteal, "batch", false},
+			{"group", sched.KindGroup, "batch", false},
+			{"steal", sched.KindSteal, "closure", true},
+		} {
+			kind, closure := c.kind, c.closure
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					var err error
 					if wl.dim == 2 {
-						_, err = hull2d.Par(wl.pts, &hull2d.Options{Sched: kind, NoCounters: true})
+						_, err = hull2d.Par(wl.pts, &hull2d.Options{Sched: kind, NoCounters: true, NoBatchFilter: closure})
 					} else {
-						_, err = hulld.Par(wl.pts, &hulld.Options{Sched: kind, NoCounters: true})
+						_, err = hulld.Par(wl.pts, &hulld.Options{Sched: kind, NoCounters: true, NoBatchFilter: closure})
 					}
 					if err != nil {
 						b.Fatal(err)
@@ -122,6 +129,7 @@ func expPerf() {
 				N:           len(wl.pts),
 				Dim:         wl.dim,
 				Sched:       c.name,
+				Filter:      c.filter,
 				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 				AllocsPerOp: r.AllocsPerOp(),
 				BytesPerOp:  r.AllocedBytesPerOp(),
@@ -131,8 +139,8 @@ func expPerf() {
 				Rounds:      rounds,
 			}
 			report.Entries = append(report.Entries, e)
-			fmt.Fprintf(w, "%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\n", e.Workload, e.Sched,
-				e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.Facets, e.Depth, e.Rounds)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\n", e.Workload, e.Sched,
+				e.Filter, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.Facets, e.Depth, e.Rounds)
 		}
 	}
 	w.Flush()

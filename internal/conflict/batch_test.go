@@ -1,0 +1,172 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// evenFilter is a concrete (non-closure) Filter used to exercise the generic
+// batch entry points the way the kernels do: a struct passed by value.
+type evenFilter struct{ mod int32 }
+
+func (f evenFilter) Filter(cands []int32, dst []int32) []int32 {
+	for _, v := range cands {
+		if v%f.mod == 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func (f evenFilter) FilterRange(from, to int32, dst []int32) []int32 {
+	for v := from; v < to; v++ {
+		if v%f.mod == 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func equalLists(t *testing.T, label string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: lengths %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d: %d vs %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeIntoMatchesMergeFilter pins phase 1 of the pipeline: MergeInto is
+// exactly the keep-everything merge.
+func TestMergeIntoMatchesMergeFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		c1 := sortedRandom(rng, rng.Intn(500), 2000)
+		c2 := sortedRandom(rng, rng.Intn(500), 2000)
+		drop := int32(rng.Intn(2000))
+		got := MergeInto(nil, c1, c2, drop)
+		want := MergeFilter(c1, c2, drop, func(int32) bool { return true }, 1<<30)
+		equalLists(t, "MergeInto", got, want)
+	}
+}
+
+// TestBatchMatchesClosure is the tentpole equivalence property: on every
+// grain (serial, parallel, degenerate tiny splits), the batched pipeline
+// produces the byte-identical survivor list of the closure path — for the
+// generic concrete-filter form and for the FuncFilter shim.
+func TestBatchMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n1, n2 := rng.Intn(20000), rng.Intn(20000)
+		if trial < 10 {
+			// Degenerate sizes: short lists with grain 1 force more pieces
+			// than distinct split values (satellite fix for splitSpans).
+			n1, n2 = rng.Intn(8), rng.Intn(8)
+		}
+		c1 := sortedRandom(rng, n1, 100000)
+		c2 := sortedRandom(rng, n2, 100000)
+		var drop int32 = -1
+		if len(c1) > 0 {
+			drop = c1[rng.Intn(len(c1))]
+		}
+		mod := int32(2 + rng.Intn(5))
+		keep := func(v int32) bool { return v%mod == 0 }
+		want := MergeFilter(c1, c2, drop, keep, 1<<30)
+		for _, grain := range []int{1, 64, 1 << 30} {
+			got := MergeFilterBatch(c1, c2, drop, evenFilter{mod: mod}, grain)
+			equalLists(t, "MergeFilterBatch", got, want)
+			got = MergeFilterBatch(c1, c2, drop, FuncFilter(keep), grain)
+			equalLists(t, "MergeFilterBatch/FuncFilter", got, want)
+			got = MergeFilter(c1, c2, drop, keep, grain)
+			equalLists(t, "MergeFilter", got, want)
+		}
+	}
+}
+
+// TestMergeFilterScratchMatchesClosure pins the arena path: the batched
+// scratch pipeline equals the closure scratch path under both allocators, and
+// the scratch buffers survive reuse.
+func TestMergeFilterScratchMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sc Scratch
+	alloc := func(n int) []int32 { return make([]int32, n) }
+	for trial := 0; trial < 60; trial++ {
+		c1 := sortedRandom(rng, rng.Intn(2000), 10000)
+		c2 := sortedRandom(rng, rng.Intn(2000), 10000)
+		var drop int32 = -1
+		if len(c1) > 0 {
+			drop = c1[rng.Intn(len(c1))]
+		}
+		mod := int32(2 + rng.Intn(5))
+		want := MergeFilter(c1, c2, drop, func(v int32) bool { return v%mod == 0 }, 1<<30)
+		for _, a := range []func(int) []int32{nil, alloc} {
+			got := MergeFilterScratch(&sc, c1, c2, drop, evenFilter{mod: mod}, a)
+			if want == nil && got != nil {
+				t.Fatalf("trial %d: want nil for empty result", trial)
+			}
+			equalLists(t, "MergeFilterScratch", got, want)
+		}
+	}
+}
+
+// TestBuildFilterMatchesBuild pins the initial-list path: FilterRange chunks
+// equal the pointwise Build on every grain.
+func TestBuildFilterMatchesBuild(t *testing.T) {
+	for _, grain := range []int{0, 16, 1 << 30} {
+		want := Build(3, 1000, func(v int32) bool { return v%7 == 0 }, grain)
+		got := BuildFilter(3, 1000, evenFilter{mod: 7}, grain)
+		equalLists(t, "BuildFilter", got, want)
+	}
+	if out := BuildFilter(10, 10, evenFilter{mod: 2}, 0); out != nil {
+		t.Fatal("empty range")
+	}
+}
+
+// TestSplitSpansDegenerate pins the satellite fix: when the requested piece
+// count exceeds the longer list's length, the sampled bounds collapse onto
+// repeated values; splitSpans must dedupe them (strictly increasing bounds,
+// spans partitioning both lists) and return nil — serial fallback — when
+// fewer than 2 distinct split values survive.
+func TestSplitSpansDegenerate(t *testing.T) {
+	// A single-element longer list collapses every sampled bound onto one
+	// value: 1 distinct bound after dedupe, so serial fallback.
+	if s := splitSpans([]int32{5}, nil, 4); s != nil {
+		t.Fatalf("want nil for single-element list, got %d spans", len(s))
+	}
+	if s := splitSpans([]int32{7}, []int32{9}, 16); s != nil {
+		t.Fatalf("want nil for collapsed bounds, got %d spans", len(s))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := sortedRandom(rng, rng.Intn(12), 40)
+		c2 := sortedRandom(rng, rng.Intn(12), 40)
+		if len(c1) == 0 && len(c2) == 0 {
+			return true
+		}
+		pieces := 2 + rng.Intn(20) // often far beyond the list lengths
+		spans := splitSpans(c1, c2, pieces)
+		if spans == nil {
+			return true
+		}
+		if len(spans) < 2 {
+			return false
+		}
+		// Spans must partition both lists in order with no empty-on-both
+		// interior degeneracy caused by duplicate bounds.
+		p1, p2 := 0, 0
+		for _, s := range spans {
+			if s.a1 != p1 || s.a2 != p2 || s.b1 < s.a1 || s.b2 < s.a2 {
+				return false
+			}
+			p1, p2 = s.b1, s.b2
+		}
+		return p1 == len(c1) && p2 == len(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,11 +2,22 @@
 // incremental engines: merging the two support facets' conflict sets and
 // filtering by visibility (line 16 of Algorithm 3, line 9 of Algorithm 2).
 //
-// Lists are ascending slices of point indices. The filter runs serially for
-// short lists and splits long ones into value-aligned pieces processed in
-// parallel — the role approximate compaction plays in the paper's CRCW
-// analysis (Theorem 5.4): without it, the first rounds' O(n)-sized lists
-// would serialize the span. The output is identical either way.
+// Lists are ascending slices of point indices. Filtering comes in two forms:
+//
+//   - The batched two-phase pipeline (the default hot path): phase 1 merges
+//     the two lists into per-worker scratch with a predicate-free int32 loop
+//     (MergeInto — the drop element is removed inline), and phase 2 hands the
+//     whole candidate run to a kernel-supplied batch Filter in one call, so
+//     the visibility test amortizes its bounds checks and dispatch over the
+//     batch instead of paying an indirect call per candidate.
+//   - The per-point closure form (MergeFilter with a keep predicate), kept as
+//     the shim for callers without a batch filter and as the ablation
+//     baseline (cmd/hullbench -exp filter).
+//
+// Both forms produce the identical ascending survivor list. Long lists split
+// into value-aligned pieces processed in parallel — the role approximate
+// compaction plays in the paper's CRCW analysis (Theorem 5.4): without it,
+// the first rounds' O(n)-sized lists would serialize the span.
 //
 // Allocation discipline: filtering writes into pooled scratch buffers and
 // only the surviving elements are copied into an exact-size result (nil for
@@ -25,6 +36,86 @@ import (
 
 // DefaultGrain is the list size above which MergeFilter parallelizes.
 const DefaultGrain = 1 << 13
+
+// Filter is the batch form of a visibility predicate — the kernel contract
+// of the two-phase filtering pipeline. Both methods append the surviving
+// candidates to dst in their input (ascending) order and return the extended
+// slice; they must be safe for concurrent calls (the engines' filters are:
+// they read immutable facet state and bump sharded counters) and must not
+// retain cands or dst.
+//
+// The output must be identical to applying the pointwise predicate to each
+// candidate in order — implementations that defer some decisions (e.g. the
+// kernels' float-filter-uncertain sidecar resolved by the exact predicate
+// after the main loop) must splice those survivors back in position.
+type Filter interface {
+	// Filter appends to dst the elements of cands that survive.
+	Filter(cands []int32, dst []int32) []int32
+	// FilterRange is Filter over the ascending candidates from, from+1, ...,
+	// to-1 without materializing them (initial conflict lists over the
+	// not-yet-inserted suffix).
+	FilterRange(from, to int32, dst []int32) []int32
+}
+
+// FuncFilter adapts a per-point keep predicate to the Filter contract — the
+// shim that lets closure-only callers (e.g. spaces without a batch filter)
+// run on the batched pipeline.
+type FuncFilter func(int32) bool
+
+// Filter implements Filter.
+func (k FuncFilter) Filter(cands []int32, dst []int32) []int32 {
+	for _, v := range cands {
+		if k(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// FilterRange implements Filter.
+func (k FuncFilter) FilterRange(from, to int32, dst []int32) []int32 {
+	for v := from; v < to; v++ {
+		if k(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// MergeInto appends the ascending union of the ascending lists c1 and c2 to
+// dst, excluding drop, and returns the extended slice — phase 1 of the
+// batched pipeline: a pure int32 two-pointer loop with no predicate
+// dispatch, followed by bulk tail copies once either list is exhausted.
+func MergeInto(dst []int32, c1, c2 []int32, drop int32) []int32 {
+	i, j := 0, 0
+	for i < len(c1) && j < len(c2) {
+		v := c1[i]
+		switch {
+		case v < c2[j]:
+			i++
+		case v > c2[j]:
+			v = c2[j]
+			j++
+		default:
+			i++
+			j++
+		}
+		if v != drop {
+			dst = append(dst, v)
+		}
+	}
+	for _, v := range c1[i:] {
+		if v != drop {
+			dst = append(dst, v)
+		}
+	}
+	for _, v := range c2[j:] {
+		if v != drop {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
 
 // scratchPool recycles the transient merge buffers. Buffers grow to the
 // largest list a worker has filtered and are reused across facets, so
@@ -53,21 +144,22 @@ func compact(buf []int32) []int32 {
 	return out
 }
 
-// Scratch is a caller-owned merge buffer for the serial filter path. The
-// work-stealing engines keep one Scratch per worker (inside their arenas),
-// so steady-state filtering touches no sync.Pool — no atomic pool round-trip
-// per facet, and the buffer stays hot in the worker's cache. The buffer
-// grows to the largest list the worker has filtered and is reused forever;
-// it never escapes: only the compacted result (allocated via alloc) does.
+// Scratch is a caller-owned pair of merge/filter buffers for the serial
+// paths. The work-stealing engines keep one Scratch per worker (inside their
+// arenas), so steady-state filtering touches no sync.Pool — no atomic pool
+// round-trip per facet, and the buffers stay hot in the worker's cache. They
+// grow to the largest list the worker has filtered and are reused forever;
+// they never escape: only the compacted result (allocated via alloc) does.
 type Scratch struct {
-	buf []int32
+	buf  []int32 // phase-1 merge output (the candidate run)
+	fbuf []int32 // phase-2 filter output (the survivors)
 }
 
-// MergeFilter is the serial equivalent of the package-level MergeFilter
-// using s as scratch. The surviving elements are copied into a slice
-// obtained from alloc(n) (which must return a length-n slice; nil selects
-// plain make) — the engines pass their per-worker arena allocator, so a
-// steady-state facet's conflict list costs zero individual allocations.
+// MergeFilter is the serial closure-path equivalent of the package-level
+// MergeFilter using s as scratch. The surviving elements are copied into a
+// slice obtained from alloc(n) (which must return a length-n slice; nil
+// selects plain make) — the engines pass their per-worker arena allocator,
+// so a steady-state facet's conflict list costs zero individual allocations.
 // Output is identical to MergeFilter.
 func (s *Scratch) MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool, alloc func(int) []int32) []int32 {
 	need := len(c1) + len(c2)
@@ -79,6 +171,40 @@ func (s *Scratch) MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool,
 	}
 	buf := mergeFilterInto(s.buf[:0], c1, c2, drop, keep)
 	s.buf = buf[:0]
+	return compactInto(buf, alloc)
+}
+
+// MergeFilterScratch is the batched serial merge-filter over a caller-owned
+// Scratch: phase 1 merges into the scratch merge buffer, phase 2 hands the
+// whole candidate run to flt in a single call, and the survivors are
+// compacted through alloc (nil selects plain make). flt is a type parameter
+// so concrete kernel filters are passed without interface boxing — the hot
+// path allocates nothing beyond the compacted result. Output is identical to
+// Scratch.MergeFilter with the pointwise form of flt.
+func MergeFilterScratch[F Filter](s *Scratch, c1, c2 []int32, drop int32, flt F, alloc func(int) []int32) []int32 {
+	need := len(c1) + len(c2)
+	if need == 0 {
+		return nil
+	}
+	if cap(s.buf) < need {
+		s.buf = make([]int32, 0, need)
+	}
+	cands := MergeInto(s.buf[:0], c1, c2, drop)
+	s.buf = cands[:0]
+	if len(cands) == 0 {
+		return nil
+	}
+	if cap(s.fbuf) < len(cands) {
+		s.fbuf = make([]int32, 0, need)
+	}
+	kept := flt.Filter(cands, s.fbuf[:0])
+	s.fbuf = kept[:0]
+	return compactInto(kept, alloc)
+}
+
+// compactInto copies buf into an exact-size slice from alloc (nil selects
+// make), or returns nil for an empty buf.
+func compactInto(buf []int32, alloc func(int) []int32) []int32 {
 	if len(buf) == 0 {
 		return nil
 	}
@@ -93,10 +219,10 @@ func (s *Scratch) MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool,
 }
 
 // MergeFilter returns the ascending union of the ascending lists c1 and c2,
-// excluding drop and keeping only elements accepted by keep. keep must be
-// safe for concurrent calls (the engines' visibility predicates are: they
-// read immutable facet state and bump sharded counters). grain <= 0 selects
-// DefaultGrain; pass a huge grain to force the serial path.
+// excluding drop and keeping only elements accepted by keep — the per-point
+// closure path, kept as the shim for callers without a batch Filter and as
+// the ablation baseline. keep must be safe for concurrent calls. grain <= 0
+// selects DefaultGrain; pass a huge grain to force the serial path.
 func MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) []int32 {
 	if grain <= 0 {
 		grain = DefaultGrain
@@ -105,6 +231,21 @@ func MergeFilter(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) [
 		return mergeFilterSerial(c1, c2, drop, keep)
 	}
 	return mergeFilterParallel(c1, c2, drop, keep, grain)
+}
+
+// MergeFilterBatch is the batched form of MergeFilter: the two-phase
+// pipeline over pooled scratch, parallelized over value-aligned pieces for
+// lists of at least grain total length (each piece merges, then filters in
+// one batch call). Output is identical to MergeFilter with the pointwise
+// form of flt.
+func MergeFilterBatch[F Filter](c1, c2 []int32, drop int32, flt F, grain int) []int32 {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if len(c1)+len(c2) < grain || sched.Workers() == 1 {
+		return mergeFilterBatchSerial(c1, c2, drop, flt)
+	}
+	return mergeFilterBatchParallel(c1, c2, drop, flt, grain)
 }
 
 func mergeFilterSerial(c1, c2 []int32, drop int32, keep func(int32) bool) []int32 {
@@ -118,7 +259,22 @@ func mergeFilterSerial(c1, c2 []int32, drop int32, keep func(int32) bool) []int3
 	return out
 }
 
-// mergeFilterInto appends the filtered merge of c1 and c2 to dst.
+func mergeFilterBatchSerial[F Filter](c1, c2 []int32, drop int32, flt F) []int32 {
+	if len(c1)+len(c2) == 0 {
+		return nil
+	}
+	mp := getScratch(len(c1) + len(c2))
+	*mp = MergeInto(*mp, c1, c2, drop)
+	fp := getScratch(len(*mp))
+	*fp = flt.Filter(*mp, *fp)
+	out := compact(*fp)
+	putScratch(fp)
+	putScratch(mp)
+	return out
+}
+
+// mergeFilterInto appends the filtered merge of c1 and c2 to dst — the fused
+// single-pass closure path (one keep dispatch per candidate).
 func mergeFilterInto(dst []int32, c1, c2 []int32, drop int32, keep func(int32) bool) []int32 {
 	i, j := 0, 0
 	for i < len(c1) || j < len(c2) {
@@ -151,29 +307,34 @@ func mergeFilterInto(dst []int32, c1, c2 []int32, drop int32, keep func(int32) b
 	return dst
 }
 
-// mergeFilterParallel splits both lists at common values so each piece can
-// be merge-filtered independently, then concatenates the pieces in order.
-func mergeFilterParallel(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) []int32 {
-	total := len(c1) + len(c2)
-	pieces := total / grain
-	if w := 4 * sched.Workers(); pieces > w {
-		pieces = w
-	}
-	if pieces < 2 {
-		return mergeFilterSerial(c1, c2, drop, keep)
-	}
-	// Split values taken from the longer list at even intervals; binary
-	// search aligns both lists on the same value boundaries.
+// span is one value-aligned piece of a parallel merge-filter: the half-open
+// index ranges [a1, b1) of c1 and [a2, b2) of c2 holding the same value
+// interval.
+type span struct{ a1, b1, a2, b2 int }
+
+// splitSpans cuts c1 and c2 at common split values sampled from the longer
+// list at even intervals; binary search aligns both lists on the same value
+// boundaries. When the sample stride collapses (pieces exceeding the longer
+// list's length), the same value is sampled repeatedly; duplicate bounds are
+// removed so no piece is empty on the longer list, and when fewer than 2
+// distinct split values survive the split is pointless — splitSpans returns
+// nil and the caller falls back to the serial path.
+func splitSpans(c1, c2 []int32, pieces int) []span {
 	long := c1
 	if len(c2) > len(c1) {
 		long = c2
 	}
 	bounds := make([]int32, 0, pieces-1)
 	for i := 1; i < pieces; i++ {
-		bounds = append(bounds, long[i*len(long)/pieces])
+		b := long[i*len(long)/pieces]
+		if n := len(bounds); n == 0 || b > bounds[n-1] {
+			bounds = append(bounds, b)
+		}
 	}
-	type span struct{ a1, b1, a2, b2 int }
-	spans := make([]span, 0, pieces)
+	if len(bounds) < 2 {
+		return nil
+	}
+	spans := make([]span, 0, len(bounds)+1)
 	p1, p2 := 0, 0
 	for _, b := range bounds {
 		q1 := p1 + sort.Search(len(c1)-p1, func(k int) bool { return c1[p1+k] >= b })
@@ -181,17 +342,22 @@ func mergeFilterParallel(c1, c2 []int32, drop int32, keep func(int32) bool, grai
 		spans = append(spans, span{p1, q1, p2, q2})
 		p1, p2 = q1, q2
 	}
-	spans = append(spans, span{p1, len(c1), p2, len(c2)})
+	return append(spans, span{p1, len(c1), p2, len(c2)})
+}
 
-	parts := make([]*[]int32, len(spans))
-	sched.ParallelFor(len(spans), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := spans[i]
-			bp := getScratch((s.b1 - s.a1) + (s.b2 - s.a2))
-			*bp = mergeFilterInto(*bp, c1[s.a1:s.b1], c2[s.a2:s.b2], drop, keep)
-			parts[i] = bp
-		}
-	})
+// pieceCount sizes a parallel split: one piece per grain of input, capped at
+// 4x the worker count.
+func pieceCount(total, grain int) int {
+	pieces := total / grain
+	if w := 4 * sched.Workers(); pieces > w {
+		pieces = w
+	}
+	return pieces
+}
+
+// concatParts concatenates the per-piece scratch buffers in order and
+// returns them to the pool.
+func concatParts(parts []*[]int32) []int32 {
 	n := 0
 	for _, p := range parts {
 		n += len(*p)
@@ -209,10 +375,70 @@ func mergeFilterParallel(c1, c2 []int32, drop int32, keep func(int32) bool, grai
 	return out
 }
 
+// mergeFilterParallel splits both lists at common values so each piece can
+// be merge-filtered independently, then concatenates the pieces in order.
+func mergeFilterParallel(c1, c2 []int32, drop int32, keep func(int32) bool, grain int) []int32 {
+	pieces := pieceCount(len(c1)+len(c2), grain)
+	if pieces < 2 {
+		return mergeFilterSerial(c1, c2, drop, keep)
+	}
+	spans := splitSpans(c1, c2, pieces)
+	if spans == nil {
+		return mergeFilterSerial(c1, c2, drop, keep)
+	}
+	parts := make([]*[]int32, len(spans))
+	sched.ParallelFor(len(spans), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := spans[i]
+			bp := getScratch((s.b1 - s.a1) + (s.b2 - s.a2))
+			*bp = mergeFilterInto(*bp, c1[s.a1:s.b1], c2[s.a2:s.b2], drop, keep)
+			parts[i] = bp
+		}
+	})
+	return concatParts(parts)
+}
+
+// mergeFilterBatchParallel is mergeFilterParallel on the two-phase pipeline:
+// each piece merges into pooled scratch, then filters in one batch call.
+func mergeFilterBatchParallel[F Filter](c1, c2 []int32, drop int32, flt F, grain int) []int32 {
+	pieces := pieceCount(len(c1)+len(c2), grain)
+	if pieces < 2 {
+		return mergeFilterBatchSerial(c1, c2, drop, flt)
+	}
+	spans := splitSpans(c1, c2, pieces)
+	if spans == nil {
+		return mergeFilterBatchSerial(c1, c2, drop, flt)
+	}
+	parts := make([]*[]int32, len(spans))
+	sched.ParallelFor(len(spans), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := spans[i]
+			mp := getScratch((s.b1 - s.a1) + (s.b2 - s.a2))
+			*mp = MergeInto(*mp, c1[s.a1:s.b1], c2[s.a2:s.b2], drop)
+			fp := getScratch(len(*mp))
+			*fp = flt.Filter(*mp, *fp)
+			putScratch(mp)
+			parts[i] = fp
+		}
+	})
+	return concatParts(parts)
+}
+
 // Build constructs a conflict list from scratch: the elements of [from, to)
 // accepted by keep, ascending, computed in parallel chunks. It is used for
-// the initial facets' lists over all remaining points.
+// the initial facets' lists over all remaining points (closure shim; the
+// engines' batch path is BuildFilter).
 func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
+	if to <= from {
+		return nil
+	}
+	return BuildFilter(from, to, FuncFilter(keep), grain)
+}
+
+// BuildFilter is Build on a batch Filter: each chunk is one FilterRange call
+// streaming the candidate range directly, with no per-point dispatch and no
+// materialized candidate slice.
+func BuildFilter[F Filter](from, to int32, flt F, grain int) []int32 {
 	n := int(to - from)
 	if n <= 0 {
 		return nil
@@ -222,14 +448,8 @@ func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
 	}
 	if n < grain || sched.Workers() == 1 {
 		bp := getScratch(n)
-		buf := *bp
-		for v := from; v < to; v++ {
-			if keep(v) {
-				buf = append(buf, v)
-			}
-		}
-		*bp = buf
-		out := compact(buf)
+		*bp = flt.FilterRange(from, to, *bp)
+		out := compact(*bp)
 		putScratch(bp)
 		return out
 	}
@@ -243,29 +463,9 @@ func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
 				b = to
 			}
 			bp := getScratch(int(b - a))
-			buf := *bp
-			for v := a; v < b; v++ {
-				if keep(v) {
-					buf = append(buf, v)
-				}
-			}
-			*bp = buf
+			*bp = flt.FilterRange(a, b, *bp)
 			parts[c] = bp
 		}
 	})
-	total := 0
-	for _, p := range parts {
-		total += len(*p)
-	}
-	var out []int32
-	if total > 0 {
-		out = make([]int32, 0, total)
-		for _, p := range parts {
-			out = append(out, *p...)
-		}
-	}
-	for _, p := range parts {
-		putScratch(p)
-	}
-	return out
+	return concatParts(parts)
 }

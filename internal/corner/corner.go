@@ -163,6 +163,24 @@ func (s *Space) MaxSupport() int { return 4 }
 // InConflict implements core.Space with the Figure 3 conflict rule.
 func (s *Space) InConflict(c, x int) bool {
 	cr := s.At(c)
+	return s.conflictAt(cr, x)
+}
+
+// FirstConflict implements engine.ConflictScanner: the configuration decode
+// (At and its corner-point loads) happens once, then order is scanned with
+// the shared per-object rule.
+func (s *Space) FirstConflict(c int, order []int) int {
+	cr := s.At(c)
+	for r, o := range order {
+		if s.conflictAt(cr, o) {
+			return r
+		}
+	}
+	return len(order)
+}
+
+// conflictAt is the Figure 3 conflict rule against a decoded configuration.
+func (s *Space) conflictAt(cr Corner, x int) bool {
 	if x == cr.M || x == cr.L || x == cr.R {
 		return false
 	}

@@ -13,10 +13,11 @@ import (
 )
 
 // FuzzEngineEquivalence drives random point sets through all three schedules
-// of both kernels and asserts Theorem 5.5's guarantee: the schedules create
-// the identical facet multiset and hull vertex set (previously pinned only
-// on fixed seeds). Inputs the engines reject as degenerate are skipped —
-// rejection must then be unanimous.
+// of both kernels — each parallel schedule under both the batched and the
+// pointwise-closure visibility filter — and asserts Theorem 5.5's guarantee:
+// the schedules create the identical facet multiset and hull vertex set
+// (previously pinned only on fixed seeds). Inputs the engines reject as
+// degenerate are skipped — rejection must then be unanimous.
 func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(16), uint8(2), false)
 	f.Add(int64(2), uint8(40), uint8(3), true)
@@ -60,8 +61,10 @@ func fuzz2D(t *testing.T, pts []geom.Point) {
 	}
 	results := map[string]*hull2d.Result{}
 	for name, opt := range map[string]*hull2d.Options{
-		"par/steal": {},
-		"par/group": {Sched: sched.KindGroup},
+		"par/steal":         {},
+		"par/group":         {Sched: sched.KindGroup},
+		"par/steal/closure": {NoBatchFilter: true},
+		"par/group/closure": {Sched: sched.KindGroup, NoBatchFilter: true},
 	} {
 		r, err := hull2d.Par(pts, opt)
 		if err != nil {
@@ -74,6 +77,11 @@ func fuzz2D(t *testing.T, pts []geom.Point) {
 		t.Fatalf("Rounds: %v", err)
 	}
 	results["rounds"] = rr
+	rc, _, err := hull2d.Rounds(pts, &hull2d.Options{NoBatchFilter: true})
+	if err != nil {
+		t.Fatalf("Rounds/closure: %v", err)
+	}
+	results["rounds/closure"] = rc
 	want := seq.EdgeSet()
 	wantV := fmt.Sprint(seq.Vertices)
 	for name, r := range results {
@@ -102,8 +110,10 @@ func fuzzD(t *testing.T, pts []geom.Point) {
 	}
 	results := map[string]*hulld.Result{}
 	for name, opt := range map[string]*hulld.Options{
-		"par/steal": {},
-		"par/group": {Sched: sched.KindGroup},
+		"par/steal":         {},
+		"par/group":         {Sched: sched.KindGroup},
+		"par/steal/closure": {NoBatchFilter: true},
+		"par/group/closure": {Sched: sched.KindGroup, NoBatchFilter: true},
 	} {
 		r, err := hulld.Par(pts, opt)
 		if err != nil {
@@ -116,6 +126,11 @@ func fuzzD(t *testing.T, pts []geom.Point) {
 		t.Fatalf("Rounds: %v", err)
 	}
 	results["rounds"] = rr
+	rc, err := hulld.Rounds(pts, &hulld.Options{NoBatchFilter: true})
+	if err != nil {
+		t.Fatalf("Rounds/closure: %v", err)
+	}
+	results["rounds/closure"] = rc
 	want := seq.FacetSet()
 	wantV := fmt.Sprint(seq.Vertices)
 	for name, r := range results {

@@ -8,6 +8,19 @@ import (
 	"parhull/internal/sched"
 )
 
+// ConflictScanner is an optional batch extension of core.Space — the
+// configuration-space analogue of the kernels' batch visibility filter
+// (conflict.Filter). FirstConflict returns the smallest index r in
+// [0, len(order)) with InConflict(c, order[r]), or len(order) when no object
+// of order conflicts with configuration c. Implementations hoist the
+// per-configuration decode (defining-set lookup, coordinate loads) out of
+// the per-object loop, which the InConflict signature cannot express.
+// SpaceRounds uses it when present and falls back to scanning InConflict
+// otherwise, so spaces without a batch scan keep working.
+type ConflictScanner interface {
+	FirstConflict(c int, order []int) int
+}
+
 // SpaceResult is the outcome of SpaceRounds.
 type SpaceResult struct {
 	// Alive is the final active set T(order): every configuration whose
@@ -79,6 +92,9 @@ func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
 
 	// firstConflict returns the insertion rank of the earliest inserted
 	// object conflicting with configuration c, or NoPivot if none does.
+	// Spaces implementing ConflictScanner answer it in one batch scan
+	// (per-configuration setup hoisted out of the per-object loop); the
+	// closure over InConflict is the shim for spaces without one.
 	firstConflict := func(c int) int32 {
 		for r, o := range order {
 			if s.InConflict(c, o) {
@@ -86,6 +102,14 @@ func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
 			}
 		}
 		return NoPivot
+	}
+	if sc, ok := s.(ConflictScanner); ok {
+		firstConflict = func(c int) int32 {
+			if r := sc.FirstConflict(c, order); r < len(order) {
+				return int32(r)
+			}
+			return NoPivot
+		}
 	}
 
 	// Bucket each constructible configuration under the rank at which its

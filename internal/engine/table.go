@@ -60,3 +60,25 @@ func MergeFilter[FV any](a *Arena[FV], c1, c2 []int32, p int32, keep func(int32)
 	}
 	return conflict.MergeFilter(c1, c2, p, keep, grain)
 }
+
+// MergeFilterBatch is MergeFilter on the batched two-phase pipeline: a
+// predicate-free ascending merge into per-worker scratch, then one
+// flt.Filter call over the whole candidate run (see conflict.Filter for the
+// kernel contract). Dispatch mirrors MergeFilter: arena scratch below the
+// grain, pooled chunked-parallel scratch above it. flt is a type parameter
+// so kernels pass their concrete filter without interface boxing — the
+// steady-state path stays allocation-free. The survivor list and the
+// multiset of visibility tests are identical to MergeFilter with the
+// pointwise form of flt.
+func MergeFilterBatch[FV any, F conflict.Filter](a *Arena[FV], c1, c2 []int32, p int32, flt F, grain int) []int32 {
+	if a != nil {
+		g := grain
+		if g <= 0 {
+			g = conflict.DefaultGrain
+		}
+		if len(c1)+len(c2) < g {
+			return conflict.MergeFilterScratch(&a.Scratch, c1, c2, p, flt, a.Alloc)
+		}
+	}
+	return conflict.MergeFilterBatch(c1, c2, p, flt, grain)
+}

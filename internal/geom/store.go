@@ -51,6 +51,12 @@ func (s *PointStore) Row(i int32) []float64 {
 	return s.c[o : o+s.d : o+s.d]
 }
 
+// Coords returns the whole flat coordinate array (point i occupies
+// [i*Dim(), (i+1)*Dim())). The batch visibility filters index it directly so
+// one bounds check per point covers all of its coordinates. The slice is
+// owned by the store and must not be mutated.
+func (s *PointStore) Coords() []float64 { return s.c }
+
 // At returns point i as a Point view (same backing memory as Row).
 func (s *PointStore) At(i int32) Point { return Point(s.Row(i)) }
 

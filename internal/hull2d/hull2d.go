@@ -162,6 +162,7 @@ type engine struct {
 	base     int              // number of initial hull points (>= 3)
 	grain    int              // conflict-filter parallel grain (0 = default)
 	planeEps float64          // static certification threshold; 0 = cache off
+	batch    bool             // batch visibility filter (filter.go) vs pointwise closure
 	rec      *hullstats.Recorder
 
 	log *facetlog.Log[*Facet] // every facet ever created
@@ -217,7 +218,7 @@ func (e *engine) visible(v int32, f *Facet) bool {
 		}
 		e.rec.Fallbacks.Inc(uint64(v))
 	}
-	return geom.Orient2D(e.pts[f.A], e.pts[f.B], e.pts[v]) < 0
+	return e.exactVisible(v, f)
 }
 
 func (e *engine) record(f *Facet) {
@@ -250,6 +251,9 @@ func (e *engine) newFacet(a *arena, r, p int32, t1, t2 *Facet, round int32) *Fac
 // through the driver's shared grain/arena discipline (engine.MergeFilter),
 // with this kernel's exact visibility predicate as the filter.
 func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
+	if e.batch {
+		return eng.MergeFilterBatch(a, c1, c2, p, facetFilter{e: e, f: f}, e.grain)
+	}
 	keep := func(v int32) bool { return e.visible(v, f) }
 	return eng.MergeFilter(a, c1, c2, p, keep, e.grain)
 }
@@ -302,8 +306,12 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	// list comes out in ascending index order (parallel chunks for large n).
 	for _, f := range facets {
 		f := f
-		f.Conf = conflict.Build(int32(e.base), int32(n),
-			func(v int32) bool { return e.visible(v, f) }, e.grain)
+		if e.batch {
+			f.Conf = conflict.BuildFilter(int32(e.base), int32(n), facetFilter{e: e, f: f}, e.grain)
+		} else {
+			f.Conf = conflict.Build(int32(e.base), int32(n),
+				func(v int32) bool { return e.visible(v, f) }, e.grain)
+		}
 		e.record(f)
 	}
 	return facets, nil
@@ -353,12 +361,13 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 // newEngine assembles engine state. stripes sizes the facet log: the
 // sequential engine passes 1 to keep Result.Created in creation order; the
 // parallel engines stripe by worker count so record() does not serialize.
-func newEngine(pts []geom.Point, base int, counters bool, grain, stripes int, noPlane bool) *engine {
+func newEngine(pts []geom.Point, base int, counters bool, grain, stripes int, noPlane, batch bool) *engine {
 	e := &engine{
 		pts:   pts,
 		store: geom.NewPointStore(pts),
 		base:  base,
 		grain: grain,
+		batch: batch,
 		rec:   hullstats.NewRecorder(counters),
 		log:   facetlog.New[*Facet](stripes),
 	}

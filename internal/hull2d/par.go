@@ -39,6 +39,10 @@ type Options struct {
 	// every test runs the exact determinant predicate (the A2 ablation in
 	// cmd/hullbench). The combinatorial output is identical either way.
 	NoPlaneCache bool
+	// NoBatchFilter routes conflict filtering through the pointwise closure
+	// path instead of the batch filter pipeline (the filter ablation in
+	// cmd/hullbench). The survivor lists are identical either way.
+	NoBatchFilter bool
 	// Trace records per-round events (rounds engine only).
 	Trace bool
 }
@@ -58,6 +62,8 @@ func (o *Options) filterGrain() int {
 }
 
 func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
+
+func (o *Options) batchFilter() bool { return o == nil || !o.NoBatchFilter }
 
 func (o *Options) schedKind() sched.Kind {
 	if o == nil {
@@ -138,7 +144,7 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache())
+	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

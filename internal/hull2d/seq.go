@@ -88,7 +88,7 @@ func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, base, counters, 0, 1, noPlane)
+	e := newEngine(pts, base, counters, 0, 1, noPlane, true)
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

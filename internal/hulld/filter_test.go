@@ -1,0 +1,131 @@
+package hulld
+
+import (
+	"testing"
+
+	"parhull/internal/geom"
+)
+
+// filterTestPoints builds a 3D cloud designed to stress every branch of the
+// batch filter: a base tetrahedron, clearly-inside and clearly-outside
+// points, more on-plane points than the uncertain sidecar's stack capacity
+// (forcing a heap spill), and points a hair off a facet plane — inside the
+// static filter's uncertain band but exactly visible, so the sidecar's
+// survivors must be value-merged back between certain survivors.
+func filterTestPoints() []geom.Point {
+	pts := []geom.Point{
+		{0, 0, 0}, {4, 0, 0}, {0, 4, 0}, {0, 0, 4}, // base simplex
+	}
+	for i := 0; i < uncertainCap+6; i++ {
+		// On the z=0 facet plane, inside the triangle: uncertain for that
+		// facet, exactly invisible (Orient == 0).
+		pts = append(pts, geom.Point{0.05 + 0.1*float64(i), 0.05, 0})
+	}
+	pts = append(pts,
+		geom.Point{1, 1, -1e-15}, // a hair below z=0: uncertain but exactly visible
+		geom.Point{5, 5, 5},      // clearly outside the far facet
+		geom.Point{1, 1, 1},      // clearly inside
+		geom.Point{2, 1, -3},     // clearly below z=0
+		geom.Point{0.5, 0.5, -1e-15},
+		geom.Point{-1, -2, -1},
+		geom.Point{0.25, 0.25, 0.25},
+	)
+	return pts
+}
+
+// TestBatchFilterMatchesClosure asserts the tentpole contract at the kernel
+// level: the batched filter's survivor lists are byte-identical to the
+// pointwise closure path, including candidates inside the float-filter's
+// uncertain band, and the exact fallback actually fires (so the sidecar path
+// is exercised, not bypassed).
+func TestBatchFilterMatchesClosure(t *testing.T) {
+	pts := filterTestPoints()
+	eb := newEngine(pts, 3, true, 0, 1, false, true)
+	ec := newEngine(pts, 3, true, 0, 1, false, false)
+	fb, err := eb.initialHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := ec.initialHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != len(fc) {
+		t.Fatalf("facet counts differ: %d vs %d", len(fb), len(fc))
+	}
+	for i := range fb {
+		b, c := fb[i].Conf, fc[i].Conf
+		if len(b) != len(c) {
+			t.Fatalf("facet %d: conflict lengths %d vs %d", i, len(b), len(c))
+		}
+		for j := range b {
+			if b[j] != c[j] {
+				t.Fatalf("facet %d: conflict %d: %d vs %d", i, j, b[j], c[j])
+			}
+		}
+	}
+	if eb.rec.Fallbacks.Load() == 0 {
+		t.Fatal("no exact fallback fired: the uncertain sidecar was never exercised")
+	}
+
+	// Direct batch-vs-pointwise on explicit candidate lists (the merge-path
+	// entry), including the full range and a sparse subset.
+	n := int32(len(pts))
+	full := make([]int32, 0, n-4)
+	for v := int32(4); v < n; v++ {
+		full = append(full, v)
+	}
+	sparse := full[:0:0]
+	for i, v := range full {
+		if i%3 != 1 {
+			sparse = append(sparse, v)
+		}
+	}
+	for _, f := range fb {
+		for _, cands := range [][]int32{full, sparse, nil} {
+			got := eb.filterVisible(f, cands, nil)
+			var want []int32
+			for _, v := range cands {
+				if eb.visible(v, f) {
+					want = append(want, v)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("facet %v: lengths %d vs %d", f.Verts, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("facet %v: element %d: %d vs %d", f.Verts, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchFilterNoPlaneCache pins the exact-only route: with the plane
+// cache disabled the batch filter must fall through to the exact predicate
+// per candidate and still match the closure path.
+func TestBatchFilterNoPlaneCache(t *testing.T) {
+	pts := filterTestPoints()
+	eb := newEngine(pts, 3, true, 0, 1, true, true)
+	ec := newEngine(pts, 3, true, 0, 1, true, false)
+	fb, err := eb.initialHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := ec.initialHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fb {
+		b, c := fb[i].Conf, fc[i].Conf
+		if len(b) != len(c) {
+			t.Fatalf("facet %d: conflict lengths %d vs %d", i, len(b), len(c))
+		}
+		for j := range b {
+			if b[j] != c[j] {
+				t.Fatalf("facet %d: conflict %d differs", i, j)
+			}
+		}
+	}
+}

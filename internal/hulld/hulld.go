@@ -207,6 +207,7 @@ type engine struct {
 	d        int
 	grain    int     // conflict-filter parallel grain (0 = default)
 	planeEps float64 // static certification threshold; 0 = cache off
+	batch    bool    // batch visibility filter (filter.go) vs pointwise closure
 	interior geom.Point
 	rec      *hullstats.Recorder
 
@@ -216,12 +217,13 @@ type engine struct {
 // newEngine assembles engine state. stripes sizes the facet log (1 keeps
 // Result.Created in creation order; the parallel engines stripe by worker
 // count so record() does not serialize).
-func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPlane bool) *engine {
+func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPlane, batch bool) *engine {
 	e := &engine{
 		pts:   pts,
 		store: geom.NewPointStore(pts),
 		d:     d,
 		grain: grain,
+		batch: batch,
 		rec:   hullstats.NewRecorder(counters),
 		log:   facetlog.New[*Facet](stripes),
 	}
@@ -261,6 +263,13 @@ func (e *engine) visible(v int32, f *Facet) bool {
 		}
 		e.rec.Fallbacks.Inc(uint64(v))
 	}
+	return e.exactVisible(v, f)
+}
+
+// exactVisible is the exact visibility predicate with no counting — the
+// shared tail of visible() and the batch filter's uncertain-sidecar
+// resolution (both count before calling it, on different granularities).
+func (e *engine) exactVisible(v int32, f *Facet) bool {
 	return geom.OrientSimplex(e.facetPoints(f), e.pts[v]) == f.outSign
 }
 
@@ -347,6 +356,9 @@ func (e *engine) newFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int
 // the points visible from f, through the driver's shared grain/arena
 // discipline (engine.MergeFilter).
 func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
+	if e.batch {
+		return eng.MergeFilterBatch(a, c1, c2, p, facetFilter{e: e, f: f}, e.grain)
+	}
 	keep := func(v int32) bool { return e.visible(v, f) }
 	return eng.MergeFilter(a, c1, c2, p, keep, e.grain)
 }
@@ -391,8 +403,12 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	}
 	for _, f := range facets {
 		f := f
-		f.Conf = conflict.Build(int32(d+1), int32(n),
-			func(v int32) bool { return e.visible(v, f) }, e.grain)
+		if e.batch {
+			f.Conf = conflict.BuildFilter(int32(d+1), int32(n), facetFilter{e: e, f: f}, e.grain)
+		} else {
+			f.Conf = conflict.Build(int32(d+1), int32(n),
+				func(v int32) bool { return e.visible(v, f) }, e.grain)
+		}
 		e.record(f)
 	}
 	return facets, nil

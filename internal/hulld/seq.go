@@ -88,7 +88,7 @@ func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, counters, 0, 1, noPlane)
+	e := newEngine(pts, d, counters, 0, 1, noPlane, true)
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

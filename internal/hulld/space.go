@@ -70,24 +70,52 @@ func (s *Space) NumConfigs() int { return 2 * len(s.subsets) }
 // Defining implements core.Space.
 func (s *Space) Defining(c int) []int { return s.subsets[c/2] }
 
-// InConflict implements core.Space: configuration 2*i+side conflicts with
-// the points whose orientation sign matches the side.
-func (s *Space) InConflict(c, x int) bool {
-	subset := s.subsets[c/2]
+// decode resolves configuration c into its defining subset, vertex
+// coordinates, and conflict side — the per-configuration setup shared by
+// InConflict and FirstConflict.
+func (s *Space) decode(c int, verts []geom.Point) (subset []int, side int) {
+	subset = s.subsets[c/2]
+	for i, o := range subset {
+		verts[i] = s.pts[o]
+	}
+	side = 1
+	if c%2 == 1 {
+		side = -1
+	}
+	return subset, side
+}
+
+// conflictAt reports whether object x conflicts with the decoded
+// configuration (defined objects never conflict with it).
+func (s *Space) conflictAt(subset []int, verts []geom.Point, side, x int) bool {
 	for _, o := range subset {
 		if o == x {
 			return false
 		}
 	}
-	verts := make([]geom.Point, s.d)
-	for i, o := range subset {
-		verts[i] = s.pts[o]
-	}
-	side := 1
-	if c%2 == 1 {
-		side = -1
-	}
 	return geom.OrientSimplex(verts, s.pts[x]) == side
+}
+
+// InConflict implements core.Space: configuration 2*i+side conflicts with
+// the points whose orientation sign matches the side.
+func (s *Space) InConflict(c, x int) bool {
+	verts := make([]geom.Point, s.d)
+	subset, side := s.decode(c, verts)
+	return s.conflictAt(subset, verts, side, x)
+}
+
+// FirstConflict implements engine.ConflictScanner: one decode of c, then a
+// tight scan over order, instead of re-slicing the vertex array per object
+// as the InConflict signature forces.
+func (s *Space) FirstConflict(c int, order []int) int {
+	verts := make([]geom.Point, s.d)
+	subset, side := s.decode(c, verts)
+	for r, o := range order {
+		if s.conflictAt(subset, verts, side, o) {
+			return r
+		}
+	}
+	return len(order)
 }
 
 // Degree implements core.Space: g = d.
