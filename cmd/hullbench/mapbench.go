@@ -91,8 +91,14 @@ func timeMap(m conmap.RidgeMap[*int], n, g int) float64 {
 			defer wg.Done()
 			for i := base; i < base+per; i++ {
 				k := conmap.MakeKey([]int32{int32(i), int32(i + 1)})
-				m.InsertAndSet(k, vals[2*i])
-				if !m.InsertAndSet(k, vals[2*i+1]) {
+				if _, err := m.InsertAndSet(k, vals[2*i]); err != nil {
+					panic(err) // tables are sized for n; cannot happen
+				}
+				first, err := m.InsertAndSet(k, vals[2*i+1])
+				if err != nil {
+					panic(err)
+				}
+				if !first {
 					m.GetValue(k, vals[2*i+1])
 				}
 			}

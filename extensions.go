@@ -1,6 +1,8 @@
 package parhull
 
 import (
+	"fmt"
+
 	"parhull/internal/circles"
 	"parhull/internal/corner"
 	"parhull/internal/delaunay"
@@ -32,8 +34,12 @@ type HalfspaceResult struct {
 // i.e. the normals must positively span R^d — prepend
 // HalfspaceBoundingSimplex to guarantee it. Normals are consumed in input
 // order unless Options.Shuffle is set.
-func HalfspaceIntersection(normals []Point, opt *Options) (*HalfspaceResult, error) {
+func HalfspaceIntersection(normals []Point, opt *Options) (out *HalfspaceResult, err error) {
+	defer guard(&err)
 	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	order := o.perm(len(normals))
 	work := applyShuffle(normals, order)
 	d := 0
@@ -46,11 +52,12 @@ func HalfspaceIntersection(normals []Point, opt *Options) (*HalfspaceResult, err
 		NoCounters:   o.NoCounters,
 		FilterGrain:  o.FilterGrain,
 		NoPlaneCache: o.NoPlaneCache,
+		Ctx:          o.Context,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	out := &HalfspaceResult{Stats: res.HullStats}
+	out = &HalfspaceResult{Stats: res.HullStats}
 	for _, v := range res.Vertices {
 		hv := HalfspaceVertex{Point: v.Point}
 		for _, h := range v.Halfspaces {
@@ -78,10 +85,11 @@ type CircleArc struct {
 // UnitCircleIntersection computes the boundary arcs of the intersection of
 // unit disks centered at centers (Section 7). The boolean reports whether
 // the intersection region is non-empty.
-func UnitCircleIntersection(centers []Point) ([]CircleArc, bool, error) {
+func UnitCircleIntersection(centers []Point) (_ []CircleArc, _ bool, err error) {
+	defer guard(&err)
 	arcs, nonempty, err := circles.IntersectionBoundary(centers)
 	if err != nil {
-		return nil, false, err
+		return nil, false, wrapErr(err)
 	}
 	out := make([]CircleArc, len(arcs))
 	for i, a := range arcs {
@@ -106,15 +114,19 @@ type DelaunayResult struct {
 // depth as the hull engines (extension; see internal/delaunay for the
 // bounding-triangle caveat near the input hull). Points are inserted in
 // input order unless opt.Shuffle is set.
-func Delaunay(pts []Point, opt *Options) (*DelaunayResult, error) {
+func Delaunay(pts []Point, opt *Options) (out *DelaunayResult, err error) {
+	defer guard(&err)
 	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 	res, err := delaunay.Triangulate(work)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	out := &DelaunayResult{Stats: res.Stats}
+	out = &DelaunayResult{Stats: res.Stats}
 	for _, t := range res.Triangles {
 		out.Triangles = append(out.Triangles, [3]int{
 			mapBack(t.Verts[0], order), mapBack(t.Verts[1], order), mapBack(t.Verts[2], order),
@@ -143,10 +155,14 @@ type Face3D struct {
 // The engine's final active set provably equals T(X) — the set the
 // brute-force core simulator computes — which is asserted on degenerate
 // fixtures by tests.
-func Hull3DDegenerate(pts []Point) ([]Face3D, error) {
+func Hull3DDegenerate(pts []Point) (_ []Face3D, err error) {
+	defer guard(&err)
+	if len(pts) < 4 {
+		return nil, fmt.Errorf("%w: Hull3DDegenerate needs at least 4 points, got %d", ErrDegenerate, len(pts))
+	}
 	s, err := corner.NewSpace(pts)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	all := make([]int, len(pts))
 	for i := range all {
@@ -154,11 +170,11 @@ func Hull3DDegenerate(pts []Point) ([]Face3D, error) {
 	}
 	res, err := engine.SpaceRounds(s, all)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	faces, err := corner.Faces(s, res.Alive)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	out := make([]Face3D, len(faces))
 	for i, f := range faces {

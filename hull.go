@@ -3,6 +3,8 @@ package parhull
 import (
 	"fmt"
 
+	"parhull/internal/conmap"
+	"parhull/internal/engine"
 	"parhull/internal/hull2d"
 	"parhull/internal/hulld"
 )
@@ -19,43 +21,60 @@ type Hull2DResult struct {
 // Points are inserted in input order unless Options.Shuffle is set (which
 // the Theorem 1.1 depth guarantee assumes). The input must contain at least
 // 3 points in general position.
-func Hull2D(pts []Point, opt *Options) (*Hull2DResult, error) {
+//
+// Errors are typed: see ErrDegenerate, ErrBadCoordinate, ErrCapacity,
+// ErrCanceled, ErrBadOption. A fixed CAS/TAS ridge table that fills is
+// handled by the degradation ladder (doubled-table retries, then a sharded-
+// map fallback) unless Options.NoMapFallback is set; see
+// Stats.CapacityRetries and Stats.MapFallback.
+func Hull2D(pts []Point, opt *Options) (out *Hull2DResult, err error) {
+	defer guard(&err)
 	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 
 	var res *hull2d.Result
-	var err error
+	var retries int
+	var fellBack bool
 	switch o.Engine {
 	case EngineSequential:
-		if o.NoPlaneCache {
-			res, err = hull2d.SeqNoPlaneCache(work)
-		} else {
-			res, err = hull2d.Seq(work)
+		res, err = hull2d.SeqCtx(o.Context, nil, work, o.NoPlaneCache)
+	case EngineParallel, EngineRounds:
+		run := func(m conmap.RidgeMap[*hull2d.Facet]) (*hull2d.Result, error) {
+			ho := &hull2d.Options{
+				Map:          m,
+				Sched:        o.schedKind(),
+				GroupLimit:   o.GroupLimit,
+				NoCounters:   o.NoCounters,
+				FilterGrain:  o.FilterGrain,
+				NoPlaneCache: o.NoPlaneCache,
+				Ctx:          o.Context,
+			}
+			if o.Engine == EngineRounds {
+				r, _, e := hull2d.Rounds(work, ho)
+				return r, e
+			}
+			return hull2d.Par(work, ho)
 		}
-	case EngineParallel:
-		res, err = hull2d.Par(work, &hull2d.Options{
-			Map:          o.ridgeMap2D(len(pts)),
-			Sched:        o.schedKind(),
-			GroupLimit:   o.GroupLimit,
-			NoCounters:   o.NoCounters,
-			FilterGrain:  o.FilterGrain,
-			NoPlaneCache: o.NoPlaneCache,
-		})
-	case EngineRounds:
-		res, _, err = hull2d.Rounds(work, &hull2d.Options{
-			Map:          o.ridgeMap2D(len(pts)),
-			NoCounters:   o.NoCounters,
-			FilterGrain:  o.FilterGrain,
-			NoPlaneCache: o.NoPlaneCache,
-		})
+		res, retries, fellBack, err = ladder(o,
+			o.capacity(engine.FixedMapCapacity(len(pts), 0)),
+			o.fixed2D,
+			func() conmap.RidgeMap[*hull2d.Facet] {
+				return conmap.NewShardedMap[*hull2d.Facet](o.capacity(engine.DefaultMapCapacity(len(pts), 0)))
+			},
+			run)
 	default:
 		return nil, errBadEngine
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	out := &Hull2DResult{Stats: res.Stats}
+	res.Stats.CapacityRetries = retries
+	res.Stats.MapFallback = fellBack
+	out = &Hull2DResult{Stats: res.Stats}
 	for _, v := range res.Vertices {
 		out.Vertices = append(out.Vertices, mapBack(v, order))
 	}
@@ -79,9 +98,14 @@ type HullDResult struct {
 
 // HullD computes the convex hull in the dimension given by the points
 // (d = len(pts[0]) >= 2). The input must contain at least d+1 points in
-// general position. See Hull2D for ordering semantics.
-func HullD(pts []Point, opt *Options) (*HullDResult, error) {
+// general position. See Hull2D for ordering semantics and the typed error
+// surface / degradation ladder.
+func HullD(pts []Point, opt *Options) (out *HullDResult, err error) {
+	defer guard(&err)
 	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 	d := 0
@@ -90,37 +114,43 @@ func HullD(pts []Point, opt *Options) (*HullDResult, error) {
 	}
 
 	var res *hulld.Result
-	var err error
+	var retries int
+	var fellBack bool
 	switch o.Engine {
 	case EngineSequential:
-		if o.NoPlaneCache {
-			res, err = hulld.SeqNoPlaneCache(work)
-		} else {
-			res, err = hulld.Seq(work)
+		res, err = hulld.SeqCtx(o.Context, nil, work, o.NoPlaneCache)
+	case EngineParallel, EngineRounds:
+		run := func(m conmap.RidgeMap[*hulld.Facet]) (*hulld.Result, error) {
+			ho := &hulld.Options{
+				Map:          m,
+				Sched:        o.schedKind(),
+				GroupLimit:   o.GroupLimit,
+				NoCounters:   o.NoCounters,
+				FilterGrain:  o.FilterGrain,
+				NoPlaneCache: o.NoPlaneCache,
+				Ctx:          o.Context,
+			}
+			if o.Engine == EngineRounds {
+				return hulld.Rounds(work, ho)
+			}
+			return hulld.Par(work, ho)
 		}
-	case EngineParallel:
-		res, err = hulld.Par(work, &hulld.Options{
-			Map:          o.ridgeMapD(len(pts), d),
-			Sched:        o.schedKind(),
-			GroupLimit:   o.GroupLimit,
-			NoCounters:   o.NoCounters,
-			FilterGrain:  o.FilterGrain,
-			NoPlaneCache: o.NoPlaneCache,
-		})
-	case EngineRounds:
-		res, err = hulld.Rounds(work, &hulld.Options{
-			Map:          o.ridgeMapD(len(pts), d),
-			NoCounters:   o.NoCounters,
-			FilterGrain:  o.FilterGrain,
-			NoPlaneCache: o.NoPlaneCache,
-		})
+		res, retries, fellBack, err = ladder(o,
+			o.capacity(engine.FixedMapCapacity(len(pts), d)),
+			o.fixedD,
+			func() conmap.RidgeMap[*hulld.Facet] {
+				return conmap.NewShardedMap[*hulld.Facet](o.capacity(engine.DefaultMapCapacity(len(pts), d)))
+			},
+			run)
 	default:
 		return nil, errBadEngine
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	out := &HullDResult{Stats: res.Stats}
+	res.Stats.CapacityRetries = retries
+	res.Stats.MapFallback = fellBack
+	out = &HullDResult{Stats: res.Stats}
 	for _, f := range res.Facets {
 		ff := Facet{Vertices: make([]int, len(f.Verts))}
 		for i, v := range f.Verts {
@@ -138,7 +168,7 @@ func HullD(pts []Point, opt *Options) (*HullDResult, error) {
 // around HullD that validates the dimension).
 func Hull3D(pts []Point, opt *Options) (*HullDResult, error) {
 	if len(pts) > 0 && len(pts[0]) != 3 {
-		return nil, fmt.Errorf("parhull: Hull3D needs 3D points, got dimension %d", len(pts[0]))
+		return nil, fmt.Errorf("%w: Hull3D needs 3D points, got dimension %d", ErrBadOption, len(pts[0]))
 	}
 	return HullD(pts, opt)
 }

@@ -1,6 +1,11 @@
 package conmap
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"parhull/internal/faultinject"
+)
 
 // CASMap is Algorithm 4 of the paper: a fixed-capacity linear-probing hash
 // table whose slots are claimed with CompareAndSwap. The first facet to
@@ -9,6 +14,7 @@ import "sync/atomic"
 type CASMap[V comparable] struct {
 	slots []atomic.Pointer[casEntry[V]]
 	mask  uint64
+	inj   *faultinject.Injector
 }
 
 type casEntry[V comparable] struct {
@@ -17,31 +23,42 @@ type casEntry[V comparable] struct {
 }
 
 // NewCASMap returns a CASMap sized for the expected number of distinct
-// ridges. The capacity is fixed; exceeding it panics (size generously — the
-// hull engines bound the live ridge count by d times the facets created).
+// ridges. The capacity is fixed; exceeding it yields ErrCapacity (size
+// generously — the hull engines bound the live ridge count by d times the
+// facets created).
 func NewCASMap[V comparable](expected int) *CASMap[V] {
 	c := roundCapacity(expected)
 	return &CASMap[V]{slots: make([]atomic.Pointer[casEntry[V]], c), mask: uint64(c - 1)}
 }
 
+// Inject arms m with a fault-injection schedule (tests only; nil is the
+// production default). Returns m for chaining.
+func (m *CASMap[V]) Inject(in *faultinject.Injector) *CASMap[V] {
+	m.inj = in
+	return m
+}
+
 // InsertAndSet implements Algorithm 4's InsertAndSet: probe from the hash
 // index; CAS the entry into the first empty slot (return true), unless a
 // slot holding the same key is found first (return false).
-func (m *CASMap[V]) InsertAndSet(k Key, v V) bool {
+func (m *CASMap[V]) InsertAndSet(k Key, v V) (bool, error) {
+	if m.inj.Fail(faultinject.SiteMapInsert) {
+		return false, fmt.Errorf("conmap: CASMap injected failure for ridge %v: %w", k, ErrCapacity)
+	}
 	e := &casEntry[V]{key: k, val: v}
 	i := k.hash & m.mask
 	for probes := 0; probes <= len(m.slots); probes++ {
 		if m.slots[i].CompareAndSwap(nil, e) {
-			return true
+			return true, nil
 		}
 		// CAS failed: either a duplicate key (the other facet got here
 		// first) or a hash collision; linear-probe past collisions.
 		if cur := m.slots[i].Load(); cur != nil && cur.key.Equal(k) {
-			return false
+			return false, nil
 		}
 		i = (i + 1) & m.mask
 	}
-	panic("conmap: CASMap capacity exhausted; size it for the expected ridge count")
+	return false, fmt.Errorf("conmap: CASMap with %d slots: %w", len(m.slots), ErrCapacity)
 }
 
 // GetValue returns the value stored for k. In Algorithm 4 each key occupies
@@ -52,14 +69,20 @@ func (m *CASMap[V]) GetValue(k Key, not V) V {
 	for probes := 0; probes <= len(m.slots); probes++ {
 		cur := m.slots[i].Load()
 		if cur == nil {
-			break
+			// An empty slot ends the probe run: the key was never inserted —
+			// caller misuse, not a capacity condition.
+			panic("conmap: GetValue on a ridge that was never inserted")
 		}
 		if cur.key.Equal(k) {
 			return cur.val
 		}
 		i = (i + 1) & m.mask
 	}
-	panic("conmap: GetValue on a ridge that was never inserted")
+	// The probe run wrapped the whole table without an empty slot: the table
+	// is exhausted and the one-loser protocol's guarantees no longer hold.
+	// Report capacity so the degradation ladder retries with a bigger table.
+	panic(fmt.Errorf("conmap: CASMap with %d slots wrapped probing ridge %v: %w",
+		len(m.slots), k, ErrCapacity))
 }
 
 // Len reports the number of occupied slots (linear scan; for tests/stats).

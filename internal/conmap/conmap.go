@@ -16,7 +16,17 @@
 // the time it returns false the other facet's value is visible to GetValue.
 package conmap
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCapacity reports that a fixed-capacity table (Algorithm 4/5) ran out of
+// slots: the probe walked the whole table without finding a home for the
+// key. It is the typed form of what used to be a panic — the engines abort
+// the construction cleanly and the public layer climbs the degradation
+// ladder (retry with a doubled table, then fall back to the sharded map).
+var ErrCapacity = errors.New("conmap: fixed-capacity ridge table exhausted")
 
 // Key identifies a ridge: a canonical (sorted ascending) tuple of point
 // indices plus its precomputed hash. Keys are value types; the id slice must
@@ -76,12 +86,14 @@ func (k Key) String() string { return fmt.Sprint(k.id) }
 // V is the facet handle type (a pointer in practice).
 type RidgeMap[V comparable] interface {
 	// InsertAndSet registers v as a facet incident on ridge k. It returns
-	// true if v is the first facet to arrive; the caller then leaves the
-	// ridge for the second facet. It returns false if the other facet
-	// already registered, in which case the caller is responsible for
+	// (true, nil) if v is the first facet to arrive; the caller then leaves
+	// the ridge for the second facet. It returns (false, nil) if the other
+	// facet already registered, in which case the caller is responsible for
 	// processing the ridge and may call GetValue to retrieve the other
-	// facet.
-	InsertAndSet(k Key, v V) bool
+	// facet. A non-nil error (wrapping ErrCapacity for the fixed tables)
+	// means the insertion could not be performed and the construction must
+	// abort; the first result is then meaningless.
+	InsertAndSet(k Key, v V) (bool, error)
 	// GetValue returns the facet registered on ridge k other than not.
 	// It must only be called after an InsertAndSet(k, ...) returned false.
 	GetValue(k Key, not V) V

@@ -1,12 +1,26 @@
 package conmap
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"parhull/internal/faultinject"
 )
+
+// mustInsert is the test-side InsertAndSet wrapper: any error is a test
+// failure (the tests below size their tables so capacity cannot run out).
+func mustInsert(t testing.TB, m RidgeMap[*int], k Key, v *int) bool {
+	t.Helper()
+	first, err := m.InsertAndSet(k, v)
+	if err != nil {
+		t.Fatalf("InsertAndSet(%v): %v", k, err)
+	}
+	return first
+}
 
 func TestKey(t *testing.T) {
 	a := MakeKey([]int32{1, 2, 3})
@@ -65,8 +79,8 @@ func TestOneLoserSequential(t *testing.T) {
 				k := MakeKey([]int32{i, i + 1})
 				v1, v2 := new(int), new(int)
 				*v1, *v2 = 1, 2
-				first := m.InsertAndSet(k, v1)
-				second := m.InsertAndSet(k, v2)
+				first := mustInsert(t, m, k, v1)
+				second := mustInsert(t, m, k, v2)
 				if !first || second {
 					t.Fatalf("ridge %d: first=%v second=%v", i, first, second)
 				}
@@ -102,7 +116,12 @@ func TestOneLoserConcurrent(t *testing.T) {
 						k := MakeKey([]int32{int32(r), int32(r + 1)})
 						mine := vals[2*r+side]
 						other := vals[2*r+1-side]
-						if !m.InsertAndSet(k, mine) {
+						first, err := m.InsertAndSet(k, mine)
+						if err != nil {
+							t.Errorf("%s ridge %d: %v", mk.name, r, err)
+							return
+						}
+						if !first {
 							got := m.GetValue(k, mine)
 							if got != other {
 								t.Errorf("%s ridge %d: GetValue=%v want %v", mk.name, r, got, other)
@@ -134,13 +153,13 @@ func TestProbeCollisions(t *testing.T) {
 			for i := int32(0); i < 60; i++ {
 				v := new(int)
 				vals[i] = v
-				if !m.InsertAndSet(Key1(i), v) {
+				if !mustInsert(t, m, Key1(i), v) {
 					t.Fatalf("fresh key %d reported duplicate", i)
 				}
 			}
 			for i := int32(0); i < 60; i++ {
 				w := new(int)
-				if m.InsertAndSet(Key1(i), w) {
+				if mustInsert(t, m, Key1(i), w) {
 					t.Fatalf("duplicate key %d reported fresh", i)
 				}
 				if got := m.GetValue(Key1(i), w); got != vals[i] {
@@ -151,24 +170,61 @@ func TestProbeCollisions(t *testing.T) {
 	}
 }
 
-// TestCapacityExhaustion: the fixed-capacity paper tables must fail loudly,
-// not loop or corrupt, when overfilled.
+// TestCapacityExhaustion: the fixed-capacity paper tables must fail with the
+// typed ErrCapacity — never loop, corrupt, or panic — when overfilled. This
+// is the bottom rung of the engine's degradation ladder.
 func TestCapacityExhaustion(t *testing.T) {
 	check := func(name string, m RidgeMap[*int], cap int) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: overfill did not panic", name)
-			}
-		}()
 		for i := int32(0); ; i++ {
-			m.InsertAndSet(Key1(i), new(int))
+			_, err := m.InsertAndSet(Key1(i), new(int))
+			if err != nil {
+				if !errors.Is(err, ErrCapacity) {
+					t.Errorf("%s: overfill error %v does not wrap ErrCapacity", name, err)
+				}
+				return
+			}
 			if int(i) > 10*cap {
-				t.Fatalf("%s: inserted %d into capacity %d without panic", name, i, cap)
+				t.Fatalf("%s: inserted %d into capacity %d without error", name, i, cap)
 			}
 		}
 	}
 	check("CAS", NewCASMap[*int](4), 4)
 	check("TAS", NewTASMap[*int](4), 4)
+}
+
+// TestInjectedCapacityFailure: an armed injector forces ErrCapacity on the
+// named visit even though the table has room, and fires exactly once.
+func TestInjectedCapacityFailure(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(in *faultinject.Injector) RidgeMap[*int]
+	}{
+		{"CAS", func(in *faultinject.Injector) RidgeMap[*int] { return NewCASMap[*int](64).Inject(in) }},
+		{"TAS", func(in *faultinject.Injector) RidgeMap[*int] { return NewTASMap[*int](64).Inject(in) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := faultinject.New(1).FailAt(faultinject.SiteMapInsert, 3)
+			m := tc.mk(in)
+			var errs int
+			for i := int32(0); i < 10; i++ {
+				if _, err := m.InsertAndSet(Key1(i), new(int)); err != nil {
+					if !errors.Is(err, ErrCapacity) {
+						t.Fatalf("injected error %v does not wrap ErrCapacity", err)
+					}
+					if i != 2 {
+						t.Fatalf("failure fired at visit %d, want 3", i+1)
+					}
+					errs++
+				}
+			}
+			if errs != 1 {
+				t.Fatalf("injected failure fired %d times, want exactly 1", errs)
+			}
+			if got := in.Fired(faultinject.SiteMapInsert); got != 1 {
+				t.Fatalf("Fired = %d, want 1", got)
+			}
+		})
+	}
 }
 
 func TestGetValueMissingPanics(t *testing.T) {
@@ -189,9 +245,9 @@ func TestLen(t *testing.T) {
 	tas := NewTASMap[*int](10)
 	sh := NewShardedMap[*int](10)
 	for i := int32(0); i < 5; i++ {
-		cas.InsertAndSet(Key1(i), new(int))
-		tas.InsertAndSet(Key1(i), new(int))
-		sh.InsertAndSet(Key1(i), new(int))
+		mustInsert(t, cas, Key1(i), new(int))
+		mustInsert(t, tas, Key1(i), new(int))
+		mustInsert(t, sh, Key1(i), new(int))
 	}
 	if cas.Len() != 5 || sh.Len() != 5 {
 		t.Fatalf("CAS len=%d sharded len=%d", cas.Len(), sh.Len())
@@ -218,9 +274,12 @@ func TestSemanticsMatchQuick(t *testing.T) {
 		rng.Shuffle(len(sched), func(i, j int) { sched[i], sched[j] = sched[j], sched[i] })
 		for _, id := range sched {
 			v := new(int)
-			a := cas.InsertAndSet(Key1(id), v)
-			b := tas.InsertAndSet(Key1(id), v)
-			c := sh.InsertAndSet(Key1(id), v)
+			a, errA := cas.InsertAndSet(Key1(id), v)
+			b, errB := tas.InsertAndSet(Key1(id), v)
+			c, errC := sh.InsertAndSet(Key1(id), v)
+			if errA != nil || errB != nil || errC != nil {
+				return false
+			}
 			if a != b || b != c {
 				return false
 			}
@@ -243,7 +302,7 @@ func BenchmarkRidgeMapInsert(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.InsertAndSet(keys[i], v)
+				m.InsertAndSet(keys[i], v) //nolint:errcheck // sized for b.N
 			}
 		})
 	}
@@ -261,7 +320,7 @@ func BenchmarkRidgeMapInsertParallel(b *testing.B) {
 				base := ctr.Add(int64(b.N)+1) - int64(b.N) - 1
 				i := int32(base)
 				for pb.Next() {
-					m.InsertAndSet(MakeKey([]int32{i, i + 1}), v)
+					m.InsertAndSet(MakeKey([]int32{i, i + 1}), v) //nolint:errcheck // sized for b.N
 					i++
 				}
 			})

@@ -46,28 +46,30 @@ func (m *ShardedMap[V]) shardFor(k Key) *shard[V] {
 }
 
 // InsertAndSet registers v on ridge k, reporting whether v arrived first.
-func (m *ShardedMap[V]) InsertAndSet(k Key, v V) bool {
+// The sharded map grows on demand, so its error is always nil — it is the
+// terminal rung of the capacity degradation ladder.
+func (m *ShardedMap[V]) InsertAndSet(k Key, v V) (bool, error) {
 	sh := m.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.m[k.hash]
 	if !ok {
 		sh.m[k.hash] = casEntry[V]{key: k, val: v}
-		return true
+		return true, nil
 	}
 	if e.key.Equal(k) {
-		return false
+		return false, nil
 	}
 	for _, o := range sh.overflow[k.hash] {
 		if o.key.Equal(k) {
-			return false
+			return false, nil
 		}
 	}
 	if sh.overflow == nil {
 		sh.overflow = map[uint64][]casEntry[V]{}
 	}
 	sh.overflow[k.hash] = append(sh.overflow[k.hash], casEntry[V]{key: k, val: v})
-	return true
+	return true, nil
 }
 
 // GetValue returns the facet registered on k (the one that arrived first).

@@ -1,6 +1,11 @@
 package conmap
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"parhull/internal/faultinject"
+)
 
 // TASMap is Algorithm 5 of the paper (Appendix A): the ridge multimap
 // implemented with only the TestAndSet primitive, as required by the
@@ -15,6 +20,7 @@ import "sync/atomic"
 type TASMap[V comparable] struct {
 	slots []tasSlot[V]
 	mask  uint64
+	inj   *faultinject.Injector
 }
 
 type tasSlot[V comparable] struct {
@@ -24,10 +30,17 @@ type tasSlot[V comparable] struct {
 }
 
 // NewTASMap returns a TASMap sized for the expected number of insertions
-// (two per ridge). Capacity is fixed; exceeding it panics.
+// (two per ridge). Capacity is fixed; exceeding it yields ErrCapacity.
 func NewTASMap[V comparable](expected int) *TASMap[V] {
 	c := roundCapacity(2 * expected)
 	return &TASMap[V]{slots: make([]tasSlot[V], c), mask: uint64(c - 1)}
+}
+
+// Inject arms m with a fault-injection schedule (tests only; nil is the
+// production default). Returns m for chaining.
+func (m *TASMap[V]) Inject(in *faultinject.Injector) *TASMap[V] {
+	m.inj = in
+	return m
 }
 
 // testAndSet is the TAS primitive: atomically set b and report whether the
@@ -38,12 +51,15 @@ func testAndSet(b *atomic.Bool) bool { return !b.Swap(true) }
 // the data, then re-scan the probe run from the home index performing
 // TAS(check) on every slot whose key equals k; losing any of those
 // TestAndSets means the other facet already passed here, so return false.
-func (m *TASMap[V]) InsertAndSet(k Key, v V) bool {
+func (m *TASMap[V]) InsertAndSet(k Key, v V) (bool, error) {
+	if m.inj.Fail(faultinject.SiteMapInsert) {
+		return false, fmt.Errorf("conmap: TASMap injected failure for ridge %v: %w", k, ErrCapacity)
+	}
 	// First pass: reserve a slot (Lines 2-5 of Algorithm 5).
 	i := k.hash & m.mask
 	for probes := 0; ; probes++ {
 		if probes > len(m.slots) {
-			panic("conmap: TASMap capacity exhausted; size it for the expected ridge count")
+			return false, fmt.Errorf("conmap: TASMap with %d slots: %w", len(m.slots), ErrCapacity)
 		}
 		if testAndSet(&m.slots[i].taken) {
 			break
@@ -56,24 +72,29 @@ func (m *TASMap[V]) InsertAndSet(k Key, v V) bool {
 	j := k.hash & m.mask
 	for probes := 0; m.slots[j].taken.Load(); probes++ {
 		if probes > len(m.slots) {
-			panic("conmap: TASMap probe run wrapped the table; capacity exhausted")
+			return false, fmt.Errorf("conmap: TASMap probe run wrapped %d slots: %w", len(m.slots), ErrCapacity)
 		}
 		// A slot can be taken but not yet written by its owner; its key is
 		// then unknown — but it cannot be one of k's two slots, both of
 		// which are written before their owners reach this pass.
 		if e := m.slots[j].data.Load(); e != nil && e.key.Equal(k) {
 			if !testAndSet(&m.slots[j].check) {
-				return false
+				return false, nil
 			}
 		}
 		j = (j + 1) & m.mask
 	}
-	return true
+	return true, nil
 }
 
 // GetValue scans the probe run for the entry with key k whose value differs
 // from not. Theorem A.2 guarantees both entries are written before the
-// losing InsertAndSet returns, so this always finds the other facet.
+// losing InsertAndSet returns, so in a correctly sized table this always
+// finds the other facet. In an exhausted table the theorem's preconditions
+// fail (probe runs wrap, partner insertions error out mid-protocol), so a
+// missing partner is reported as capacity exhaustion: the panic value is an
+// error wrapping ErrCapacity, which the scheduler's containment layer
+// surfaces intact for the degradation ladder to retry on.
 func (m *TASMap[V]) GetValue(k Key, not V) V {
 	j := k.hash & m.mask
 	for probes := 0; m.slots[j].taken.Load(); probes++ {
@@ -85,7 +106,8 @@ func (m *TASMap[V]) GetValue(k Key, not V) V {
 		}
 		j = (j + 1) & m.mask
 	}
-	panic("conmap: TASMap.GetValue could not find the partner facet")
+	panic(fmt.Errorf("conmap: TASMap with %d slots lost the partner of ridge %v: %w",
+		len(m.slots), k, ErrCapacity))
 }
 
 // Len reports the number of reserved slots (linear scan; for tests/stats).

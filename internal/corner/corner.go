@@ -20,10 +20,18 @@
 package corner
 
 import (
+	"errors"
 	"fmt"
 
 	"parhull/internal/geom"
 )
+
+// ErrDegenerate reports input too degenerate even for the corner space: all
+// points collinear (no non-collinear triple exists, so the space has no
+// configurations at all), fewer points than the base simplex, or a fully
+// coplanar input whose faces cannot be oriented. Returned wrapped, with
+// detail; the public layer maps it onto parhull.ErrDegenerate.
+var ErrDegenerate = errors.New("corner: degenerate input beyond the corner space")
 
 // Space is the corner configuration space over a fixed set of 3D points.
 // It implements core.Space.
@@ -55,6 +63,12 @@ func NewSpace(pts []geom.Point) (*Space, error) {
 				}
 			}
 		}
+	}
+	if n >= 3 && len(s.triples) == 0 {
+		// Every triple is collinear: the space is empty and downstream code
+		// (projAxis, Faces) has nothing to stand on. Reject up front — this
+		// is the input class that used to escape as a panic.
+		return nil, fmt.Errorf("all %d points are collinear: %w", n, ErrDegenerate)
 	}
 	return s, nil
 }

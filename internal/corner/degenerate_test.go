@@ -1,0 +1,39 @@
+package corner
+
+import (
+	"errors"
+	"testing"
+
+	"parhull/internal/geom"
+)
+
+// TestNewSpaceAllCollinear is the regression for the projAxis panic: an
+// input whose every triple is collinear used to build an empty corner space
+// and crash later when Faces projected a nonexistent plane. NewSpace now
+// rejects it upfront with a typed ErrDegenerate.
+func TestNewSpaceAllCollinear(t *testing.T) {
+	fixtures := map[string][]geom.Point{
+		"x-axis":   {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}},
+		"diagonal": {{0, 0, 0}, {1, 2, 3}, {2, 4, 6}, {-1, -2, -3}, {5, 10, 15}},
+		"offset":   {{1, 1, 1}, {2, 3, 1}, {3, 5, 1}, {4, 7, 1}},
+	}
+	for name, pts := range fixtures {
+		_, err := NewSpace(pts)
+		if err == nil {
+			t.Errorf("%s: all-collinear input accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrDegenerate) {
+			t.Errorf("%s: err = %v, want ErrDegenerate", name, err)
+		}
+	}
+}
+
+// TestNewSpaceNearCollinearOK checks the rejection is not over-eager: one
+// point off the line makes the space non-empty and construction proceeds.
+func TestNewSpaceNearCollinearOK(t *testing.T) {
+	pts := []geom.Point{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}, {1, 1, 0}, {1, 0, 1}}
+	if _, err := NewSpace(pts); err != nil {
+		t.Fatalf("near-collinear input rejected: %v", err)
+	}
+}

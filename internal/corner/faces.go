@@ -21,7 +21,7 @@ type Face struct {
 // threaded through the wing pointers. The whole input must not be coplanar.
 func Faces(s *Space, active []int) ([]Face, error) {
 	if len(active) == 0 {
-		return nil, fmt.Errorf("corner: no active configurations")
+		return nil, fmt.Errorf("corner: no active configurations: %w", ErrDegenerate)
 	}
 	corners := make([]Corner, len(active))
 	for i, c := range active {
@@ -91,7 +91,10 @@ func sameFace(s *Space, a Corner, ca int, b Corner, cb int) bool {
 // pointers: the corner at vertex v has wings {prev, next} on the boundary.
 func threadCycle(members []Corner) ([]int, error) {
 	if len(members) < 3 {
-		return nil, fmt.Errorf("corner: face with %d corners", len(members))
+		// Faces of fewer than three corners arise when the face grouping
+		// cannot orient planes — a fully coplanar input (sameFace has no
+		// off-plane probe point), which the corner space cannot represent.
+		return nil, fmt.Errorf("corner: face with %d corners (coplanar input?): %w", len(members), ErrDegenerate)
 	}
 	wings := map[int][2]int{}
 	for _, c := range members {

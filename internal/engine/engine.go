@@ -27,10 +27,12 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"parhull/internal/faultinject"
 	"parhull/internal/hullstats"
 	"parhull/internal/sched"
 )
@@ -86,7 +88,11 @@ type Kernel[FV any, R any] interface {
 // dimension kernels route through conmap (see table.go); the 2D kernel
 // substitutes a flat array of CAS slots indexed by vertex.
 type Table[FV any, R any] interface {
-	InsertAndSet(r R, f *FV) bool
+	// InsertAndSet registers f on ridge r: (true, nil) means f arrived
+	// first, (false, nil) that the other facet did (fork the chain). A
+	// non-nil error — conmap.ErrCapacity from the fixed tables — aborts the
+	// construction; the caller climbs the degradation ladder.
+	InsertAndSet(r R, f *FV) (bool, error)
 	GetValue(r R, not *FV) *FV
 }
 
@@ -103,6 +109,13 @@ type Config[FV any, R any] struct {
 	Sched sched.Kind
 	// GroupLimit caps concurrently spawned ridge chains (Group only).
 	GroupLimit int
+	// Ctx, when non-nil, cancels the construction cooperatively: chains
+	// check it at ridge-step granularity and the run returns ctx.Err() with
+	// the pool quiesced. nil means no cancellation.
+	Ctx context.Context
+	// Inject arms deterministic fault injection (tests only; nil in
+	// production — every hook is nil-safe).
+	Inject *faultinject.Injector
 }
 
 // driver carries the per-run scheduling state shared by the chain loops.
@@ -110,15 +123,39 @@ type driver[FV any, R any] struct {
 	k   Kernel[FV, R]
 	tbl Table[FV, R]
 	rec *hullstats.Recorder
+	inj *faultinject.Injector
 
 	errOnce sync.Once
 	err     error
 	failed  atomic.Bool
 }
 
+func newDriver[FV any, R any](cfg Config[FV, R]) *driver[FV, R] {
+	return &driver[FV, R]{k: cfg.Kernel, tbl: cfg.Table, rec: cfg.Rec, inj: cfg.Inject}
+}
+
 func (d *driver[FV, R]) fail(err error) {
 	d.errOnce.Do(func() { d.err = err })
 	d.failed.Store(true)
+}
+
+// watch flips the driver's failed flag when ctx is canceled, so every chain
+// loop's existing poll doubles as the cancellation check — ridge-step
+// granularity with no extra atomic on the hot path. The returned stop must
+// be called (deferred) to retire the watcher goroutine.
+func (d *driver[FV, R]) watch(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.fail(ctx.Err())
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
 }
 
 // step executes one ProcessRidge iteration of the chain holding tk: it
@@ -131,6 +168,7 @@ func (d *driver[FV, R]) fail(err error) {
 // (nil forces fresh allocation, the Group/rounds behavior).
 func (d *driver[FV, R]) step(a *Arena[FV], tk Task[FV, R], ridges []R, round int32, fork func(Task[FV, R])) (Task[FV, R], []R, bool) {
 	var zero Task[FV, R]
+	d.inj.Visit(faultinject.SiteRidgeStep)
 	p1, p2 := d.k.Pivot(tk.T1), d.k.Pivot(tk.T2)
 	switch {
 	case p1 == NoPivot && p2 == NoPivot:
@@ -153,7 +191,12 @@ func (d *driver[FV, R]) step(a *Arena[FV], tk Task[FV, R], ridges []R, round int
 	d.rec.Replaced(d.k.Kill(tk.T1))
 	ridges = d.k.FreshRidges(a, t, tk.R, ridges[:0])
 	for _, r2 := range ridges {
-		if !d.tbl.InsertAndSet(r2, t) {
+		first, ierr := d.tbl.InsertAndSet(r2, t)
+		if ierr != nil {
+			d.fail(ierr)
+			return zero, ridges, false
+		}
+		if !first {
 			fork(Task[FV, R]{T1: t, R: r2, T2: d.tbl.GetValue(r2, t)})
 		}
 	}
@@ -163,13 +206,26 @@ func (d *driver[FV, R]) step(a *Arena[FV], tk Task[FV, R], ridges []R, round int
 // Par runs Algorithm 3 under the asynchronous fork-join schedule (the
 // binary-forking model of Theorem 5.5) over the initial ridge tasks. seed is
 // called once with the root fork function (one call per ridge of the base
-// simplex/polygon). It returns the first kernel error, if any.
+// simplex/polygon). It returns the first failure, in precedence order:
+// kernel/table error or ctx cancellation (whichever was recorded first),
+// then a contained worker panic as *sched.PanicError. On every return path
+// the pool has fully quiesced — no goroutine outlives the call.
 func Par[FV any, R any](cfg Config[FV, R], seed func(fork func(Task[FV, R]))) error {
-	d := &driver[FV, R]{k: cfg.Kernel, tbl: cfg.Table, rec: cfg.Rec}
+	d := newDriver(cfg)
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	defer d.watch(cfg.Ctx)()
+	var perr error
 	if cfg.Sched == sched.KindGroup {
-		d.parGroup(cfg.GroupLimit, seed)
+		perr = d.parGroup(cfg.GroupLimit, seed)
 	} else {
-		d.parSteal(seed)
+		perr = d.parSteal(seed)
+	}
+	if perr != nil {
+		d.fail(perr) // first recorded failure wins; a panic only if nothing else
 	}
 	return d.err
 }
@@ -177,12 +233,12 @@ func Par[FV any, R any](cfg Config[FV, R], seed func(fork func(Task[FV, R]))) er
 // parGroup runs the chains on the bounded goroutine-per-fork Group — the
 // PR-1 substrate, kept as the A3 ablation baseline. No arenas: facets and
 // ridges heap-allocate, as they always did on this substrate.
-func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) {
+func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) error {
 	g := sched.NewGroup(limit)
 	var chain func(tk Task[FV, R])
 	chain = func(tk Task[FV, R]) {
 		for {
-			if d.failed.Load() {
+			if d.failed.Load() || g.Failed() {
 				return
 			}
 			next, _, ok := d.step(nil, tk, nil, 0, func(nt Task[FV, R]) {
@@ -198,6 +254,7 @@ func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) {
 		g.Go(func() { chain(tk) })
 	})
 	g.Wait()
+	return g.Err()
 }
 
 // parSteal runs the chains on the work-stealing executor: one long-lived
@@ -206,7 +263,7 @@ func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) {
 // allocated from the executing worker's arena, and the fresh-ridge scratch
 // reused per worker so the steady-state step allocates nothing beyond the
 // facet's own arena carves.
-func (d *driver[FV, R]) parSteal(seed func(fork func(Task[FV, R]))) {
+func (d *driver[FV, R]) parSteal(seed func(fork func(Task[FV, R]))) error {
 	nw := sched.Workers()
 	arenas := NewArenas[FV](nw)
 	ridgeBufs := make([][]R, nw)
@@ -217,7 +274,7 @@ func (d *driver[FV, R]) parSteal(seed func(fork func(Task[FV, R]))) {
 	x = sched.NewExecutor(nw, func(w int, tk Task[FV, R]) {
 		a, fork := &arenas[w], forkFns[w]
 		for {
-			if d.failed.Load() {
+			if d.failed.Load() || x.Failed() {
 				return
 			}
 			next, buf, ok := d.step(a, tk, ridgeBufs[w], 0, fork)
@@ -234,6 +291,7 @@ func (d *driver[FV, R]) parSteal(seed func(fork func(Task[FV, R]))) {
 	}
 	seed(func(tk Task[FV, R]) { x.Fork(sched.External, tk) })
 	x.Wait()
+	return x.Err()
 }
 
 // EventKind classifies an observed ProcessRidge outcome of the rounds
@@ -263,7 +321,13 @@ const (
 func Rounds[FV any, R any](cfg Config[FV, R], initial []Task[FV, R],
 	observe func(kind EventKind, round int32, a, b *FV)) (rounds int, widths []int, err error) {
 
-	d := &driver[FV, R]{k: cfg.Kernel, tbl: cfg.Table, rec: cfg.Rec}
+	d := newDriver(cfg)
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+	}
+	defer d.watch(cfg.Ctx)()
 	type roundTask struct {
 		Task[FV, R]
 		round int32
@@ -272,46 +336,71 @@ func Rounds[FV any, R any](cfg Config[FV, R], initial []Task[FV, R],
 	for i, tk := range initial {
 		seed[i] = roundTask{Task: tk, round: 1}
 	}
-	rounds, widths = sched.RunRoundsWidths(seed, func(tk roundTask, emit func(roundTask)) {
-		if d.failed.Load() {
-			return
-		}
+	// ParallelFor is panic-transparent: a contained panic in a round body is
+	// re-thrown here, on the calling goroutine, after the barrier — Recovered
+	// turns it into the typed *sched.PanicError.
+	if perr := sched.Recovered(func() {
+		rounds, widths = sched.RunRoundsWidths(seed, func(tk roundTask, emit func(roundTask)) {
+			d.roundStep(tk.Task, tk.round, observe, func(nt Task[FV, R], round int32) {
+				emit(roundTask{Task: nt, round: round})
+			})
+		})
+	}); perr != nil {
+		d.fail(perr)
+	}
+	return rounds, widths, d.err
+}
+
+// roundStep is one rounds-schedule ProcessRidge execution (the step logic of
+// the asynchronous schedule, with the continuation emitted instead of looped).
+func (d *driver[FV, R]) roundStep(tk Task[FV, R], round int32,
+	observe func(kind EventKind, round int32, a, b *FV), emit func(Task[FV, R], int32)) {
+
+	if d.failed.Load() {
+		return
+	}
+	d.inj.Visit(faultinject.SiteRidgeStep)
+	{
 		t1, t2 := tk.T1, tk.T2
 		p1, p2 := d.k.Pivot(t1), d.k.Pivot(t2)
 		switch {
 		case p1 == NoPivot && p2 == NoPivot:
 			d.rec.Finalized()
 			if observe != nil {
-				observe(EventFinal, tk.round, t1, t2)
+				observe(EventFinal, round, t1, t2)
 			}
 			return
 		case p1 == p2:
 			d.rec.Buried(d.k.Kill(t1))
 			d.rec.Buried(d.k.Kill(t2))
 			if observe != nil {
-				observe(EventBuried, tk.round, t1, t2)
+				observe(EventBuried, round, t1, t2)
 			}
 			return
 		case p2 < p1:
 			t1, t2 = t2, t1
 			p1 = p2
 		}
-		t, err := d.k.NewFacet(nil, tk.R, p1, t1, t2, tk.round)
+		t, err := d.k.NewFacet(nil, tk.R, p1, t1, t2, round)
 		if err != nil {
 			d.fail(err)
 			return
 		}
 		d.rec.Replaced(d.k.Kill(t1))
 		if observe != nil {
-			observe(EventCreated, tk.round, t, t1)
+			observe(EventCreated, round, t, t1)
 		}
 		for _, r2 := range d.k.FreshRidges(nil, t, tk.R, nil) {
-			if !d.tbl.InsertAndSet(r2, t) {
+			first, ierr := d.tbl.InsertAndSet(r2, t)
+			if ierr != nil {
+				d.fail(ierr)
+				return
+			}
+			if !first {
 				other := d.tbl.GetValue(r2, t)
-				emit(roundTask{Task: Task[FV, R]{T1: t, R: r2, T2: other}, round: tk.round + 1})
+				emit(Task[FV, R]{T1: t, R: r2, T2: other}, round+1)
 			}
 		}
-		emit(roundTask{Task: Task[FV, R]{T1: t, R: tk.R, T2: t2}, round: tk.round + 1})
-	})
-	return rounds, widths, d.err
+		emit(Task[FV, R]{T1: t, R: tk.R, T2: t2}, round+1)
+	}
 }

@@ -3,8 +3,10 @@ package engine_test
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
+	"parhull"
 	"parhull/internal/geom"
 	"parhull/internal/hull2d"
 	"parhull/internal/hulld"
@@ -18,12 +20,23 @@ import (
 // the schedules create the identical facet multiset and hull vertex set
 // (previously pinned only on fixed seeds). Inputs the engines reject as
 // degenerate are skipped — rejection must then be unanimous.
+//
+// With a non-zero mutate parameter the input is corrupted instead — NaN or
+// infinite coordinates, duplicated points, a fully collinear cloud, or a
+// starved fixed ridge table — and the run goes through the public API, which
+// must come back with a typed error or a valid hull, never a panic (the
+// robustness acceptance bar).
 func FuzzEngineEquivalence(f *testing.F) {
-	f.Add(int64(1), uint8(16), uint8(2), false)
-	f.Add(int64(2), uint8(40), uint8(3), true)
-	f.Add(int64(3), uint8(9), uint8(4), false)
-	f.Add(int64(99), uint8(64), uint8(2), true)
-	f.Fuzz(func(t *testing.T, seed int64, n, dim uint8, sphere bool) {
+	f.Add(int64(1), uint8(16), uint8(2), false, uint8(0))
+	f.Add(int64(2), uint8(40), uint8(3), true, uint8(0))
+	f.Add(int64(3), uint8(9), uint8(4), false, uint8(0))
+	f.Add(int64(99), uint8(64), uint8(2), true, uint8(0))
+	f.Add(int64(5), uint8(30), uint8(2), false, uint8(1)) // NaN coordinate
+	f.Add(int64(6), uint8(30), uint8(3), true, uint8(2))  // +Inf coordinate
+	f.Add(int64(7), uint8(30), uint8(2), false, uint8(3)) // duplicated point
+	f.Add(int64(8), uint8(30), uint8(3), false, uint8(4)) // collinear cloud
+	f.Add(int64(9), uint8(64), uint8(2), true, uint8(5))  // tiny fixed table
+	f.Fuzz(func(t *testing.T, seed int64, n, dim uint8, sphere bool, mutate uint8) {
 		d := 2 + int(dim)%3 // dimensions 2..4
 		np := int(n)
 		if np < d+2 {
@@ -36,12 +49,90 @@ func FuzzEngineEquivalence(f *testing.F) {
 		} else {
 			pts = pointgen.UniformBall(rng, np, d)
 		}
+		if m := mutate % 6; m != 0 {
+			fuzzPublic(t, mutatePoints(pts, m, seed), d, m)
+			return
+		}
 		if d == 2 {
 			fuzz2D(t, pts)
 		} else {
 			fuzzD(t, pts)
 		}
 	})
+}
+
+// mutatePoints corrupts a general-position cloud into one of the hostile
+// input classes (mutate 5 leaves points intact — the table is starved
+// instead).
+func mutatePoints(pts []geom.Point, mutate uint8, seed int64) []geom.Point {
+	i := int(uint64(seed) % uint64(len(pts)))
+	switch mutate {
+	case 1:
+		pts[i][int((uint64(seed)>>8)%uint64(len(pts[i])))] = math.NaN()
+	case 2:
+		pts[i][int((uint64(seed)>>8)%uint64(len(pts[i])))] = math.Inf(1 - 2*int(seed&2))
+	case 3:
+		pts[i] = append(geom.Point(nil), pts[(i+1)%len(pts)]...)
+	case 4:
+		for j := range pts {
+			f := float64(j)
+			for k := range pts[j] {
+				pts[j][k] = f * float64(k+1)
+			}
+		}
+	}
+	return pts
+}
+
+// fuzzPublic runs a hostile input through every public engine x map
+// combination. The contract: a typed public error or a hull, never a panic
+// and never an untyped error. Successful runs must agree on the vertex set.
+func fuzzPublic(t *testing.T, pts []geom.Point, d int, mutate uint8) {
+	hull := func(o *parhull.Options) ([]int, error) {
+		if d == 2 {
+			r, err := parhull.Hull2D(pts, o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Vertices, nil
+		}
+		r, err := parhull.HullD(pts, o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Vertices, nil
+	}
+	typed := func(err error) bool {
+		return errors.Is(err, parhull.ErrDegenerate) || errors.Is(err, parhull.ErrBadCoordinate) ||
+			errors.Is(err, parhull.ErrCapacity)
+	}
+	var want string
+	for _, e := range []parhull.Engine{parhull.EngineSequential, parhull.EngineParallel, parhull.EngineRounds} {
+		for _, m := range []parhull.MapKind{parhull.MapSharded, parhull.MapCAS, parhull.MapTAS} {
+			o := &parhull.Options{Engine: e, Map: m}
+			if mutate == 5 {
+				o.MapCapacity = 4
+				o.NoMapFallback = true
+			}
+			v, err := hull(o)
+			if err != nil {
+				if !typed(err) {
+					t.Fatalf("engine=%v map=%v mutate=%d: untyped error %v", e, m, mutate, err)
+				}
+				continue
+			}
+			got := fmt.Sprint(v)
+			// Table starvation only bites the fixed maps; sharded and
+			// sequential runs still succeed, so compare only within a class.
+			if mutate != 5 {
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Errorf("engine=%v map=%v mutate=%d: vertices %s, others %s", e, m, mutate, got, want)
+				}
+			}
+		}
+	}
 }
 
 // degenerate reports whether err is an input-rejection either kernel may

@@ -1,6 +1,11 @@
 package engine
 
-import "parhull/internal/hullstats"
+import (
+	"context"
+
+	"parhull/internal/faultinject"
+	"parhull/internal/hullstats"
+)
 
 // SeqGeometry supplies the geometry-specific pieces of the sequential
 // Algorithm 2 loop that are not already in the Kernel: the bipartite
@@ -35,7 +40,12 @@ type SeqGeometry[FV any, R any] interface {
 // baseSizes seeds the per-step hull-size series for the base prefix; the
 // returned slice extends it with the facet count after each insertion (the
 // |T(Y_i)| of the Theorem 3.1 bound).
-func Seq[FV any, R any](k Kernel[FV, R], g SeqGeometry[FV, R], rec *hullstats.Recorder,
+//
+// ctx, when non-nil, cancels the loop cooperatively at insertion granularity
+// (the sequential analogue of the ridge-step checks in Par/Rounds); inj arms
+// deterministic fault injection at the same boundary (nil in production).
+func Seq[FV any, R any](ctx context.Context, inj *faultinject.Injector,
+	k Kernel[FV, R], g SeqGeometry[FV, R], rec *hullstats.Recorder,
 	facets []*FV, n int32, baseSizes []int) ([]int, error) {
 
 	// Bipartite conflict graph: point -> facets whose conflict list holds it.
@@ -57,6 +67,12 @@ func Seq[FV any, R any](k Kernel[FV, R], g SeqGeometry[FV, R], rec *hullstats.Re
 	var tasks []Task[FV, R]
 	var created []*FV
 	for i := base; i < n; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		inj.Visit(faultinject.SiteSeqInsert)
 		// R <- C^-1(v_i): the facets visible from the new point (line 5).
 		vis = vis[:0]
 		for _, f := range pf[i] {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -70,6 +71,14 @@ type SpaceResult struct {
 // counterexample) may leave activations unclaimed; SpaceRounds requires a
 // supported space, which every space in this repository except trapezoid is.
 func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
+	return SpaceRoundsCtx(nil, s, order)
+}
+
+// SpaceRoundsCtx is SpaceRounds with cooperative cancellation: a non-nil ctx
+// is checked at round-task granularity and the run returns ctx.Err() with all
+// round workers joined. Panics escaping the space's callbacks are contained
+// into a typed *sched.PanicError instead of unwinding through the caller.
+func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResult, error) {
 	n := s.NumObjects()
 	nb := s.BaseSize()
 	if len(order) < nb {
@@ -175,27 +184,59 @@ func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
 			initial = append(initial, task{c: c, round: 1})
 		}
 	}
-	rounds, widths := sched.RunRoundsWidths(initial, func(tk task, emit func(task)) {
-		// tk.c dies here: its pivot's insertion kills it (one task per
-		// configuration, so no double counting). The first task to claim the
-		// pivot performs the insertion's creations; each configuration sits in
-		// exactly one peak bucket and each rank is claimed once, so the
-		// created/pivotOf entries have exclusive writers.
-		x := pivotOf[tk.c]
-		if !claimed[x].CompareAndSwap(false, true) {
-			return
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		for _, c := range byPeak[x] {
-			p, ok := create(c, x)
-			if !ok {
-				continue
+	}
+	var canceled atomic.Bool
+	stop := func() {}
+	if ctx != nil && ctx.Done() != nil {
+		quit := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				canceled.Store(true)
+			case <-quit:
 			}
-			nCreated.Add(1)
-			if p != NoPivot {
-				emit(task{c: c, round: tk.round + 1})
+		}()
+		stop = func() { close(quit) }
+	}
+	var rounds int
+	var widths []int
+	perr := sched.Recovered(func() {
+		rounds, widths = sched.RunRoundsWidths(initial, func(tk task, emit func(task)) {
+			if canceled.Load() {
+				return
 			}
-		}
+			// tk.c dies here: its pivot's insertion kills it (one task per
+			// configuration, so no double counting). The first task to claim the
+			// pivot performs the insertion's creations; each configuration sits in
+			// exactly one peak bucket and each rank is claimed once, so the
+			// created/pivotOf entries have exclusive writers.
+			x := pivotOf[tk.c]
+			if !claimed[x].CompareAndSwap(false, true) {
+				return
+			}
+			for _, c := range byPeak[x] {
+				p, ok := create(c, x)
+				if !ok {
+					continue
+				}
+				nCreated.Add(1)
+				if p != NoPivot {
+					emit(task{c: c, round: tk.round + 1})
+				}
+			}
+		})
 	})
+	stop()
+	if perr != nil {
+		return nil, perr
+	}
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
 
 	res := &SpaceResult{Created: int(nCreated.Load()), Rounds: rounds, Widths: widths}
 	for c := 0; c < m; c++ {

@@ -31,7 +31,7 @@ type ConmapTable[FV any] struct {
 }
 
 // InsertAndSet implements Table.
-func (t ConmapTable[FV]) InsertAndSet(r []int32, f *FV) bool {
+func (t ConmapTable[FV]) InsertAndSet(r []int32, f *FV) (bool, error) {
 	return t.M.InsertAndSet(conmap.MakeKey(r), f)
 }
 

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety checks every hook on a nil injector: the production
+// configuration must be a no-op, never a nil dereference.
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	in.Visit(SiteRidgeStep)
+	if in.Fail(SiteMapInsert) {
+		t.Fatal("nil injector reported a failure")
+	}
+	if in.Visits(SiteRidgeStep) != 0 || in.Fired(SiteMapInsert) != 0 {
+		t.Fatal("nil injector reported nonzero counters")
+	}
+}
+
+// TestPanicExactlyOnce arms a panic at a fixed visit and drives the site
+// concurrently: exactly one goroutine must observe the Panic value, at the
+// armed visit number, no matter how the visits interleave.
+func TestPanicExactlyOnce(t *testing.T) {
+	const workers, perWorker, at = 8, 50, 123
+	in := New(7).PanicAt(SiteRidgeStep, at)
+	var mu sync.Mutex
+	var caught []Panic
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							caught = append(caught, r.(Panic))
+							mu.Unlock()
+						}
+					}()
+					in.Visit(SiteRidgeStep)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(caught) != 1 {
+		t.Fatalf("caught %d panics, want exactly 1", len(caught))
+	}
+	if caught[0] != (Panic{Site: SiteRidgeStep, Visit: at}) {
+		t.Fatalf("panic value = %v", caught[0])
+	}
+	if got := in.Visits(SiteRidgeStep); got != workers*perWorker {
+		t.Fatalf("visits = %d, want %d", got, workers*perWorker)
+	}
+	if in.Fired(SiteRidgeStep) != 1 {
+		t.Fatalf("fired = %d, want 1", in.Fired(SiteRidgeStep))
+	}
+}
+
+// TestFailExactlyOnce drives an armed one-shot failure from many goroutines:
+// Fail must return true exactly once even when the armed visit races.
+func TestFailExactlyOnce(t *testing.T) {
+	const workers, perWorker = 8, 50
+	in := New(3).FailAt(SiteMapInsert, 17)
+	var fails sync.Map
+	var n sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		n.Add(1)
+		go func(w int) {
+			defer n.Done()
+			for i := 0; i < perWorker; i++ {
+				if in.Fail(SiteMapInsert) {
+					mu.Lock()
+					count++
+					mu.Unlock()
+					fails.Store(w, i)
+				}
+			}
+		}(w)
+	}
+	n.Wait()
+	if count != 1 {
+		t.Fatalf("Fail returned true %d times, want 1", count)
+	}
+	if in.Fired(SiteMapInsert) != 1 {
+		t.Fatalf("fired = %d, want 1", in.Fired(SiteMapInsert))
+	}
+}
+
+// TestSitesIndependent checks arming one site does not leak into another.
+func TestSitesIndependent(t *testing.T) {
+	in := New(1).PanicAt(SiteRidgeStep, 1)
+	in.Visit(SiteSeqInsert) // must not panic
+	if in.Fail(SiteMapInsert) {
+		t.Fatal("unarmed site failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed site did not panic")
+		}
+	}()
+	in.Visit(SiteRidgeStep)
+}
+
+// TestDelayDeterministic checks the delay durations depend only on seed and
+// visit number (splitmix), not on wall clock or shared RNG state: two
+// injectors with the same seed must sleep the same total.
+func TestDelayDeterministic(t *testing.T) {
+	total := func(seed int64) time.Duration {
+		in := New(seed).DelayEvery(SiteRidgeStep, 1, time.Millisecond)
+		var sum time.Duration
+		for n := uint64(1); n <= 32; n++ {
+			sum += time.Duration(splitmix(in.seed^n) % uint64(time.Millisecond))
+		}
+		return sum
+	}
+	if total(42) != total(42) {
+		t.Fatal("same seed produced different delay schedules")
+	}
+	if total(42) == total(43) {
+		t.Fatal("different seeds produced identical delay schedules (suspicious)")
+	}
+}
+
+// TestZeroMaxDelayYieldsNotSleeps: a DelayEvery with max <= 0 must still be
+// cheap (Gosched, not Sleep) — guard against a zero-modulus panic too.
+func TestZeroMaxDelayYieldsNotSleeps(t *testing.T) {
+	in := New(9).DelayEvery(SiteRidgeStep, 1, 0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		in.Visit(SiteRidgeStep)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("1000 zero-delay visits took %v", d)
+	}
+	if in.Visits(SiteRidgeStep) != 1000 {
+		t.Fatalf("visits = %d", in.Visits(SiteRidgeStep))
+	}
+}
+
+// TestStringNames pins the site and panic renderings used in error messages.
+func TestStringNames(t *testing.T) {
+	if s := SiteMapInsert.String(); s != "map-insert" {
+		t.Errorf("SiteMapInsert = %q", s)
+	}
+	if s := Site(99).String(); s != "site(99)" {
+		t.Errorf("unknown site = %q", s)
+	}
+	p := Panic{Site: SiteRidgeStep, Visit: 5}
+	if s := p.String(); s != "faultinject: scheduled panic at ridge-step visit 5" {
+		t.Errorf("panic string = %q", s)
+	}
+}

@@ -1,10 +1,12 @@
 package hull2d
 
 import (
+	"context"
 	"sync/atomic"
 
 	"parhull/internal/conmap"
 	eng "parhull/internal/engine"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 	"parhull/internal/sched"
 )
@@ -45,6 +47,13 @@ type Options struct {
 	NoBatchFilter bool
 	// Trace records per-round events (rounds engine only).
 	Trace bool
+	// Ctx, when non-nil, cancels the construction cooperatively at
+	// ridge-step granularity; the run returns ctx.Err() with all workers
+	// quiesced.
+	Ctx context.Context
+	// Inject arms deterministic fault injection (tests only; nil in
+	// production).
+	Inject *faultinject.Injector
 }
 
 func (o *Options) base() int {
@@ -87,9 +96,10 @@ func (o *Options) ridgeSlots(e *engine) eng.Table[Facet, int32] {
 
 type vertexSlots struct{ slots []atomic.Pointer[Facet] }
 
-// InsertAndSet implements engine.Table.
-func (m *vertexSlots) InsertAndSet(v int32, f *Facet) bool {
-	return m.slots[v].CompareAndSwap(nil, f)
+// InsertAndSet implements engine.Table. The slot array is indexed by vertex
+// (a perfect hash), so it cannot run out of capacity; the error is always nil.
+func (m *vertexSlots) InsertAndSet(v int32, f *Facet) (bool, error) {
+	return m.slots[v].CompareAndSwap(nil, f), nil
 }
 
 // GetValue implements engine.Table.
@@ -102,7 +112,7 @@ type conmapSlots struct {
 }
 
 // InsertAndSet implements engine.Table.
-func (s conmapSlots) InsertAndSet(v int32, f *Facet) bool {
+func (s conmapSlots) InsertAndSet(v int32, f *Facet) (bool, error) {
 	return s.m.InsertAndSet(s.e.key1(v), f)
 }
 
@@ -117,13 +127,18 @@ func (o *Options) config(e *engine) eng.Config[Facet, int32] {
 	if o != nil {
 		limit = o.GroupLimit
 	}
-	return eng.Config[Facet, int32]{
+	cfg := eng.Config[Facet, int32]{
 		Kernel:     kernel{e: e},
 		Table:      o.ridgeSlots(e),
 		Rec:        e.rec,
 		Sched:      o.schedKind(),
 		GroupLimit: limit,
 	}
+	if o != nil {
+		cfg.Ctx = o.Ctx
+		cfg.Inject = o.Inject
+	}
+	return cfg
 }
 
 // initialTasks yields one task per ridge (shared endpoint) of the base

@@ -1,9 +1,11 @@
 package hull2d
 
 import (
+	"context"
 	"fmt"
 
 	eng "parhull/internal/engine"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 )
 
@@ -17,18 +19,26 @@ import (
 // engines: the depth of a facet built on boundary ridge r between visible
 // facet t1 and surviving facet t2 is 1 + max(depth(t1), depth(t2)), which is
 // precisely the configuration dependence graph of Definition 4.1.
-func Seq(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true, false) }
+func Seq(pts []geom.Point) (*Result, error) { return seqFrom(nil, nil, pts, 3, true, false) }
+
+// SeqCtx is Seq with cooperative cancellation (checked at insertion
+// granularity), optional fault injection (nil in production), and the
+// plane-cache ablation switch — the fully-plumbed entry the public layer
+// calls.
+func SeqCtx(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, noPlane bool) (*Result, error) {
+	return seqFrom(ctx, inj, pts, 3, true, noPlane)
+}
 
 // SeqFrom is Seq starting from a pre-built convex CCW polygon on the first
 // base points (used by the Figure 1 driver and cross-engine tests).
 func SeqFrom(pts []geom.Point, base int, counters bool) (*Result, error) {
-	return seqFrom(pts, base, counters, false)
+	return seqFrom(nil, nil, pts, base, counters, false)
 }
 
 // SeqNoPlaneCache is Seq with the cached-hyperplane fast path disabled, so
 // every visibility test runs the exact determinant predicate (ablation and
 // cross-engine identity tests).
-func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seqFrom(pts, 3, true, true) }
+func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seqFrom(nil, nil, pts, 3, true, true) }
 
 // seqGeom supplies the 2D geometry of the generic Algorithm 2 loop
 // (engine.Seq): the hull is a doubly linked cycle of directed edges indexed
@@ -70,7 +80,7 @@ func (g *seqGeom) Boundary(vis []*Facet, i int32, tasks []eng.Task[Facet, int32]
 		}
 	}
 	if eStart == nil || eEnd == nil {
-		return nil, fmt.Errorf("hull2d: visible region of point %d wraps the whole hull (degenerate input?)", i)
+		return nil, fmt.Errorf("%w: visible region of point %d wraps the whole hull", ErrDegenerate, i)
 	}
 	tasks = append(tasks,
 		eng.Task[Facet, int32]{T1: eStart, R: eStart.A, T2: g.prev[eStart.A]},
@@ -84,7 +94,7 @@ func (g *seqGeom) Register(f *Facet) {
 	g.prev[f.B] = f
 }
 
-func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error) {
+func seqFrom(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, base int, counters, noPlane bool) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
@@ -100,7 +110,7 @@ func seqFrom(pts []geom.Point, base int, counters, noPlane bool) (*Result, error
 	for i := range baseSizes {
 		baseSizes[i] = min(i+1, e.base)
 	}
-	hullSizes, err := eng.Seq[Facet, int32](kernel{e: e}, g, e.rec, facets, int32(len(pts)), baseSizes)
+	hullSizes, err := eng.Seq[Facet, int32](ctx, inj, kernel{e: e}, g, e.rec, facets, int32(len(pts)), baseSizes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,237 @@
+package hulld
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parhull/internal/conmap"
+	eng "parhull/internal/engine"
+	"parhull/internal/faultinject"
+	"parhull/internal/leakcheck"
+	"parhull/internal/pointgen"
+	"parhull/internal/sched"
+)
+
+// sameFacets asserts two results hold the identical facet multiset — the
+// Theorem 5.5 schedule-independence invariant the fault tests lean on.
+func sameFacets(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	as, bs := a.FacetSet(), b.FacetSet()
+	if len(as) != len(bs) {
+		t.Fatalf("%s: %d distinct facets vs %d", label, len(as), len(bs))
+	}
+	for k, c := range as {
+		if bs[k] != c {
+			t.Fatalf("%s: facet multiplicity differs", label)
+		}
+	}
+}
+
+// TestFaultInjectedPanic schedules a panic at a ridge-step boundary on both
+// fork-join substrates and checks the containment contract end to end: the
+// run returns a typed *sched.PanicError carrying the injected Panic value
+// (never a crash), the pool quiesces, and no goroutine leaks.
+func TestFaultInjectedPanic(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(7), 400, 3)
+	for _, kind := range []sched.Kind{sched.KindSteal, sched.KindGroup} {
+		for _, visit := range []int64{1, 25, 200} {
+			inj := faultinject.New(1).PanicAt(faultinject.SiteRidgeStep, visit)
+			_, err := Par(pts, &Options{Sched: kind, Inject: inj})
+			if err == nil {
+				t.Fatalf("kind=%v visit=%d: injected panic did not surface", kind, visit)
+			}
+			var pe *sched.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("kind=%v visit=%d: error is %T, want *sched.PanicError: %v", kind, visit, err, err)
+			}
+			fp, ok := pe.Value.(faultinject.Panic)
+			if !ok || fp.Site != faultinject.SiteRidgeStep || fp.Visit != visit {
+				t.Fatalf("kind=%v visit=%d: contained value = %#v", kind, visit, pe.Value)
+			}
+			if got := inj.Fired(faultinject.SiteRidgeStep); got != 1 {
+				t.Fatalf("kind=%v visit=%d: fired %d panics, want exactly 1", kind, visit, got)
+			}
+		}
+	}
+}
+
+// TestFaultInjectedPanicRounds is the round-synchronous version: the panic
+// crosses the ParallelFor barrier and must still arrive typed.
+func TestFaultInjectedPanicRounds(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(7), 300, 3)
+	inj := faultinject.New(1).PanicAt(faultinject.SiteRidgeStep, 40)
+	_, err := Rounds(pts, &Options{Inject: inj})
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("rounds: error is %T, want *sched.PanicError: %v", err, err)
+	}
+	if fp, ok := pe.Value.(faultinject.Panic); !ok || fp.Visit != 40 {
+		t.Fatalf("rounds: contained value = %#v", pe.Value)
+	}
+}
+
+// TestFaultDelayEquivalence is the Theorem 5.5 stress: seed-derived delays at
+// ridge-step boundaries maximally perturb the steal/fork schedule, yet the
+// facet multiset, visibility-test count, and depth profile must equal a clean
+// run's exactly.
+func TestFaultDelayEquivalence(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.OnSphere(pointgen.NewRNG(3), 250, 3)
+	clean, err := Par(pts, nil)
+	if err != nil {
+		t.Fatalf("clean: %v", err)
+	}
+	for _, kind := range []sched.Kind{sched.KindSteal, sched.KindGroup} {
+		for seed := int64(1); seed <= 3; seed++ {
+			inj := faultinject.New(seed).DelayEvery(faultinject.SiteRidgeStep, 7, 200*time.Microsecond)
+			perturbed, err := Par(pts, &Options{Sched: kind, Inject: inj})
+			if err != nil {
+				t.Fatalf("kind=%v seed=%d: %v", kind, seed, err)
+			}
+			sameFacets(t, "delayed vs clean", clean, perturbed)
+			if clean.Stats.VisibilityTests != perturbed.Stats.VisibilityTests {
+				t.Fatalf("kind=%v seed=%d: vtests %d vs %d", kind, seed,
+					clean.Stats.VisibilityTests, perturbed.Stats.VisibilityTests)
+			}
+			if clean.Stats.MaxDepth != perturbed.Stats.MaxDepth {
+				t.Fatalf("kind=%v seed=%d: depth %d vs %d", kind, seed,
+					clean.Stats.MaxDepth, perturbed.Stats.MaxDepth)
+			}
+			if inj.Visits(faultinject.SiteRidgeStep) == 0 {
+				t.Fatalf("kind=%v seed=%d: injector never visited — hook unplugged?", kind, seed)
+			}
+		}
+	}
+}
+
+// TestFaultInjectedCapacity forces a capacity failure in the fixed ridge
+// tables mid-run and checks it surfaces as a typed conmap.ErrCapacity (the
+// first rung of the degradation ladder), pool quiesced, no goroutine leaked.
+func TestFaultInjectedCapacity(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(9), 300, 3)
+	mk := func(inj *faultinject.Injector, tas bool) conmap.RidgeMap[*Facet] {
+		if tas {
+			return conmap.NewTASMap[*Facet](eng.FixedMapCapacity(len(pts), 3)).Inject(inj)
+		}
+		return conmap.NewCASMap[*Facet](eng.FixedMapCapacity(len(pts), 3)).Inject(inj)
+	}
+	for _, tas := range []bool{false, true} {
+		inj := faultinject.New(5).FailAt(faultinject.SiteMapInsert, 100)
+		_, err := Par(pts, &Options{Map: mk(inj, tas)})
+		if !errors.Is(err, conmap.ErrCapacity) {
+			t.Fatalf("tas=%v: err = %v, want ErrCapacity", tas, err)
+		}
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("tas=%v: capacity failure surfaced as a panic: %v", tas, err)
+		}
+	}
+}
+
+// TestFaultRealCapacity drives a genuinely undersized fixed table (no
+// injection) and checks the old "table full" panic is now a typed error.
+func TestFaultRealCapacity(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.OnSphere(pointgen.NewRNG(2), 500, 3) // every point on hull
+	for _, tas := range []bool{false, true} {
+		var m conmap.RidgeMap[*Facet]
+		if tas {
+			m = conmap.NewTASMap[*Facet](64)
+		} else {
+			m = conmap.NewCASMap[*Facet](64)
+		}
+		_, err := Par(pts, &Options{Map: m})
+		if !errors.Is(err, conmap.ErrCapacity) {
+			t.Fatalf("tas=%v: err = %v, want ErrCapacity", tas, err)
+		}
+	}
+}
+
+// TestFaultCancellation cancels a construction mid-flight and checks the
+// cooperative contract: ctx.Err() comes back (typed, not a panic), the pool
+// quiesces, and no goroutine leaks. Injected delays hold chains at ridge
+// steps long enough that the run cannot finish before the cancel lands.
+func TestFaultCancellation(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.OnSphere(pointgen.NewRNG(4), 2000, 3)
+	for _, kind := range []sched.Kind{sched.KindSteal, sched.KindGroup} {
+		ctx, cancel := context.WithCancel(context.Background())
+		inj := faultinject.New(1).DelayEvery(faultinject.SiteRidgeStep, 1, time.Millisecond)
+		done := make(chan error, 1)
+		go func() {
+			_, err := Par(pts, &Options{Sched: kind, Ctx: ctx, Inject: inj})
+			done <- err
+		}()
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("kind=%v: err = %v, want context.Canceled", kind, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("kind=%v: cancellation did not propagate", kind)
+		}
+	}
+}
+
+// TestFaultCancelBeforeStart checks the upfront path: an already-canceled
+// context returns immediately on every engine without spinning up a pool.
+func TestFaultCancelBeforeStart(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(6), 100, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Par(pts, &Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Par: err = %v, want context.Canceled", err)
+	}
+	if _, err := Rounds(pts, &Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Rounds: err = %v, want context.Canceled", err)
+	}
+	if _, err := SeqCtx(ctx, nil, pts, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SeqCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFaultSeqCancelMidRun cancels the sequential engine partway: the
+// per-insertion check must stop the loop with ctx.Err().
+func TestFaultSeqCancelMidRun(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(8), 5000, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := SeqCtx(ctx, nil, pts, false)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil (finished first) or context.Canceled", err)
+	}
+}
+
+// TestFaultRecoveryRerunIdentical pins graceful degradation end to end: a
+// run killed by an injected panic leaves nothing behind that affects a
+// subsequent clean run on the same inputs (fresh state per construction), so
+// retrying after containment yields the exact clean facet multiset.
+func TestFaultRecoveryRerunIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(11), 350, 3)
+	clean, err := Par(pts, nil)
+	if err != nil {
+		t.Fatalf("clean: %v", err)
+	}
+	inj := faultinject.New(2).PanicAt(faultinject.SiteRidgeStep, 60)
+	if _, err := Par(pts, &Options{Inject: inj}); err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	retry, err := Par(pts, nil)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	sameFacets(t, "retry after contained panic vs clean", clean, retry)
+}

@@ -1,8 +1,11 @@
 package hulld
 
 import (
+	"context"
+
 	"parhull/internal/conmap"
 	eng "parhull/internal/engine"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 	"parhull/internal/sched"
 )
@@ -35,6 +38,13 @@ type Options struct {
 	// path instead of the batch filter pipeline (the filter ablation in
 	// cmd/hullbench). The survivor lists are identical either way.
 	NoBatchFilter bool
+	// Ctx, when non-nil, cancels the construction cooperatively at
+	// ridge-step granularity; the run returns ctx.Err() with all workers
+	// quiesced.
+	Ctx context.Context
+	// Inject arms deterministic fault injection (tests only; nil in
+	// production).
+	Inject *faultinject.Injector
 }
 
 func (o *Options) filterGrain() int {
@@ -68,13 +78,18 @@ func (o *Options) config(e *engine, n int) eng.Config[Facet, []int32] {
 	if o != nil {
 		limit = o.GroupLimit
 	}
-	return eng.Config[Facet, []int32]{
+	cfg := eng.Config[Facet, []int32]{
 		Kernel:     kernel{e: e},
 		Table:      eng.ConmapTable[Facet]{M: o.ridgeMap(n, e.d)},
 		Rec:        e.rec,
 		Sched:      o.schedKind(),
 		GroupLimit: limit,
 	}
+	if o != nil {
+		cfg.Ctx = o.Ctx
+		cfg.Inject = o.Inject
+	}
+	return cfg
 }
 
 // initialTasks yields one task per ridge of the initial simplex: the ridge

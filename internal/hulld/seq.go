@@ -1,9 +1,11 @@
 package hulld
 
 import (
+	"context"
 	"fmt"
 
 	eng "parhull/internal/engine"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 )
 
@@ -13,15 +15,25 @@ import (
 // maintains the Clarkson–Shor bipartite conflict graph and a ridge-to-facets
 // adjacency, so its plane-side tests are exactly the conflict filters — the
 // same multiset Algorithm 3 performs.
-func Seq(pts []geom.Point) (*Result, error) { return seq(pts, true, false) }
+func Seq(pts []geom.Point) (*Result, error) { return seq(nil, nil, pts, true, false) }
+
+// SeqCtx is Seq with cooperative cancellation (checked at insertion
+// granularity), optional fault injection (nil in production), and the
+// plane-cache ablation switch — the fully-plumbed entry the public layer
+// calls.
+func SeqCtx(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, noPlane bool) (*Result, error) {
+	return seq(ctx, inj, pts, true, noPlane)
+}
 
 // SeqCounted is Seq with visibility-test counting switchable.
-func SeqCounted(pts []geom.Point, counters bool) (*Result, error) { return seq(pts, counters, false) }
+func SeqCounted(pts []geom.Point, counters bool) (*Result, error) {
+	return seq(nil, nil, pts, counters, false)
+}
 
 // SeqNoPlaneCache is Seq with the cached-hyperplane fast path disabled, so
 // every visibility test runs the exact determinant predicate (ablation and
 // cross-engine identity tests).
-func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seq(pts, true, true) }
+func SeqNoPlaneCache(pts []geom.Point) (*Result, error) { return seq(nil, nil, pts, true, true) }
 
 // seqGeom supplies the d-dimensional geometry of the generic Algorithm 2 loop
 // (engine.Seq): a ridge-to-facets adjacency map, pruned lazily, locates the
@@ -64,7 +76,7 @@ func (g *seqGeom) Boundary(vis []*Facet, i int32, tasks []eng.Task[Facet, []int3
 			}
 			g.adj[k] = aliveList
 			if nb == nil {
-				return nil, fmt.Errorf("hulld: ridge of %v has no live neighbor (degenerate input?)", f)
+				return nil, fmt.Errorf("%w: ridge of %v has no live neighbor", ErrDegenerate, f)
 			}
 			if nb.mark == i {
 				continue // interior ridge of the visible region
@@ -83,7 +95,7 @@ func (g *seqGeom) Register(f *Facet) {
 	}
 }
 
-func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
+func seq(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, counters, noPlane bool) (*Result, error) {
 	d, err := validate(pts)
 	if err != nil {
 		return nil, err
@@ -100,7 +112,7 @@ func seq(pts []geom.Point, counters, noPlane bool) (*Result, error) {
 	for i := range baseSizes {
 		baseSizes[i] = min(i+2, d+1)
 	}
-	hullSizes, err := eng.Seq[Facet, []int32](kernel{e: e}, g, e.rec, facets, int32(len(pts)), baseSizes)
+	hullSizes, err := eng.Seq[Facet, []int32](ctx, inj, kernel{e: e}, g, e.rec, facets, int32(len(pts)), baseSizes)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,14 @@ type Stats struct {
 	// RoundWidths[r] is the number of ready ProcessRidge tasks in round r+1
 	// (rounds engines only) — the available parallelism per round.
 	RoundWidths []int
+	// CapacityRetries counts whole-construction restarts after a fixed
+	// CAS/TAS ridge table reported capacity exhaustion: each retry doubles
+	// the table (the public layer's degradation ladder). 0 on clean runs.
+	CapacityRetries int
+	// MapFallback reports that the fixed table was abandoned for the
+	// growable sharded map after the retries were exhausted; the reported
+	// Stats are then those of the sharded run.
+	MapFallback bool
 }
 
 // fastDepths is the span of dependence depths tracked with lock-free atomic

@@ -1,0 +1,56 @@
+// Package leakcheck is a tiny goroutine-leak detector for tests. It
+// snapshots the goroutine count when a test starts and fails the test at
+// cleanup if the count has not returned to the baseline — the invariant the
+// fault-containment layer promises: every Executor/Group pool quiesces on
+// normal exit, on panic exit, and on cancellation.
+//
+// The check tolerates runtime-internal churn by retrying briefly: goroutines
+// finishing concurrently with the test's return (worker shutdown, timer
+// goroutines) are given a grace window before the count is declared leaked.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retries x interval bounds the grace window (~100ms) a quitting goroutine
+// gets to actually exit after the test body returns.
+const (
+	retries  = 50
+	interval = 2 * time.Millisecond
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails t if, after the grace window, more goroutines are running than at
+// the snapshot. Call it first in any test that spins up a pool.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var n int
+		for i := 0; i < retries; i++ {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			time.Sleep(interval)
+		}
+		t.Errorf("leakcheck: %d goroutines leaked (%d at start, %d at end):\n%s",
+			n-base, base, n, stacks())
+	})
+}
+
+// stacks returns all goroutine stacks, truncated to keep failure output
+// readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	s := string(buf)
+	if parts := strings.SplitN(s, "\n\n", 21); len(parts) > 20 {
+		s = strings.Join(parts[:20], "\n\n") + "\n\n... (more goroutines elided)"
+	}
+	return s
+}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"parhull/internal/leakcheck"
+)
+
+// TestExecutorLeakNormalExit pins the baseline: a pool that runs its tasks
+// to completion leaves no goroutine behind after Wait.
+func TestExecutorLeakNormalExit(t *testing.T) {
+	leakcheck.Check(t)
+	var ran atomic.Int64
+	var x *Executor[int]
+	x = NewExecutor(4, func(w, task int) {
+		ran.Add(1)
+		if task > 0 {
+			x.Fork(w, task-1)
+		}
+	})
+	for i := 0; i < 32; i++ {
+		x.Fork(External, 8)
+	}
+	x.Wait()
+	if got, want := ran.Load(), int64(32*9); got != want {
+		t.Fatalf("ran %d tasks, want %d", got, want)
+	}
+	if x.Err() != nil {
+		t.Fatalf("clean run reported error: %v", x.Err())
+	}
+}
+
+// TestExecutorPanicContainment pins the tentpole contract: a panicking task
+// neither crashes the process nor deadlocks Wait; the pool drains, the first
+// panic surfaces as a typed *PanicError with worker id, task rendering, and
+// stack, and no goroutine leaks.
+func TestExecutorPanicContainment(t *testing.T) {
+	leakcheck.Check(t)
+	var ran atomic.Int64
+	var x *Executor[int]
+	x = NewExecutor(4, func(w, task int) {
+		if task == 13 {
+			panic("boom at 13")
+		}
+		ran.Add(1)
+		if task > 0 {
+			x.Fork(w, task-1)
+		}
+	})
+	for i := 0; i < 8; i++ {
+		x.Fork(External, 20) // every chain walks through 13 unless drained first
+	}
+	x.Wait() // must return: every pending count is retired even on panic paths
+
+	err := x.Err()
+	if err == nil {
+		t.Fatal("panic was not reported")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *PanicError", err)
+	}
+	if pe.Value != "boom at 13" {
+		t.Errorf("panic value = %v, want boom at 13", pe.Value)
+	}
+	if pe.Worker < 0 || pe.Worker >= 4 {
+		t.Errorf("worker id = %d, want 0..3", pe.Worker)
+	}
+	if pe.Task != "13" {
+		t.Errorf("task rendering = %q, want \"13\"", pe.Task)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "boom at 13") {
+		t.Errorf("error lost the stack or the value: %v", err)
+	}
+	if !x.Failed() {
+		t.Error("Failed() = false after contained panic")
+	}
+}
+
+// TestExecutorDrainsAfterPanic checks graceful degradation, not just
+// survival: after the first panic the pool stops running queued tasks (they
+// are retired unrun) rather than plowing through a poisoned workload. A
+// single worker is held inside the panicking task while the queue is loaded,
+// so every queued task is deterministically behind the failure.
+func TestExecutorDrainsAfterPanic(t *testing.T) {
+	leakcheck.Check(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	x := NewExecutor(1, func(w, task int) {
+		if task < 0 {
+			close(started)
+			<-release
+			panic("boom")
+		}
+		ran.Add(1)
+	})
+	x.Fork(External, -1)
+	<-started // the only worker is now inside the panicking task
+	for i := 0; i < 64; i++ {
+		x.Fork(External, i)
+	}
+	close(release)
+	x.Wait()
+	if x.Err() == nil {
+		t.Fatal("panic was not reported")
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d queued tasks ran after the panic — drain let work through", ran.Load())
+	}
+}
+
+// TestExecutorFirstPanicWins submits many panicking tasks and checks exactly
+// one is retained and the rest are contained silently.
+func TestExecutorFirstPanicWins(t *testing.T) {
+	leakcheck.Check(t)
+	x := NewExecutor(8, func(w, task int) { panic(task) })
+	for i := 0; i < 100; i++ {
+		x.Fork(External, i)
+	}
+	x.Wait()
+	var pe *PanicError
+	if !errors.As(x.Err(), &pe) {
+		t.Fatalf("error is %T, want *PanicError", x.Err())
+	}
+	if _, ok := pe.Value.(int); !ok {
+		t.Errorf("panic value = %v (%T), want an int task id", pe.Value, pe.Value)
+	}
+}
+
+// TestGroupPanicContainment is the Group-substrate version of the pool
+// contract: spawned and inline panics both convert to *PanicError, Wait
+// returns, later forks are dropped, and no goroutine leaks.
+func TestGroupPanicContainment(t *testing.T) {
+	leakcheck.Check(t)
+	for _, limit := range []int{1, 4} { // limit 1 forces the inline path
+		g := NewGroup(limit)
+		var dropped atomic.Int64
+		g.Go(func() { panic("group boom") })
+		g.Wait() // the panic is contained by now (limit 1 ran it inline)
+		for i := 0; i < 16; i++ {
+			g.Go(func() { dropped.Add(1) }) // dropped: the group has failed
+		}
+		g.Wait()
+		var pe *PanicError
+		if !errors.As(g.Err(), &pe) {
+			t.Fatalf("limit %d: error is %T, want *PanicError", limit, g.Err())
+		}
+		if pe.Value != "group boom" {
+			t.Errorf("limit %d: panic value = %v", limit, pe.Value)
+		}
+		if !g.Failed() {
+			t.Errorf("limit %d: Failed() = false", limit)
+		}
+		if dropped.Load() != 0 {
+			t.Errorf("limit %d: %d functions ran after failure", limit, dropped.Load())
+		}
+	}
+}
+
+// TestGroupNestedPanic panics deep inside a fork chain; the contained error
+// must surface at the root Wait with the group drained.
+func TestGroupNestedPanic(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewGroup(2)
+	var fork func(depth int)
+	fork = func(depth int) {
+		if depth == 0 {
+			panic("leaf")
+		}
+		g.Go(func() { fork(depth - 1) })
+		g.Go(func() { fork(depth - 1) })
+	}
+	g.Go(func() { fork(6) })
+	g.Wait()
+	var pe *PanicError
+	if !errors.As(g.Err(), &pe) || pe.Value != "leaf" {
+		t.Fatalf("nested panic not contained: %v", g.Err())
+	}
+}
+
+// TestParallelForPanicTransparent checks ParallelFor's contract: a panic in
+// one chunk stops siblings from claiming new chunks, all bodies return, and
+// the first panic re-throws on the caller as a *PanicError.
+func TestParallelForPanicTransparent(t *testing.T) {
+	leakcheck.Check(t)
+	err := Recovered(func() {
+		ParallelFor(10000, 1, func(lo, hi int) {
+			if lo <= 5000 && 5000 < hi {
+				panic("chunk boom")
+			}
+		})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "chunk boom" {
+		t.Fatalf("ParallelFor panic not contained: %v", err)
+	}
+}
+
+// TestPanicErrorPassThrough pins the cross-layer invariant: a *PanicError
+// crossing a second containment layer (ParallelFor inside an Executor task)
+// is passed through, keeping the innermost capture, not re-wrapped.
+func TestPanicErrorPassThrough(t *testing.T) {
+	leakcheck.Check(t)
+	x := NewExecutor[int](2, func(w, task int) {
+		ParallelFor(100, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("inner")
+			}
+		})
+	})
+	x.Fork(External, 0)
+	x.Wait()
+	var pe *PanicError
+	if !errors.As(x.Err(), &pe) {
+		t.Fatalf("error is %T, want *PanicError", x.Err())
+	}
+	if pe.Value != "inner" {
+		t.Errorf("outer layer re-wrapped the panic: value = %v", pe.Value)
+	}
+}
+
+// TestRecoveredNil checks the no-panic path returns nil.
+func TestRecoveredNil(t *testing.T) {
+	if err := Recovered(func() {}); err != nil {
+		t.Fatalf("Recovered of clean fn = %v", err)
+	}
+}
+
+// TestAsError checks the exported conversion used by the public guards.
+func TestAsError(t *testing.T) {
+	err := AsError("caught")
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "caught" || pe.Worker != -1 {
+		t.Fatalf("AsError = %#v", err)
+	}
+}

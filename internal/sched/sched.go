@@ -18,6 +18,13 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // ParallelFor calls fn over disjoint subranges covering [0, n), in parallel.
 // grain is the minimum chunk size (a value <= 0 selects a default). Chunks
 // are handed out dynamically so irregular iterations load-balance.
+//
+// ParallelFor is panic-transparent: a panic in a chunk goroutine does not
+// kill the process — the first one is captured (as a *PanicError), the
+// remaining chunks are abandoned, and the panic is re-thrown on the calling
+// goroutine after all bodies have returned, where the caller's containment
+// layer (an Executor worker, a Group function, or a Recovered shim) turns it
+// into a typed error.
 func ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -32,9 +39,18 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var fault atomic.Pointer[PanicError]
 	body := func() {
 		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				fault.CompareAndSwap(nil, asPanicError(-1, "", r))
+			}
+		}()
 		for {
+			if fault.Load() != nil {
+				return // a sibling chunk panicked; stop starting new work
+			}
 			lo := int(next.Add(int64(grain))) - grain
 			if lo >= n {
 				return
@@ -55,6 +71,9 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 		go body()
 	}
 	wg.Wait()
+	if pe := fault.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // Group is a bounded fork-join scope: Go either spawns fn on a fresh
@@ -70,9 +89,18 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 // goroutines (the caller plus one spawned), never k goroutines. This is
 // what lets the hull engines fork one chain per ridge without tying memory
 // to the ridge count (see TestGroupBoundsGoroutines for the contract).
+//
+// Panics are contained, never propagated: a panic in fn (spawned or inline)
+// is converted to a *PanicError, the first one is retained for Err, and
+// every subsequently forked function is dropped so the group drains and Wait
+// returns promptly with no goroutine left behind.
 type Group struct {
 	wg  sync.WaitGroup
 	sem chan struct{}
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
 }
 
 // NewGroup returns a Group allowing up to limit concurrently spawned
@@ -85,12 +113,32 @@ func NewGroup(limit int) *Group {
 	return &Group{sem: make(chan struct{}, limit)}
 }
 
+// fail records the first contained panic and flips the drain flag.
+func (g *Group) fail(pe *PanicError) {
+	g.errOnce.Do(func() { g.err = pe })
+	g.failed.Store(true)
+}
+
+// protect runs fn with panic containment.
+func (g *Group) protect(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.fail(asPanicError(-1, "", r))
+		}
+	}()
+	fn()
+}
+
 // Go runs fn exactly once: concurrently when a slot is free and inline
 // otherwise. Inline execution keeps the fork semantics (fn completes
 // before some sibling forks proceed) without unbounded goroutine growth;
 // the inline case returns only after fn returns, so callers may not assume
-// Go is non-blocking.
+// Go is non-blocking. After a contained panic, fn is dropped (the group is
+// draining toward Wait).
 func (g *Group) Go(fn func()) {
+	if g.failed.Load() {
+		return
+	}
 	select {
 	case g.sem <- struct{}{}:
 		g.wg.Add(1)
@@ -99,16 +147,24 @@ func (g *Group) Go(fn func()) {
 				<-g.sem
 				g.wg.Done()
 			}()
-			fn()
+			g.protect(fn)
 		}()
 	default:
-		fn()
+		g.protect(fn)
 	}
 }
 
 // Wait blocks until all functions started with Go have completed, including
 // functions they transitively spawned on g.
 func (g *Group) Wait() { g.wg.Wait() }
+
+// Failed cheaply reports whether a panic has been contained; chain loops
+// poll it to stop doing real work while the group drains.
+func (g *Group) Failed() bool { return g.failed.Load() }
+
+// Err returns the first contained panic as a *PanicError, or nil. Call
+// after Wait.
+func (g *Group) Err() error { return g.err }
 
 // RunRounds executes a frontier computation round-synchronously: every task
 // in the current frontier runs (in parallel) exactly once per round, emitting

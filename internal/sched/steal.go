@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -47,9 +48,19 @@ const External = -1
 // work (from root context or from inside run), and Wait blocks until the
 // pool is quiescent, then stops the workers. Fork must not be called after
 // Wait has been entered from the submitting goroutine.
+//
+// Panics are contained, never propagated: a panic in run is converted to a
+// *PanicError carrying the worker id, the task, and the stack; the first one
+// is retained for Err, and every still-queued task is drained without
+// running so Wait returns promptly with the pool quiesced and no goroutine
+// leaked.
 type Executor[T any] struct {
 	run    func(worker int, task T)
 	deques []deque[T]
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
 
 	// pending counts unfinished tasks plus one submission token held by the
 	// constructor and released by Wait, so the count cannot touch zero while
@@ -182,6 +193,33 @@ func (x *Executor[T]) release() {
 	}
 }
 
+// fail records the first contained panic and flips the drain flag.
+func (x *Executor[T]) fail(pe *PanicError) {
+	x.errOnce.Do(func() { x.err = pe })
+	x.failed.Store(true)
+}
+
+// Failed cheaply reports whether a panic has been contained; the engines'
+// chain loops poll it to stop mid-chain while the pool drains.
+func (x *Executor[T]) Failed() bool { return x.failed.Load() }
+
+// Err returns the first contained panic as a *PanicError, or nil. Call
+// after Wait.
+func (x *Executor[T]) Err() error { return x.err }
+
+// exec runs one task with panic containment; release happens on every path,
+// so the quiescence count cannot be lost to a panic (a lost release would
+// deadlock Wait).
+func (x *Executor[T]) exec(id int, t T) {
+	defer x.release()
+	defer func() {
+		if r := recover(); r != nil {
+			x.fail(asPanicError(id, fmt.Sprint(t), r))
+		}
+	}()
+	x.run(id, t)
+}
+
 func (x *Executor[T]) worker(id int) {
 	defer x.wg.Done()
 	for {
@@ -192,8 +230,11 @@ func (x *Executor[T]) worker(id int) {
 				return
 			}
 		}
-		x.run(id, t)
-		x.release()
+		if x.failed.Load() {
+			x.release() // drain: retire the task without running it
+			continue
+		}
+		x.exec(id, t)
 	}
 }
 

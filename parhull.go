@@ -31,6 +31,8 @@
 package parhull
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"parhull/internal/conmap"
@@ -129,6 +131,17 @@ type Options struct {
 	// every plane-side test runs the exact determinant predicate (the A2
 	// ablation). The combinatorial output is identical either way.
 	NoPlaneCache bool
+	// Context, when non-nil, cancels the construction cooperatively: the
+	// engines check it at ridge-chain granularity and the call returns
+	// ErrCanceled (wrapping ctx.Err()) promptly, with every worker
+	// goroutine quiesced before the return.
+	Context context.Context
+	// NoMapFallback disables the capacity degradation ladder for
+	// MapCAS/MapTAS: a fixed table that fills surfaces ErrCapacity instead
+	// of retrying with a doubled table and finally falling back to
+	// MapSharded. Leave it off in production; tests use it to pin the
+	// typed-error contract.
+	NoMapFallback bool
 }
 
 // schedKind maps the public knob onto the internal scheduler kind.
@@ -179,6 +192,58 @@ func (o *Options) capacity(def int) int {
 	return def
 }
 
+// fixed2D builds the selected fixed-capacity table for the 2D kernel.
+func (o *Options) fixed2D(c int) conmap.RidgeMap[*hull2d.Facet] {
+	if o.Map == MapTAS {
+		return conmap.NewTASMap[*hull2d.Facet](c)
+	}
+	return conmap.NewCASMap[*hull2d.Facet](c)
+}
+
+// fixedD builds the selected fixed-capacity table for the d-dim kernel.
+func (o *Options) fixedD(c int) conmap.RidgeMap[*hulld.Facet] {
+	if o.Map == MapTAS {
+		return conmap.NewTASMap[*hulld.Facet](c)
+	}
+	return conmap.NewCASMap[*hulld.Facet](c)
+}
+
+// ladderRetries is how many doubled-table restarts the degradation ladder
+// attempts after a capacity failure before abandoning the fixed table.
+const ladderRetries = 2
+
+// ladder is the capacity degradation ladder of the public layer: MapSharded
+// runs directly (it grows, it cannot fill); MapCAS/MapTAS run on the fixed
+// table, and a conmap.ErrCapacity failure restarts the whole construction —
+// the engines abort cleanly, so a restart is the only sound recovery — on a
+// table twice the size, up to ladderRetries times, before falling back to
+// the sharded map (unless Options.NoMapFallback). Any error other than
+// capacity exhaustion surfaces immediately.
+func ladder[V comparable, R any](o *Options, fixedCap int,
+	mkFixed func(c int) conmap.RidgeMap[V],
+	mkSharded func() conmap.RidgeMap[V],
+	run func(conmap.RidgeMap[V]) (R, error)) (res R, retries int, fellBack bool, err error) {
+
+	if o.Map != MapCAS && o.Map != MapTAS {
+		res, err = run(mkSharded())
+		return res, 0, false, err
+	}
+	c := fixedCap
+	for attempt := 0; ; attempt++ {
+		res, err = run(mkFixed(c))
+		if err == nil || !errors.Is(err, conmap.ErrCapacity) || attempt == ladderRetries {
+			break
+		}
+		retries++
+		c *= 2
+	}
+	if err != nil && errors.Is(err, conmap.ErrCapacity) && !o.NoMapFallback {
+		res, err = run(mkSharded())
+		return res, retries, true, err
+	}
+	return res, retries, false, err
+}
+
 // perm returns the insertion order under o, or nil when the given order is
 // used as-is. Position p of the shuffled input holds original point
 // order[p], so order maps engine indices back to caller indices directly
@@ -217,4 +282,4 @@ func mapBack(idx int32, order []int) int {
 	return order[idx]
 }
 
-var errBadEngine = fmt.Errorf("parhull: unknown engine")
+var errBadEngine = fmt.Errorf("%w: unknown engine", ErrBadOption)
