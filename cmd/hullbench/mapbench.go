@@ -8,9 +8,7 @@ import (
 	"parhull"
 	"parhull/internal/conmap"
 	"parhull/internal/hull2d"
-	"parhull/internal/hulld"
 	"parhull/internal/pointgen"
-	"parhull/internal/sched"
 )
 
 // expMap — E10: the three ridge-map protocols, microbenchmarked and then
@@ -107,59 +105,4 @@ func timeMap(m conmap.RidgeMap[*int], n, g int) float64 {
 	wg.Wait()
 	ops := 2 * per * g
 	return float64(time.Since(start).Nanoseconds()) / float64(ops)
-}
-
-// expSpeedup — E11: wall-clock self-speedup of Algorithm 3.
-func expSpeedup() {
-	fmt.Printf("machine parallelism: %d worker(s)\n", sched.Workers())
-	n := sz(200000)
-	pts2 := pointgen.OnCircle(pointgen.NewRNG(6), n)
-	pts3 := pointgen.OnSphere(pointgen.NewRNG(7), n/4, 3)
-	w := table()
-	fmt.Fprintln(w, "workload\tseq time\tpar time\tspeedup\trounds\tdepth")
-	type run struct {
-		name string
-		seq  func() error
-		par  func() (int, int, error)
-	}
-	for _, r := range []run{
-		{"2D circle n=" + fmt.Sprint(n),
-			func() error { _, err := hull2d.Seq(pts2); return err },
-			func() (int, int, error) {
-				res, _, err := hull2d.Rounds(pts2, &hull2d.Options{NoCounters: true})
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Stats.Rounds, res.Stats.MaxDepth, nil
-			}},
-		{"3D sphere n=" + fmt.Sprint(n/4),
-			func() error { _, err := hulld.SeqCounted(pts3, false); return err },
-			func() (int, int, error) {
-				res, err := hulld.Rounds(pts3, &hulld.Options{NoCounters: true})
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Stats.Rounds, res.Stats.MaxDepth, nil
-			}},
-	} {
-		t0 := time.Now()
-		if err := r.seq(); err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		seqT := time.Since(t0)
-		t0 = time.Now()
-		rounds, depth, err := r.par()
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		parT := time.Since(t0)
-		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%d\t%d\n",
-			r.name, seqT.Round(time.Microsecond), parT.Round(time.Microsecond),
-			float64(seqT)/float64(parT), rounds, depth)
-	}
-	w.Flush()
-	fmt.Println("note: on a single-core machine the speedup is ~1x by construction; the")
-	fmt.Println("structural parallelism (rounds ~ log n across millions of ridge tasks) is machine-independent.")
 }

@@ -29,6 +29,7 @@ type perfEntry struct {
 	Dim         int     `json:"dim"`
 	Sched       string  `json:"sched"`
 	Filter      string  `json:"filter"`
+	Procs       int     `json:"procs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -36,6 +37,14 @@ type perfEntry struct {
 	Facets      int     `json:"facets"`
 	Depth       int     `json:"depth"`
 	Rounds      int     `json:"rounds"`
+	// Scaling fields, set by the -exp speedup sweep only: GOMAXPROCS and
+	// Options.Workers are pinned to Procs for the row; Speedup is relative
+	// to the sweep's first P (self-speedup when that is 1), Efficiency is
+	// Speedup/Procs, PreKept is Stats.PreHullKept when PreHull is on.
+	PreHull    bool    `json:"prehull,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+	PreKept    int     `json:"prehull_kept,omitempty"`
 }
 
 type perfReport struct {
@@ -130,6 +139,7 @@ func expPerf() {
 				Dim:         wl.dim,
 				Sched:       c.name,
 				Filter:      c.filter,
+				Procs:       runtime.GOMAXPROCS(0),
 				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 				AllocsPerOp: r.AllocsPerOp(),
 				BytesPerOp:  r.AllocedBytesPerOp(),

@@ -85,5 +85,11 @@ func (o *Options) validate() error {
 	if o.MapCapacity < 0 {
 		return fmt.Errorf("%w: MapCapacity %d is negative", ErrBadOption, o.MapCapacity)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers %d is negative", ErrBadOption, o.Workers)
+	}
+	if o.PreHull < PreHullAuto || o.PreHull > PreHullOff {
+		return fmt.Errorf("%w: unknown PreHull mode %d", ErrBadOption, o.PreHull)
+	}
 	return nil
 }

@@ -126,6 +126,12 @@ func TestBadOptionValidation(t *testing.T) {
 	if _, err := Hull2D(pts2, &Options{Engine: Engine(99)}); !errors.Is(err, ErrBadOption) {
 		t.Errorf("bad engine: want ErrBadOption")
 	}
+	if _, err := Hull2D(pts2, &Options{Workers: -1}); !errors.Is(err, ErrBadOption) {
+		t.Errorf("negative Workers: want ErrBadOption")
+	}
+	if _, err := HullD(pts3, &Options{PreHull: PreHullMode(9)}); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad PreHull mode: want ErrBadOption")
+	}
 	if _, err := Hull3D(pts2, nil); !errors.Is(err, ErrBadOption) {
 		t.Errorf("Hull3D on 2D points: want ErrBadOption")
 	}

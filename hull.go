@@ -35,6 +35,11 @@ func Hull2D(pts []Point, opt *Options) (out *Hull2DResult, err error) {
 	}
 	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
+	phWork, phOrder, phBlocks, phKept, err := o.maybePreHull(work, order, 2)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	work, order = phWork, phOrder
 
 	var res *hull2d.Result
 	var retries int
@@ -48,6 +53,7 @@ func Hull2D(pts []Point, opt *Options) (out *Hull2DResult, err error) {
 				Map:          m,
 				Sched:        o.schedKind(),
 				GroupLimit:   o.GroupLimit,
+				Workers:      o.Workers,
 				NoCounters:   o.NoCounters,
 				FilterGrain:  o.FilterGrain,
 				NoPlaneCache: o.NoPlaneCache,
@@ -60,10 +66,10 @@ func Hull2D(pts []Point, opt *Options) (out *Hull2DResult, err error) {
 			return hull2d.Par(work, ho)
 		}
 		res, retries, fellBack, err = ladder(o,
-			o.capacity(engine.FixedMapCapacity(len(pts), 0)),
+			o.capacity(engine.FixedMapCapacity(len(work), 0)),
 			o.fixed2D,
 			func() conmap.RidgeMap[*hull2d.Facet] {
-				return conmap.NewShardedMap[*hull2d.Facet](o.capacity(engine.DefaultMapCapacity(len(pts), 0)))
+				return conmap.NewShardedMap[*hull2d.Facet](o.capacity(engine.DefaultMapCapacity(len(work), 0)))
 			},
 			run)
 	default:
@@ -74,6 +80,8 @@ func Hull2D(pts []Point, opt *Options) (out *Hull2DResult, err error) {
 	}
 	res.Stats.CapacityRetries = retries
 	res.Stats.MapFallback = fellBack
+	res.Stats.PreHullBlocks = phBlocks
+	res.Stats.PreHullKept = phKept
 	out = &Hull2DResult{Stats: res.Stats}
 	for _, v := range res.Vertices {
 		out.Vertices = append(out.Vertices, mapBack(v, order))
@@ -112,6 +120,11 @@ func HullD(pts []Point, opt *Options) (out *HullDResult, err error) {
 	if len(pts) > 0 {
 		d = len(pts[0])
 	}
+	phWork, phOrder, phBlocks, phKept, err := o.maybePreHull(work, order, d)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	work, order = phWork, phOrder
 
 	var res *hulld.Result
 	var retries int
@@ -125,6 +138,7 @@ func HullD(pts []Point, opt *Options) (out *HullDResult, err error) {
 				Map:          m,
 				Sched:        o.schedKind(),
 				GroupLimit:   o.GroupLimit,
+				Workers:      o.Workers,
 				NoCounters:   o.NoCounters,
 				FilterGrain:  o.FilterGrain,
 				NoPlaneCache: o.NoPlaneCache,
@@ -136,10 +150,10 @@ func HullD(pts []Point, opt *Options) (out *HullDResult, err error) {
 			return hulld.Par(work, ho)
 		}
 		res, retries, fellBack, err = ladder(o,
-			o.capacity(engine.FixedMapCapacity(len(pts), d)),
+			o.capacity(engine.FixedMapCapacity(len(work), d)),
 			o.fixedD,
 			func() conmap.RidgeMap[*hulld.Facet] {
-				return conmap.NewShardedMap[*hulld.Facet](o.capacity(engine.DefaultMapCapacity(len(pts), d)))
+				return conmap.NewShardedMap[*hulld.Facet](o.capacity(engine.DefaultMapCapacity(len(work), d)))
 			},
 			run)
 	default:
@@ -150,6 +164,8 @@ func HullD(pts []Point, opt *Options) (out *HullDResult, err error) {
 	}
 	res.Stats.CapacityRetries = retries
 	res.Stats.MapFallback = fellBack
+	res.Stats.PreHullBlocks = phBlocks
+	res.Stats.PreHullKept = phKept
 	out = &HullDResult{Stats: res.Stats}
 	for _, f := range res.Facets {
 		ff := Facet{Vertices: make([]int, len(f.Verts))}

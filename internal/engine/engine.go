@@ -109,6 +109,10 @@ type Config[FV any, R any] struct {
 	Sched sched.Kind
 	// GroupLimit caps concurrently spawned ridge chains (Group only).
 	GroupLimit int
+	// Workers is the work-stealing executor's pool width (Steal only;
+	// <= 0 selects GOMAXPROCS). The speedup harness pins it per run so
+	// scaling curves do not depend on the ambient GOMAXPROCS.
+	Workers int
 	// Ctx, when non-nil, cancels the construction cooperatively: chains
 	// check it at ridge-step granularity and the run returns ctx.Err() with
 	// the pool quiesced. nil means no cancellation.
@@ -222,7 +226,7 @@ func Par[FV any, R any](cfg Config[FV, R], seed func(fork func(Task[FV, R]))) er
 	if cfg.Sched == sched.KindGroup {
 		perr = d.parGroup(cfg.GroupLimit, seed)
 	} else {
-		perr = d.parSteal(seed)
+		perr = d.parSteal(cfg.Workers, seed)
 	}
 	if perr != nil {
 		d.fail(perr) // first recorded failure wins; a panic only if nothing else
@@ -263,8 +267,11 @@ func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) e
 // allocated from the executing worker's arena, and the fresh-ridge scratch
 // reused per worker so the steady-state step allocates nothing beyond the
 // facet's own arena carves.
-func (d *driver[FV, R]) parSteal(seed func(fork func(Task[FV, R]))) error {
-	nw := sched.Workers()
+func (d *driver[FV, R]) parSteal(workers int, seed func(fork func(Task[FV, R]))) error {
+	nw := workers
+	if nw <= 0 {
+		nw = sched.Workers()
+	}
 	arenas := NewArenas[FV](nw)
 	ridgeBufs := make([][]R, nw)
 	// Per-worker fork closures are bound once, before any task can run, so

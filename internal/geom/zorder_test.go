@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZOrderPermIsPermutation checks the basic contract on a few clouds.
+func TestZOrderPermIsPermutation(t *testing.T) {
+	clouds := map[string][]Point{
+		"empty":    {},
+		"one":      {{1, 2}},
+		"same":     {{3, 3}, {3, 3}, {3, 3}},
+		"line":     {{0, 0}, {1, 0}, {2, 0}, {3, 0}},
+		"nan":      {{math.NaN(), 1}, {0, math.Inf(1)}, {1, 1}},
+		"grid3d":   grid3(4),
+		"negative": {{-5, -5, -5}, {5, 5, 5}, {0, 0, 0}},
+	}
+	for name, pts := range clouds {
+		perm := ZOrderPerm(pts)
+		if len(perm) != len(pts) {
+			t.Fatalf("%s: len %d != %d", name, len(perm), len(pts))
+		}
+		seen := make(map[int32]bool, len(perm))
+		for _, v := range perm {
+			if v < 0 || int(v) >= len(pts) || seen[v] {
+				t.Fatalf("%s: not a permutation: %v", name, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestZOrderQuadrants pins the curve's defining property in 2D: all points of
+// one quadrant of the bounding square appear contiguously before any point of
+// a later quadrant (the Z visits quadrants in a fixed order).
+func TestZOrderQuadrants(t *testing.T) {
+	// 8 points, two per quadrant of [0,1]^2, interleaved in input order.
+	pts := []Point{
+		{0.1, 0.1}, {0.9, 0.9}, {0.2, 0.2}, {0.8, 0.8},
+		{0.9, 0.1}, {0.1, 0.9}, {0.8, 0.2}, {0.2, 0.9},
+	}
+	quad := func(p Point) int {
+		q := 0
+		if p[0] >= 0.5 {
+			q |= 1
+		}
+		if p[1] >= 0.5 {
+			q |= 2
+		}
+		return q
+	}
+	perm := ZOrderPerm(pts)
+	seen := make(map[int]bool)
+	last := -1
+	for _, idx := range perm {
+		q := quad(pts[idx])
+		if q != last {
+			if seen[q] {
+				t.Fatalf("quadrant %d visited twice: order %v", q, perm)
+			}
+			seen[q] = true
+			last = q
+		}
+	}
+}
+
+// TestZOrderDeterministic: same input, same permutation, and ties break by
+// index (ascending).
+func TestZOrderDeterministic(t *testing.T) {
+	pts := grid3(5)
+	a := ZOrderPerm(pts)
+	b := ZOrderPerm(pts)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	dup := []Point{{1, 1}, {1, 1}, {0, 0}, {1, 1}}
+	perm := ZOrderPerm(dup)
+	// The three identical points must appear in index order.
+	var ones []int32
+	for _, v := range perm {
+		if dup[v][0] == 1 {
+			ones = append(ones, v)
+		}
+	}
+	for i := 1; i < len(ones); i++ {
+		if ones[i] < ones[i-1] {
+			t.Fatalf("tied points out of index order: %v", perm)
+		}
+	}
+}
+
+// TestZOrderLocality: on a k x k grid, consecutive points of the Z order are
+// much closer on average than consecutive points of a shuffled order would be
+// (the grid in natural row order already has locality; compare against the
+// cloud diameter instead).
+func TestZOrderLocality(t *testing.T) {
+	const k = 16
+	pts := make([]Point, 0, k*k)
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			pts = append(pts, Point{float64(x), float64(y)})
+		}
+	}
+	perm := ZOrderPerm(pts)
+	var total float64
+	for i := 1; i < len(perm); i++ {
+		a, b := pts[perm[i-1]], pts[perm[i]]
+		dx, dy := a[0]-b[0], a[1]-b[1]
+		total += math.Sqrt(dx*dx + dy*dy)
+	}
+	avg := total / float64(len(perm)-1)
+	// A random order averages ~0.52*k ≈ 8.3 for k=16; the Z curve stays
+	// under 2 (mostly unit steps with occasional quadrant jumps).
+	if avg > 3 {
+		t.Fatalf("average Z-neighbor distance %.2f too large for a %dx%d grid", avg, k, k)
+	}
+}
+
+func grid3(k int) []Point {
+	pts := make([]Point, 0, k*k*k)
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			for z := 0; z < k; z++ {
+				pts = append(pts, Point{float64(x), float64(y), float64(z)})
+			}
+		}
+	}
+	return pts
+}

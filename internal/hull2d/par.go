@@ -30,6 +30,10 @@ type Options struct {
 	// GroupLimit caps concurrently spawned ridge chains in the async engine
 	// (<= 0 selects the sched default; Group substrate only).
 	GroupLimit int
+	// Workers pins the work-stealing executor's pool width (Steal substrate
+	// only; <= 0 selects GOMAXPROCS). The facet output is identical for any
+	// width (Theorem 5.5) — only the schedule changes.
+	Workers int
 	// NoCounters disables visibility-test counting (for pure-speed runs).
 	NoCounters bool
 	// FilterGrain sets the list size above which conflict filtering runs in
@@ -135,6 +139,7 @@ func (o *Options) config(e *engine) eng.Config[Facet, int32] {
 		GroupLimit: limit,
 	}
 	if o != nil {
+		cfg.Workers = o.Workers
 		cfg.Ctx = o.Ctx
 		cfg.Inject = o.Inject
 	}

@@ -23,8 +23,12 @@ type Options struct {
 	// (Theorem 5.5; asserted by TestParSchedEquivalence).
 	Sched sched.Kind
 	// GroupLimit caps concurrently spawned ridge chains (Group substrate
-	// only; the work-stealing pool is fixed at GOMAXPROCS workers).
+	// only).
 	GroupLimit int
+	// Workers pins the work-stealing executor's pool width (Steal substrate
+	// only; <= 0 selects GOMAXPROCS). The facet output is identical for any
+	// width (Theorem 5.5) — only the schedule changes.
+	Workers int
 	// NoCounters disables visibility-test counting.
 	NoCounters bool
 	// FilterGrain sets the list size above which conflict filtering runs in
@@ -86,6 +90,7 @@ func (o *Options) config(e *engine, n int) eng.Config[Facet, []int32] {
 		GroupLimit: limit,
 	}
 	if o != nil {
+		cfg.Workers = o.Workers
 		cfg.Ctx = o.Ctx
 		cfg.Inject = o.Inject
 	}

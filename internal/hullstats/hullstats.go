@@ -54,6 +54,12 @@ type Stats struct {
 	// growable sharded map after the retries were exhausted; the reported
 	// Stats are then those of the sharded run.
 	MapFallback bool
+	// PreHullBlocks and PreHullKept describe the pre-hull reduction when it
+	// ran: the number of block sub-hulls and the surviving point count fed
+	// to the main construction (both 0 when the reduction was skipped).
+	// All other counters describe the main construction only — the block
+	// sub-hulls' visibility tests and facets are not included.
+	PreHullBlocks, PreHullKept int
 }
 
 // fastDepths is the span of dependence depths tracked with lock-free atomic

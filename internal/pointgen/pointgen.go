@@ -71,6 +71,56 @@ func Gaussian(rng *rand.Rand, n, d int) []geom.Point {
 	return pts
 }
 
+// Clustered returns n points in k tight Gaussian clusters whose centers are
+// drawn uniformly from the unit ball. Most points are interior to the hull of
+// their own cluster, but the clusters are unevenly sized and unevenly placed,
+// so any fixed-size spatial partition sees blocks of wildly different hull
+// density — the adversarial case for the pre-hull block reduction. spread is
+// the cluster standard deviation (<= 0 selects 0.02).
+func Clustered(rng *rand.Rand, n, d, k int, spread float64) []geom.Point {
+	if k < 1 {
+		k = 1
+	}
+	if spread <= 0 {
+		spread = 0.02
+	}
+	centers := UniformBall(rng, k, d)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = c[j] + spread*rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Anisotropic returns n points uniform in a ball squashed by a factor of
+// ratio^j along dimension j (ratio in (0, 1); <= 0 selects 0.05): a needle in
+// 2D, a flattened disc-like spindle in 3D. Near-degenerate aspect ratios
+// stress the exact-predicate fallback (tiny determinants) and give spatial
+// partitions long thin cells.
+func Anisotropic(rng *rand.Rand, n, d int, ratio float64) []geom.Point {
+	if ratio <= 0 {
+		ratio = 0.05
+	}
+	pts := UniformBall(rng, n, d)
+	scale := make([]float64, d)
+	s := 1.0
+	for j := range scale {
+		scale[j] = s
+		s *= ratio
+	}
+	for _, p := range pts {
+		for j := range p {
+			p[j] *= scale[j]
+		}
+	}
+	return pts
+}
+
 // gaussianDir returns a uniformly random unit vector in R^d.
 func gaussianDir(rng *rand.Rand, d int) geom.Point {
 	for {

@@ -139,6 +139,79 @@ func TestPermAndApply(t *testing.T) {
 	}
 }
 
+func TestClustered(t *testing.T) {
+	const n, d, k = 2000, 3, 8
+	pts := Clustered(NewRNG(10), n, d, k, 0.02)
+	if len(pts) != n {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if err := geom.ValidateCloud(pts, d); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism.
+	again := Clustered(NewRNG(10), n, d, k, 0.02)
+	for i := range pts {
+		if !pts[i].Equal(again[i]) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// Clustering: the mean nearest-sample distance must be far below what a
+	// uniform cloud of this size would show (points concentrate in k tiny
+	// blobs of stddev 0.02).
+	var total float64
+	for i := 0; i < 200; i++ {
+		best := math.Inf(1)
+		for j := range pts {
+			if j == i {
+				continue
+			}
+			var d2 float64
+			for c := range pts[i] {
+				dx := pts[i][c] - pts[j][c]
+				d2 += dx * dx
+			}
+			if d2 < best {
+				best = d2
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	if avg := total / 200; avg > 0.02 {
+		t.Fatalf("mean nearest-neighbor distance %.4f too large for clustered input", avg)
+	}
+	// Degenerate-parameter guards.
+	if got := Clustered(NewRNG(11), 10, 2, 0, -1); len(got) != 10 {
+		t.Fatal("k<1/spread<=0 defaults broken")
+	}
+}
+
+func TestAnisotropic(t *testing.T) {
+	const n, d = 1000, 3
+	ratio := 0.05
+	pts := Anisotropic(NewRNG(12), n, d, ratio)
+	if err := geom.ValidateCloud(pts, d); err != nil {
+		t.Fatal(err)
+	}
+	// Per-axis extent must shrink geometrically: axis j spans ~2*ratio^j.
+	for j := 0; j < d; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			lo = math.Min(lo, p[j])
+			hi = math.Max(hi, p[j])
+		}
+		want := 2 * math.Pow(ratio, float64(j))
+		if span := hi - lo; span > want*1.01 || span < want*0.2 {
+			t.Fatalf("axis %d span %.4f, want ~%.4f", j, span, want)
+		}
+	}
+	again := Anisotropic(NewRNG(12), n, d, ratio)
+	for i := range pts {
+		if !pts[i].Equal(again[i]) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
 func TestLift2D(t *testing.T) {
 	pts := []geom.Point{{1, 2}, {-3, 0.5}}
 	l := Lift2D(pts)

@@ -1,0 +1,571 @@
+// Package prehull implements the divide-and-conquer input reduction used by
+// the public layer before a full hull construction. It runs in two stages,
+// both of which only ever discard points that provably cannot be hull
+// vertices, so the construction that follows produces the exact same final
+// facets as a direct run — the pre-hull changes how much work reaches the
+// engine, never what it outputs.
+//
+// Stage 1 (interior cull): build the hull of a small prefix sample with the
+// existing sequential kernel, orient each sample facet's cached hyperplane
+// (geom.NewFacetPlane) against the sample centroid, and drop every point the
+// static float filter certifies strictly inside ALL sample facets. The
+// sample hull is a subset of the true hull, so a point strictly interior to
+// it is strictly interior to the full hull. Certification uses the
+// worst-case threshold of geom.StaticFilterEps: an uncertified comparison
+// keeps the point, so float rounding can only make the cull less effective,
+// never wrong. For a uniform ball the cull drops the vast majority of the
+// input for h·n fused multiply-adds (h = sample hull size).
+//
+// Stage 2 (block sub-hulls): split the survivors into contiguous blocks,
+// compute each block's hull with the sequential kernel — blocks in parallel
+// on the work-stealing executor — and keep only the block-hull vertices
+// (a point interior to its block's hull is interior to the full hull). This
+// is ParGeo's concurrent-hull recipe (~8 blocks per worker, serial
+// sub-hulls, flatten the survivors) and is where the block loop's multicore
+// scaling comes from.
+//
+// For boundary-heavy inputs (on-sphere: every point a vertex) both stages
+// would keep everything; stage 1 detects that from the sample hull density
+// and disables itself, and the public layer's auto heuristic skips the
+// pre-hull entirely.
+//
+// Failure discipline matches the engines (DESIGN.md §5): a degenerate block
+// — a sub-hull that cannot be built because the block violates general
+// position — is kept whole instead of failing the run (a safe
+// over-approximation); cancellation is checked at stage boundaries and
+// block boundaries and the first ctx error wins; a panic inside a sample or
+// block sub-hull is contained (sched.Recovered / the executor) and surfaces
+// as *sched.PanicError, never a crash.
+package prehull
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"parhull/internal/faultinject"
+	"parhull/internal/geom"
+	"parhull/internal/hull2d"
+	"parhull/internal/hulld"
+	"parhull/internal/sched"
+)
+
+const (
+	// DefaultMinBlock is the serial-fallback threshold: Reduce never makes
+	// blocks smaller than this (a sub-hull over a handful of points keeps
+	// nearly all of them — pure overhead).
+	DefaultMinBlock = 100
+	// blockTarget caps the block size the auto rule aims for. 8 blocks per
+	// worker is the ParGeo ratio, but at low worker counts it would make
+	// enormous blocks whose serial sub-hulls dominate the run; ~32k-point
+	// blocks measured fastest for the sequential kernel, so the auto rule
+	// takes whichever of the two rules makes more blocks.
+	blockTarget = 1 << 15
+	// blocksPerWorker is the oversubscription factor of the block loop, so
+	// uneven blocks load-balance across the executor's deques.
+	blocksPerWorker = 8
+
+	// cullSample is the prefix length hulled by the stage-1 interior cull;
+	// the sample hull's facet count h sets the worst-case per-point filter
+	// cost, and the uncovered shell (the survivors) shrinks as the sample
+	// grows. The inscribed-sphere fast path makes deep-interior points
+	// nearly free, so a larger sample mostly buys fewer survivors.
+	cullSample = 2048
+	// cullMinN disables the cull below this input size — with few points
+	// per sample-hull facet the h·n scan cannot pay for itself.
+	cullMinN = 8 * cullSample
+	// cullDense disables the cull when the sample hull keeps more than
+	// 1/cullDense of the sample (boundary-heavy input: nothing inside).
+	cullDense = 4
+)
+
+// Config parameterizes one reduction.
+type Config struct {
+	// Workers is the executor pool width for the block loop (<= 0 selects
+	// GOMAXPROCS). The stage-1 point scan parallelizes via sched.ParallelFor,
+	// which sizes itself from GOMAXPROCS.
+	Workers int
+	// Blocks overrides the automatic block count (<= 0 = auto: the max of
+	// 8 per worker and survivors/32768, clamped so no block drops below
+	// MinBlock).
+	Blocks int
+	// MinBlock overrides the smallest allowed block size (<= 0 selects
+	// DefaultMinBlock).
+	MinBlock int
+	// ZOrder partitions the block stage spatially: survivors are presorted
+	// along the Morton curve of their bounding box so each block is a
+	// compact region (small sub-hulls, cache-coherent conflict scans)
+	// instead of a random sample. Within a block, points keep their
+	// relative input order, so the randomized-insertion guarantees of the
+	// sub-hulls are preserved when the caller shuffled.
+	ZOrder bool
+	// NoCull disables the stage-1 interior cull (ablation; the block stage
+	// alone is still exact).
+	NoCull bool
+	// NoPlaneCache disables the cached-hyperplane fast path inside the
+	// sample and block sub-hulls (the A2 ablation; the survivors are
+	// identical either way). The stage-1 point scan always uses the static
+	// filter — with certification-or-keep semantics it needs no exact
+	// fallback to stay sound.
+	NoPlaneCache bool
+	// Ctx, when non-nil, cancels the reduction cooperatively: checked at
+	// stage and block boundaries here and at insertion granularity inside
+	// the sub-hulls.
+	Ctx context.Context
+	// Inject arms deterministic fault injection inside the sample and block
+	// sub-hulls (tests only; nil in production).
+	Inject *faultinject.Injector
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return sched.Workers()
+}
+
+func (c Config) minBlock() int {
+	if c.MinBlock > 0 {
+		return c.MinBlock
+	}
+	return DefaultMinBlock
+}
+
+func (c Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// BlockCount returns the number of blocks the block stage will use for n
+// points: the configured override, or the auto rule described on
+// Config.Blocks. A return below 2 means the input is too small to block up
+// (the serial fallback).
+func BlockCount(n int, cfg Config) int {
+	b := cfg.Blocks
+	if b <= 0 {
+		b = blocksPerWorker * cfg.workers()
+		if t := (n + blockTarget - 1) / blockTarget; t > b {
+			b = t
+		}
+	}
+	if cap := n / cfg.minBlock(); b > cap {
+		b = cap
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Reduction is the outcome of one pre-hull pass.
+type Reduction struct {
+	// Keep holds the indices of the surviving points, ascending — a
+	// subsequence of the input order, so a shuffled input stays shuffled.
+	// Nil when no reduction was performed (input too small; run directly).
+	Keep []int32
+	// Culled counts points dropped by the stage-1 interior filter.
+	Culled int
+	// Blocks is the number of block sub-hulls run.
+	Blocks int
+	// DegenerateBlocks counts blocks kept whole because their sub-hull
+	// reported degenerate input (the safe over-approximation).
+	DegenerateBlocks int
+}
+
+// Reduce runs the two-stage reduction over pts (dimension d = len(pts[0])
+// >= 2) and returns the surviving index set. The caller is responsible for
+// validating the cloud first (NaN/Inf coordinates); degenerate geometry
+// needs no pre-validation — a degenerate sample skips the cull and
+// degenerate blocks are kept whole.
+//
+// Error surface: ctx cancellation returns the ctx error; a contained panic
+// in a sample or block sub-hull returns a *sched.PanicError, so the public
+// layer's containment contract sees exactly what a direct run would
+// surface; sub-hull errors other than degeneracy (e.g. a bad coordinate)
+// propagate as-is.
+func Reduce(pts []geom.Point, cfg Config) (*Reduction, error) {
+	n := len(pts)
+	d := 0
+	if n > 0 {
+		d = len(pts[0])
+	}
+	if d < 2 {
+		return &Reduction{Blocks: 1}, nil
+	}
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: certified-interior cull. cand == nil means "all points".
+	var cand []int32
+	if !cfg.NoCull {
+		var err error
+		cand, err = cullInterior(pts, d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
+	}
+	culled := 0
+	work := pts
+	if cand != nil {
+		culled = n - len(cand)
+		work = Gather(pts, cand)
+	}
+
+	// Stage 2: block sub-hulls over the survivors.
+	blockKeep, nb, degen, err := blockReduce(work, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	red := &Reduction{Culled: culled, Blocks: nb, DegenerateBlocks: degen}
+	switch {
+	case cand == nil && blockKeep == nil:
+		// Neither stage reduced anything; run directly.
+	case blockKeep == nil:
+		red.Keep = cand
+	case cand == nil:
+		red.Keep = blockKeep
+	default:
+		keep := make([]int32, len(blockKeep))
+		for i, v := range blockKeep {
+			keep[i] = cand[v]
+		}
+		red.Keep = keep
+	}
+	return red, nil
+}
+
+// cullInterior is stage 1: it returns the ascending index list of points
+// that survive the sample-hull interior filter, or nil when the cull is
+// skipped (input too small, dimension uncached, degenerate or dense sample,
+// uncertifiable planes, or nothing culled). Only errors that must abort the
+// whole reduction (cancellation, injected panics, bad coordinates) are
+// returned.
+func cullInterior(pts []geom.Point, d int, cfg Config) ([]int32, error) {
+	n := len(pts)
+	if n < cullMinN || d > geom.MaxPlaneDim {
+		return nil, nil
+	}
+	sample := pts[:cullSample]
+	var facets [][]int32
+	var verts int
+	var herr error
+	if perr := sched.Recovered(func() {
+		facets, verts, herr = subHullFacets(cfg, d, sample)
+	}); perr != nil {
+		return nil, perr
+	}
+	if herr != nil {
+		if errors.Is(herr, hull2d.ErrDegenerate) || errors.Is(herr, hulld.ErrDegenerate) {
+			return nil, nil // flat sample: nothing certifiable, skip the cull
+		}
+		return nil, herr
+	}
+	if verts > cullSample/cullDense {
+		return nil, nil // boundary-heavy input: the cull would keep everything
+	}
+
+	// Static certification threshold over the whole cloud (the planes are
+	// evaluated against every point, so the bound must cover all of them).
+	maxAbs := make([]float64, d)
+	for _, p := range pts {
+		for j := 0; j < d; j++ {
+			if a := p[j]; a > maxAbs[j] {
+				maxAbs[j] = a
+			} else if -a > maxAbs[j] {
+				maxAbs[j] = -a
+			}
+		}
+	}
+	eps := geom.StaticFilterEps(maxAbs)
+	if eps <= 0 {
+		return nil, nil
+	}
+
+	// Orient every sample facet so the sample interior is strictly negative,
+	// using the sample centroid as the interior witness. Any facet the
+	// filter cannot certify against the centroid disables the whole cull —
+	// dropping single facets would be unsound.
+	centroid := make([]float64, d)
+	for _, p := range sample {
+		for j := 0; j < d; j++ {
+			centroid[j] += p[j]
+		}
+	}
+	for j := range centroid {
+		centroid[j] /= float64(len(sample))
+	}
+	// While orienting, accumulate the inscribed-sphere radius around the
+	// centroid: r = min over facets of (certified clearance / ||N||). Any
+	// point within 0.999·r of the centroid satisfies Eval < -Eps on every
+	// plane (Cauchy-Schwarz on the exact linear form, with the Eps margin
+	// absorbing the evaluation error and the 0.1% shrink absorbing the
+	// rounding of the distance and norm computations themselves), so the
+	// common deep-interior case costs one squared distance instead of h
+	// plane evaluations.
+	planes := make([]geom.Plane, 0, len(facets))
+	vp := make([]geom.Point, d)
+	rIn := math.Inf(1)
+	for _, fv := range facets {
+		for i, v := range fv {
+			vp[i] = sample[v]
+		}
+		pl := geom.NewFacetPlane(vp, eps)
+		if !pl.Valid() {
+			return nil, nil
+		}
+		s, ok := pl.CertifiedSign(centroid)
+		if !ok {
+			return nil, nil
+		}
+		if s > 0 {
+			for j := 0; j < d; j++ {
+				pl.N[j] = -pl.N[j]
+			}
+			pl.Off = -pl.Off
+		}
+		norm := 0.0
+		for j := 0; j < d; j++ {
+			norm += pl.N[j] * pl.N[j]
+		}
+		norm = math.Sqrt(norm)
+		if clear := -pl.Eval(centroid) - eps; norm > 0 && clear/norm < rIn {
+			rIn = clear / norm
+		}
+		planes = append(planes, pl)
+	}
+	r2 := 0.0
+	if rIn > 0 && !math.IsInf(rIn, 1) {
+		r2 = 0.999 * rIn * 0.999 * rIn
+	}
+
+	// Scan: a point is dropped only when every plane certifies it strictly
+	// interior (Eval < -Eps) — or, cheaper, when it lies inside the
+	// certified inscribed sphere. The plane loop exits on the first plane
+	// that fails to certify, so shell points are cheap; mid-shell points
+	// pay at most h evals.
+	keepMask := make([]bool, n)
+	var kept atomic.Int64
+	sched.ParallelFor(n, 4096, func(lo, hi int) {
+		if cfg.ctxErr() != nil {
+			return // the post-stage ctx check in Reduce reports it
+		}
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			x := pts[i]
+			dist2 := 0.0
+			for j := 0; j < d; j++ {
+				dx := x[j] - centroid[j]
+				dist2 += dx * dx
+			}
+			if dist2 < r2 {
+				continue // certified deep interior
+			}
+			inside := true
+			for pi := range planes {
+				if planes[pi].Eval(x) >= -eps {
+					inside = false
+					break
+				}
+			}
+			if !inside {
+				keepMask[i] = true
+				local++
+			}
+		}
+		kept.Add(local)
+	})
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
+	k := int(kept.Load())
+	if k == n {
+		return nil, nil
+	}
+	cand := make([]int32, 0, k)
+	for i, m := range keepMask {
+		if m {
+			cand = append(cand, int32(i))
+		}
+	}
+	return cand, nil
+}
+
+// blockReduce is stage 2: the parallel block sub-hull loop over work,
+// returning the ascending block-survivor indices (into work), the block
+// count, and the degenerate-block count. A nil keep with a nil error means
+// the input was too small to block up (run it whole).
+func blockReduce(work []geom.Point, d int, cfg Config) ([]int32, int, int, error) {
+	n := len(work)
+	nb := BlockCount(n, cfg)
+	if nb < 2 {
+		return nil, 1, 0, nil
+	}
+
+	// Partition: block b owns positions [b*n/nb, (b+1)*n/nb) of the input
+	// order, or of the Z-order when spatial partitioning is on. Z blocks
+	// re-sort their members ascending so each sub-hull inserts in the
+	// caller's (random) relative order, and survivors merge back into a
+	// subsequence of the input.
+	var zperm []int32
+	if cfg.ZOrder {
+		zperm = geom.ZOrderPerm(work)
+	}
+
+	var (
+		out     = make([][]int32, nb)
+		degen   atomic.Int64
+		errOnce sync.Once
+		firstEr atomic.Pointer[error]
+		failed  atomic.Bool
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr.Store(&err) })
+		failed.Store(true)
+	}
+
+	body := func(_ int, b int) {
+		if failed.Load() {
+			return
+		}
+		if err := cfg.ctxErr(); err != nil {
+			fail(err)
+			return
+		}
+		lo, hi := b*n/nb, (b+1)*n/nb
+		var members []int32 // indices into work; nil when the block is contiguous
+		var blockPts []geom.Point
+		if zperm != nil {
+			members = append([]int32(nil), zperm[lo:hi]...)
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			blockPts = make([]geom.Point, len(members))
+			for i, m := range members {
+				blockPts[i] = work[m]
+			}
+		} else {
+			blockPts = work[lo:hi]
+		}
+		verts, err := subHull(cfg, d, blockPts)
+		switch {
+		case err == nil:
+			keep := make([]int32, len(verts))
+			for i, v := range verts {
+				if members != nil {
+					keep[i] = members[v]
+				} else {
+					keep[i] = int32(lo) + v
+				}
+			}
+			out[b] = keep
+		case errors.Is(err, hull2d.ErrDegenerate) || errors.Is(err, hulld.ErrDegenerate):
+			// The block cannot support a sub-hull (collinear, coplanar, too
+			// small): keep every point. Correctness never depends on a block
+			// actually reducing.
+			degen.Add(1)
+			if members != nil {
+				out[b] = members
+			} else {
+				keep := make([]int32, hi-lo)
+				for i := range keep {
+					keep[i] = int32(lo + i)
+				}
+				out[b] = keep
+			}
+		default:
+			fail(err)
+		}
+	}
+
+	x := sched.NewExecutor(cfg.workers(), body)
+	for b := 0; b < nb; b++ {
+		x.Fork(sched.External, b)
+	}
+	x.Wait()
+	if ep := firstEr.Load(); ep != nil {
+		return nil, nb, int(degen.Load()), *ep
+	}
+	if err := x.Err(); err != nil {
+		return nil, nb, int(degen.Load()), err // a contained *sched.PanicError
+	}
+
+	total := 0
+	for _, part := range out {
+		total += len(part)
+	}
+	keep := make([]int32, 0, total)
+	for _, part := range out {
+		keep = append(keep, part...)
+	}
+	if zperm != nil {
+		// Blocks were spatial, so their survivor runs interleave in input
+		// order; restore the global subsequence.
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	}
+	return keep, nb, int(degen.Load()), nil
+}
+
+// subHull runs the sequential kernel over one block and returns the
+// block-local indices of its hull vertices (ascending).
+func subHull(cfg Config, d int, pts []geom.Point) ([]int32, error) {
+	if d == 2 {
+		res, err := hull2d.SeqCtx(cfg.Ctx, cfg.Inject, pts, cfg.NoPlaneCache)
+		if err != nil {
+			return nil, err
+		}
+		// 2D vertices come back in CCW hull order; the caller wants the
+		// ascending index subsequence.
+		verts := append([]int32(nil), res.Vertices...)
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		return verts, nil
+	}
+	res, err := hulld.SeqCtx(cfg.Ctx, cfg.Inject, pts, cfg.NoPlaneCache)
+	if err != nil {
+		return nil, err
+	}
+	return res.Vertices, nil
+}
+
+// subHullFacets runs the sequential kernel over the cull sample and returns
+// each alive facet's sample-local vertex list plus the hull vertex count.
+func subHullFacets(cfg Config, d int, pts []geom.Point) ([][]int32, int, error) {
+	if d == 2 {
+		res, err := hull2d.SeqCtx(cfg.Ctx, cfg.Inject, pts, cfg.NoPlaneCache)
+		if err != nil {
+			return nil, 0, err
+		}
+		facets := make([][]int32, len(res.Facets))
+		for i, f := range res.Facets {
+			facets[i] = []int32{f.A, f.B}
+		}
+		return facets, len(res.Vertices), nil
+	}
+	res, err := hulld.SeqCtx(cfg.Ctx, cfg.Inject, pts, cfg.NoPlaneCache)
+	if err != nil {
+		return nil, 0, err
+	}
+	facets := make([][]int32, len(res.Facets))
+	for i, f := range res.Facets {
+		facets[i] = f.Verts
+	}
+	return facets, len(res.Vertices), nil
+}
+
+// Gather materializes the reduced cloud: out[i] = pts[keep[i]]. The point
+// headers are shared with the input (coordinates are not copied); the
+// engines copy coordinates into their own PointStore anyway.
+func Gather(pts []geom.Point, keep []int32) []geom.Point {
+	out := make([]geom.Point, len(keep))
+	for i, k := range keep {
+		out[i] = pts[k]
+	}
+	return out
+}

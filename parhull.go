@@ -42,6 +42,7 @@ import (
 	"parhull/internal/hulld"
 	"parhull/internal/hullstats"
 	"parhull/internal/pointgen"
+	"parhull/internal/prehull"
 	"parhull/internal/sched"
 )
 
@@ -94,6 +95,30 @@ const (
 	MapTAS
 )
 
+// PreHullMode controls the divide-and-conquer input reduction that runs
+// before the main construction: the input is split into blocks, each block's
+// hull is computed serially (blocks in parallel), and only the block-hull
+// vertices reach the selected engine. A point interior to its block's hull
+// cannot be a hull vertex, so the final facets are exactly those of a direct
+// run — the reduction changes the work, never the output (asserted across
+// engines by the equivalence tests). See internal/prehull and DESIGN.md §4.4.
+type PreHullMode int
+
+const (
+	// PreHullAuto (default) enables the reduction for large interior-heavy
+	// inputs: a serial hull over a small prefix sample estimates the hull
+	// density, and the reduction runs only when the sample is mostly
+	// interior (uniform-ball-like). Boundary-heavy inputs (points on a
+	// sphere) skip it — there is nothing to discard.
+	PreHullAuto PreHullMode = iota
+	// PreHullOn always attempts the reduction (inputs too small to block up
+	// still run direct).
+	PreHullOn
+	// PreHullOff never reduces; every point goes straight to the engine.
+	// This is the ablation baseline of the E11 experiment.
+	PreHullOff
+)
+
 // Options configures a construction. The zero value is a good default:
 // parallel engine, sharded map, no shuffle, counters on.
 type Options struct {
@@ -136,6 +161,21 @@ type Options struct {
 	// ErrCanceled (wrapping ctx.Err()) promptly, with every worker
 	// goroutine quiesced before the return.
 	Context context.Context
+	// Workers pins the width of the work-stealing pools: the pre-hull block
+	// loop and the EngineParallel steal substrate (<= 0 selects GOMAXPROCS;
+	// the Group substrate and the rounds engine size themselves from
+	// GOMAXPROCS directly). The hull output is identical for any width
+	// (Theorem 5.5) — only the schedule changes. The speedup harness in
+	// cmd/hullbench sets it alongside runtime.GOMAXPROCS to measure scaling
+	// curves that do not depend on the ambient process configuration.
+	Workers int
+	// PreHull selects the pre-hull reduction mode (default PreHullAuto).
+	PreHull PreHullMode
+	// NoPreHullZOrder disables the Morton (Z-order) spatial presort of the
+	// pre-hull blocks: blocks become contiguous runs of the insertion order
+	// instead of compact spatial regions. The output is identical; this is
+	// the pre-hull partitioning ablation in cmd/hullbench.
+	NoPreHullZOrder bool
 	// NoMapFallback disables the capacity degradation ladder for
 	// MapCAS/MapTAS: a fixed table that fills surfaces ErrCapacity instead
 	// of retrying with a doubled table and finally falling back to
@@ -283,3 +323,75 @@ func mapBack(idx int32, order []int) int {
 }
 
 var errBadEngine = fmt.Errorf("%w: unknown engine", ErrBadOption)
+
+// Auto-mode pre-hull thresholds: below preHullMinN the block sub-hulls
+// cannot pay for themselves; the probe runs a serial hull over the first
+// preHullSample points of the working order and enables the reduction only
+// when at most 1/preHullDense of the sample survives (interior-heavy input).
+const (
+	preHullMinN   = 16384
+	preHullSample = 1024
+	preHullDense  = 4
+)
+
+// preHullWorthIt is the PreHullAuto probe. The sample is a prefix of the
+// working order, so with Shuffle on (or an already-random input) it is a
+// uniform sample; a sorted unshuffled input can fool it, in which case the
+// reduction is merely skipped or wasted — never wrong.
+func (o *Options) preHullWorthIt(work []Point, d int) bool {
+	if len(work) < preHullMinN {
+		return false
+	}
+	sample := work[:preHullSample]
+	var verts int
+	if d == 2 {
+		res, err := hull2d.SeqCtx(o.Context, nil, sample, o.NoPlaneCache)
+		if err != nil {
+			return false // degenerate or canceled sample: run direct
+		}
+		verts = len(res.Vertices)
+	} else {
+		res, err := hulld.SeqCtx(o.Context, nil, sample, o.NoPlaneCache)
+		if err != nil {
+			return false
+		}
+		verts = len(res.Vertices)
+	}
+	return verts <= preHullSample/preHullDense
+}
+
+// maybePreHull runs the pre-hull reduction on the working (post-shuffle)
+// point set when enabled, returning the possibly-reduced set together with
+// the composed engine-index -> caller-index mapping and the reduction stats.
+// The cloud is validated upfront so a bad coordinate surfaces exactly as it
+// would on the direct path, independent of block scheduling.
+func (o *Options) maybePreHull(work []Point, order []int, d int) ([]Point, []int, int, int, error) {
+	if o.PreHull == PreHullOff || d < 2 || len(work) == 0 {
+		return work, order, 0, 0, nil
+	}
+	if err := geom.ValidateCloud(work, d); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if o.PreHull == PreHullAuto && !o.preHullWorthIt(work, d) {
+		return work, order, 0, 0, nil
+	}
+	red, err := prehull.Reduce(work, prehull.Config{
+		Workers:      o.Workers,
+		ZOrder:       !o.NoPreHullZOrder,
+		NoPlaneCache: o.NoPlaneCache,
+		Ctx:          o.Context,
+	})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if red.Keep == nil {
+		return work, order, 0, 0, nil // too small to block up: run direct
+	}
+	// Engine index i now refers to work[Keep[i]]; compose with the shuffle
+	// so mapBack keeps translating engine indices to caller indices.
+	newOrder := make([]int, len(red.Keep))
+	for i, k := range red.Keep {
+		newOrder[i] = mapBack(k, order)
+	}
+	return prehull.Gather(work, red.Keep), newOrder, red.Blocks, len(red.Keep), nil
+}
