@@ -10,8 +10,8 @@
 // (E5), figure1 (E6), support (E7), corner (E8), halfspace (E9),
 // circles (E9), map (E10), speedup (E11), filter (A1 ablation),
 // plane (A2 ablation), sched (A3 ablation), perf (machine-readable
-// benchmark export), delaunay (extension), trapezoid (E13, the
-// Section 4 counterexample).
+// benchmark export), reuse (Builder steady-state allocation gate),
+// delaunay (extension), trapezoid (E13, the Section 4 counterexample).
 package main
 
 import (
@@ -57,6 +57,7 @@ func main() {
 		{"plane", "A2: ablation — cached facet hyperplanes vs exact determinants", expPlane},
 		{"sched", "A3: ablation — Group fork-join vs the work-stealing executor", expSched},
 		{"perf", "PERF: machine-readable ns/op + allocs/op export (BENCH_parhull.json)", expPerf},
+		{"reuse", "REUSE: Builder first-build vs steady-state cost + CI allocation gate", expReuse},
 		{"delaunay", "EXT: dependence depth of incremental 2D Delaunay", expDelaunay},
 		{"trapezoid", "E13: the Section 4 counterexample — no constant support", expTrapezoid},
 	}

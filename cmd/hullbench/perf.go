@@ -37,6 +37,9 @@ type perfEntry struct {
 	Facets      int     `json:"facets"`
 	Depth       int     `json:"depth"`
 	Rounds      int     `json:"rounds"`
+	// PeakBytes is the sampled peak live-heap growth of one counted run of
+	// the workload (Stats.PeakBytes; 0 in rows measured with counters off).
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 	// Scaling fields, set by the -exp speedup sweep only: GOMAXPROCS and
 	// Options.Workers are pinned to Procs for the row; Speedup is relative
 	// to the sweep's first P (self-speedup when that is 1), Efficiency is
@@ -82,15 +85,16 @@ func expPerf() {
 		Date:       time.Now().UTC().Format(time.RFC3339),
 	}
 	w := table()
-	fmt.Fprintln(w, "workload\tsched\tfilter\tns/op\tallocs/op\tB/op\tfacets\tdepth\trounds")
+	fmt.Fprintln(w, "workload\tsched\tfilter\tns/op\tallocs/op\tB/op\tfacets\tdepth\trounds\tpeakB")
 	for _, wl := range wls {
 		var facets, depth, rounds int
+		var peak int64
 		if wl.dim == 2 {
 			res, err := hull2d.Par(wl.pts, &hull2d.Options{})
 			if err != nil {
 				log.Fatalf("perf %s: %v", wl.name, err)
 			}
-			facets, depth = len(res.Created), res.Stats.MaxDepth
+			facets, depth, peak = len(res.Created), res.Stats.MaxDepth, res.Stats.PeakBytes
 			rres, _, err := hull2d.Rounds(wl.pts, &hull2d.Options{})
 			if err != nil {
 				log.Fatalf("perf %s rounds: %v", wl.name, err)
@@ -101,7 +105,7 @@ func expPerf() {
 			if err != nil {
 				log.Fatalf("perf %s: %v", wl.name, err)
 			}
-			facets, depth = len(res.Created), res.Stats.MaxDepth
+			facets, depth, peak = len(res.Created), res.Stats.MaxDepth, res.Stats.PeakBytes
 			rres, err := hulld.Rounds(wl.pts, &hulld.Options{})
 			if err != nil {
 				log.Fatalf("perf %s rounds: %v", wl.name, err)
@@ -147,10 +151,11 @@ func expPerf() {
 				Facets:      facets,
 				Depth:       depth,
 				Rounds:      rounds,
+				PeakBytes:   peak,
 			}
 			report.Entries = append(report.Entries, e)
-			fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\n", e.Workload, e.Sched,
-				e.Filter, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.Facets, e.Depth, e.Rounds)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n", e.Workload, e.Sched,
+				e.Filter, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.Facets, e.Depth, e.Rounds, e.PeakBytes)
 		}
 	}
 	w.Flush()

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"parhull"
+	"parhull/internal/pointgen"
+)
+
+var reuseGate = flag.Int64("reuse-gate", 100,
+	"fail the reuse experiment if steady-state allocs/op on 3d-ball-100k exceeds this (<= 0 disables)")
+
+// expReuse — Builder reuse: the first Build on a parhull.Builder pays for the
+// worker pool, arenas, ridge table, and output buffers; every later Build
+// recycles them. This experiment measures both phases on the headline perf
+// workload (3d-ball-100k, counters off, direct path — the same configuration
+// as the perf export's steal row), appends the two rows to
+// BENCH_parhull.json, and acts as the CI allocation gate: a steady-state
+// allocs/op above -reuse-gate fails the run, so a pooling regression (a
+// buffer silently dropped from the reuse path) cannot land quietly.
+func expReuse() {
+	pts := pointgen.Shuffled(pointgen.NewRNG(41), pointgen.UniformBall(pointgen.NewRNG(41), sz(100000), 3))
+	opt := &parhull.Options{NoCounters: true, PreHull: parhull.PreHullOff}
+
+	first := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bld := parhull.NewBuilder(opt)
+			if _, err := bld.Build(pts); err != nil {
+				b.Fatal(err)
+			}
+			bld.Close()
+		}
+	})
+
+	bld := parhull.NewBuilder(opt)
+	defer bld.Close()
+	if _, err := bld.Build(pts); err != nil {
+		log.Fatalf("reuse: warm-up build: %v", err)
+	}
+	steady := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bld.Build(pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	w := table()
+	fmt.Fprintln(w, "phase\tns/op\tallocs/op\tB/op")
+	fmt.Fprintf(w, "first-build\t%.0f\t%d\t%d\n",
+		float64(first.T.Nanoseconds())/float64(first.N), first.AllocsPerOp(), first.AllocedBytesPerOp())
+	fmt.Fprintf(w, "steady-state\t%.0f\t%d\t%d\n",
+		float64(steady.T.Nanoseconds())/float64(steady.N), steady.AllocsPerOp(), steady.AllocedBytesPerOp())
+	w.Flush()
+
+	appendReuseEntries(len(pts), first, steady)
+
+	if *reuseGate > 0 && steady.AllocsPerOp() > *reuseGate {
+		log.Fatalf("reuse gate: steady-state allocs/op = %d exceeds the gate of %d",
+			steady.AllocsPerOp(), *reuseGate)
+	}
+}
+
+// appendReuseEntries merges the two reuse rows into the perf report at
+// -out (replacing any previous reuse rows; creating the report when the perf
+// experiment has not run), so BENCH_parhull.json carries the first-build and
+// steady-state numbers alongside the per-substrate rows.
+func appendReuseEntries(n int, first, steady testing.BenchmarkResult) {
+	report := perfReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+	}
+	if data, err := os.ReadFile(*benchOut); err == nil {
+		var old perfReport
+		if json.Unmarshal(data, &old) == nil {
+			kept := old.Entries[:0]
+			for _, e := range old.Entries {
+				if e.Sched != "reuse-first" && e.Sched != "reuse-steady" {
+					kept = append(kept, e)
+				}
+			}
+			old.Entries = kept
+			report = old
+		}
+	}
+	for _, row := range []struct {
+		sched string
+		r     testing.BenchmarkResult
+	}{{"reuse-first", first}, {"reuse-steady", steady}} {
+		report.Entries = append(report.Entries, perfEntry{
+			Workload:    "3d-ball-100k",
+			N:           n,
+			Dim:         3,
+			Sched:       row.sched,
+			Filter:      "batch",
+			Procs:       runtime.GOMAXPROCS(0),
+			NsPerOp:     float64(row.r.T.Nanoseconds()) / float64(row.r.N),
+			AllocsPerOp: row.r.AllocsPerOp(),
+			BytesPerOp:  row.r.AllocedBytesPerOp(),
+			Iterations:  row.r.N,
+		})
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		log.Fatalf("reuse: marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+		log.Fatalf("reuse: write %s: %v", *benchOut, err)
+	}
+	fmt.Printf("updated %s (%d entries)\n", *benchOut, len(report.Entries))
+}

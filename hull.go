@@ -1,13 +1,6 @@
 package parhull
 
-import (
-	"fmt"
-
-	"parhull/internal/conmap"
-	"parhull/internal/engine"
-	"parhull/internal/hull2d"
-	"parhull/internal/hulld"
-)
+import "fmt"
 
 // Hull2DResult is the output of Hull2D.
 type Hull2DResult struct {
@@ -27,66 +20,14 @@ type Hull2DResult struct {
 // handled by the degradation ladder (doubled-table retries, then a sharded-
 // map fallback) unless Options.NoMapFallback is set; see
 // Stats.CapacityRetries and Stats.MapFallback.
-func Hull2D(pts []Point, opt *Options) (out *Hull2DResult, err error) {
-	defer guard(&err)
-	o := opt.or()
-	if err := o.validate(); err != nil {
-		return nil, err
-	}
-	order := o.perm(len(pts))
-	work := applyShuffle(pts, order)
-	phWork, phOrder, phBlocks, phKept, err := o.maybePreHull(work, order, 2)
-	if err != nil {
-		return nil, wrapErr(err)
-	}
-	work, order = phWork, phOrder
-
-	var res *hull2d.Result
-	var retries int
-	var fellBack bool
-	switch o.Engine {
-	case EngineSequential:
-		res, err = hull2d.SeqCtx(o.Context, nil, work, o.NoPlaneCache)
-	case EngineParallel, EngineRounds:
-		run := func(m conmap.RidgeMap[*hull2d.Facet]) (*hull2d.Result, error) {
-			ho := &hull2d.Options{
-				Map:          m,
-				Sched:        o.schedKind(),
-				GroupLimit:   o.GroupLimit,
-				Workers:      o.Workers,
-				NoCounters:   o.NoCounters,
-				FilterGrain:  o.FilterGrain,
-				NoPlaneCache: o.NoPlaneCache,
-				Ctx:          o.Context,
-			}
-			if o.Engine == EngineRounds {
-				r, _, e := hull2d.Rounds(work, ho)
-				return r, e
-			}
-			return hull2d.Par(work, ho)
-		}
-		res, retries, fellBack, err = ladder(o,
-			o.capacity(engine.FixedMapCapacity(len(work), 0)),
-			o.fixed2D,
-			func() conmap.RidgeMap[*hull2d.Facet] {
-				return conmap.NewShardedMap[*hull2d.Facet](o.capacity(engine.DefaultMapCapacity(len(work), 0)))
-			},
-			run)
-	default:
-		return nil, errBadEngine
-	}
-	if err != nil {
-		return nil, wrapErr(err)
-	}
-	res.Stats.CapacityRetries = retries
-	res.Stats.MapFallback = fellBack
-	res.Stats.PreHullBlocks = phBlocks
-	res.Stats.PreHullKept = phKept
-	out = &Hull2DResult{Stats: res.Stats}
-	for _, v := range res.Vertices {
-		out.Vertices = append(out.Vertices, mapBack(v, order))
-	}
-	return out, nil
+//
+// Hull2D is the one-shot form of Builder.Build2D: it creates the pooled
+// state, runs one construction, and retires it. Callers computing many hulls
+// should hold a Builder instead and pay the setup once.
+func Hull2D(pts []Point, opt *Options) (*Hull2DResult, error) {
+	b := NewBuilder(opt)
+	defer b.Close()
+	return b.Build2D(pts)
 }
 
 // Facet is one facet of a d-dimensional hull: the indices of its d defining
@@ -108,76 +49,14 @@ type HullDResult struct {
 // (d = len(pts[0]) >= 2). The input must contain at least d+1 points in
 // general position. See Hull2D for ordering semantics and the typed error
 // surface / degradation ladder.
-func HullD(pts []Point, opt *Options) (out *HullDResult, err error) {
-	defer guard(&err)
-	o := opt.or()
-	if err := o.validate(); err != nil {
-		return nil, err
-	}
-	order := o.perm(len(pts))
-	work := applyShuffle(pts, order)
-	d := 0
-	if len(pts) > 0 {
-		d = len(pts[0])
-	}
-	phWork, phOrder, phBlocks, phKept, err := o.maybePreHull(work, order, d)
-	if err != nil {
-		return nil, wrapErr(err)
-	}
-	work, order = phWork, phOrder
-
-	var res *hulld.Result
-	var retries int
-	var fellBack bool
-	switch o.Engine {
-	case EngineSequential:
-		res, err = hulld.SeqCtx(o.Context, nil, work, o.NoPlaneCache)
-	case EngineParallel, EngineRounds:
-		run := func(m conmap.RidgeMap[*hulld.Facet]) (*hulld.Result, error) {
-			ho := &hulld.Options{
-				Map:          m,
-				Sched:        o.schedKind(),
-				GroupLimit:   o.GroupLimit,
-				Workers:      o.Workers,
-				NoCounters:   o.NoCounters,
-				FilterGrain:  o.FilterGrain,
-				NoPlaneCache: o.NoPlaneCache,
-				Ctx:          o.Context,
-			}
-			if o.Engine == EngineRounds {
-				return hulld.Rounds(work, ho)
-			}
-			return hulld.Par(work, ho)
-		}
-		res, retries, fellBack, err = ladder(o,
-			o.capacity(engine.FixedMapCapacity(len(work), d)),
-			o.fixedD,
-			func() conmap.RidgeMap[*hulld.Facet] {
-				return conmap.NewShardedMap[*hulld.Facet](o.capacity(engine.DefaultMapCapacity(len(work), d)))
-			},
-			run)
-	default:
-		return nil, errBadEngine
-	}
-	if err != nil {
-		return nil, wrapErr(err)
-	}
-	res.Stats.CapacityRetries = retries
-	res.Stats.MapFallback = fellBack
-	res.Stats.PreHullBlocks = phBlocks
-	res.Stats.PreHullKept = phKept
-	out = &HullDResult{Stats: res.Stats}
-	for _, f := range res.Facets {
-		ff := Facet{Vertices: make([]int, len(f.Verts))}
-		for i, v := range f.Verts {
-			ff.Vertices[i] = mapBack(v, order)
-		}
-		out.Facets = append(out.Facets, ff)
-	}
-	for _, v := range res.Vertices {
-		out.Vertices = append(out.Vertices, mapBack(v, order))
-	}
-	return out, nil
+//
+// HullD is the one-shot form of Builder.Build: it creates the pooled state,
+// runs one construction, and retires it. Callers computing many hulls should
+// hold a Builder instead and pay the setup once.
+func HullD(pts []Point, opt *Options) (*HullDResult, error) {
+	b := NewBuilder(opt)
+	defer b.Close()
+	return b.Build(pts)
 }
 
 // Hull3D computes the convex hull of 3D points (a convenience wrapper

@@ -57,6 +57,26 @@ type Filter interface {
 	FilterRange(from, to int32, dst []int32) []int32
 }
 
+// FusedFilter extends Filter with a merge-fused form: the two-pointer
+// ascending merge of phase 1 and the batch visibility classification of
+// phase 2 run as ONE loop, so the candidate run is never materialized — no
+// scratch write of the merged list and no second pass re-reading it. The
+// hull kernels implement it with the cached plane held in registers
+// (dimension-specialized for 3D), which is where the fused pipeline earns
+// its keep: the merge logic is the same, but each candidate's coordinates
+// are loaded while the merge cursors are still hot instead of a full list
+// later.
+//
+// FilterMerge must be semantically identical to
+// Filter(MergeInto(nil, c1, c2, drop), dst): same survivors, same order,
+// same visibility-test counter totals.
+type FusedFilter interface {
+	Filter
+	// FilterMerge appends to dst the elements of the ascending merge of c1
+	// and c2 (excluding drop) that survive, and returns the extended slice.
+	FilterMerge(c1, c2 []int32, drop int32, dst []int32) []int32
+}
+
 // FuncFilter adapts a per-point keep predicate to the Filter contract — the
 // shim that lets closure-only callers (e.g. spaces without a batch filter)
 // run on the batched pipeline.
@@ -200,6 +220,75 @@ func MergeFilterScratch[F Filter](s *Scratch, c1, c2 []int32, drop int32, flt F,
 	kept := flt.Filter(cands, s.fbuf[:0])
 	s.fbuf = kept[:0]
 	return compactInto(kept, alloc)
+}
+
+// MergeFilterFusedScratch is the fused serial merge-filter over a
+// caller-owned Scratch: one FilterMerge call classifies the merge of the two
+// lists directly into the scratch survivor buffer (the merge buffer is not
+// touched — fused filtering never materializes the candidate run), and the
+// survivors are compacted through alloc (nil selects plain make). Output is
+// identical to MergeFilterScratch with the same filter.
+func MergeFilterFusedScratch[F FusedFilter](s *Scratch, c1, c2 []int32, drop int32, flt F, alloc func(int) []int32) []int32 {
+	need := len(c1) + len(c2)
+	if need == 0 {
+		return nil
+	}
+	if cap(s.fbuf) < need {
+		s.fbuf = make([]int32, 0, need)
+	}
+	kept := flt.FilterMerge(c1, c2, drop, s.fbuf[:0])
+	s.fbuf = kept[:0]
+	return compactInto(kept, alloc)
+}
+
+// MergeFilterFused is the fused form of MergeFilterBatch: merge and
+// visibility classification run as one loop (FilterMerge), parallelized over
+// value-aligned pieces for lists of at least grain total length. Output is
+// identical to MergeFilterBatch with the same filter. The survivor list is
+// compacted through alloc (nil selects plain make); alloc is only ever called
+// from the calling goroutine, so a per-worker arena is a valid source.
+func MergeFilterFused[F FusedFilter](c1, c2 []int32, drop int32, flt F, grain int, alloc func(int) []int32) []int32 {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if len(c1)+len(c2) < grain || sched.Workers() == 1 {
+		return mergeFilterFusedSerial(c1, c2, drop, flt, alloc)
+	}
+	return mergeFilterFusedParallel(c1, c2, drop, flt, grain, alloc)
+}
+
+func mergeFilterFusedSerial[F FusedFilter](c1, c2 []int32, drop int32, flt F, alloc func(int) []int32) []int32 {
+	if len(c1)+len(c2) == 0 {
+		return nil
+	}
+	fp := getScratch(len(c1) + len(c2))
+	*fp = flt.FilterMerge(c1, c2, drop, *fp)
+	out := compactInto(*fp, alloc)
+	putScratch(fp)
+	return out
+}
+
+// mergeFilterFusedParallel splits both lists at common values so each piece
+// runs one fused FilterMerge call, then concatenates the pieces in order.
+func mergeFilterFusedParallel[F FusedFilter](c1, c2 []int32, drop int32, flt F, grain int, alloc func(int) []int32) []int32 {
+	pieces := pieceCount(len(c1)+len(c2), grain)
+	if pieces < 2 {
+		return mergeFilterFusedSerial(c1, c2, drop, flt, alloc)
+	}
+	spans := splitSpans(c1, c2, pieces)
+	if spans == nil {
+		return mergeFilterFusedSerial(c1, c2, drop, flt, alloc)
+	}
+	parts := make([]*[]int32, len(spans))
+	sched.ParallelFor(len(spans), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := spans[i]
+			fp := getScratch((s.b1 - s.a1) + (s.b2 - s.a2))
+			*fp = flt.FilterMerge(c1[s.a1:s.b1], c2[s.a2:s.b2], drop, *fp)
+			parts[i] = fp
+		}
+	})
+	return concatPartsInto(parts, alloc)
 }
 
 // compactInto copies buf into an exact-size slice from alloc (nil selects
@@ -357,14 +446,22 @@ func pieceCount(total, grain int) int {
 
 // concatParts concatenates the per-piece scratch buffers in order and
 // returns them to the pool.
-func concatParts(parts []*[]int32) []int32 {
+func concatParts(parts []*[]int32) []int32 { return concatPartsInto(parts, nil) }
+
+// concatPartsInto is concatParts with the result carved via alloc (nil
+// selects plain make); the part scratch buffers return to the pool either way.
+func concatPartsInto(parts []*[]int32, alloc func(int) []int32) []int32 {
 	n := 0
 	for _, p := range parts {
 		n += len(*p)
 	}
 	var out []int32
 	if n > 0 {
-		out = make([]int32, 0, n)
+		if alloc != nil {
+			out = alloc(n)[:0]
+		} else {
+			out = make([]int32, 0, n)
+		}
 		for _, p := range parts {
 			out = append(out, *p...)
 		}
@@ -439,6 +536,14 @@ func Build(from, to int32, keep func(int32) bool, grain int) []int32 {
 // streaming the candidate range directly, with no per-point dispatch and no
 // materialized candidate slice.
 func BuildFilter[F Filter](from, to int32, flt F, grain int) []int32 {
+	return BuildFilterInto(from, to, flt, grain, nil)
+}
+
+// BuildFilterInto is BuildFilter with the result carved via alloc (nil
+// selects plain make) — the pooled engines pass an arena allocator so the
+// initial conflict lists recycle across constructions. alloc is called only
+// from the calling goroutine.
+func BuildFilterInto[F Filter](from, to int32, flt F, grain int, alloc func(int) []int32) []int32 {
 	n := int(to - from)
 	if n <= 0 {
 		return nil
@@ -449,7 +554,7 @@ func BuildFilter[F Filter](from, to int32, flt F, grain int) []int32 {
 	if n < grain || sched.Workers() == 1 {
 		bp := getScratch(n)
 		*bp = flt.FilterRange(from, to, *bp)
-		out := compact(*bp)
+		out := compactInto(*bp, alloc)
 		putScratch(bp)
 		return out
 	}
@@ -467,5 +572,5 @@ func BuildFilter[F Filter](from, to int32, flt F, grain int) []int32 {
 			parts[c] = bp
 		}
 	})
-	return concatParts(parts)
+	return concatPartsInto(parts, alloc)
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"parhull/internal/faultinject"
+	"parhull/internal/sched"
 )
 
 // CASMap is Algorithm 4 of the paper: a fixed-capacity linear-probing hash
@@ -83,6 +84,20 @@ func (m *CASMap[V]) GetValue(k Key, not V) V {
 	// Report capacity so the degradation ladder retries with a bigger table.
 	panic(fmt.Errorf("conmap: CASMap with %d slots wrapped probing ridge %v: %w",
 		len(m.slots), k, ErrCapacity))
+}
+
+// Cap returns the slot count, so a pooled owner can tell whether a retained
+// table satisfies a new capacity requirement.
+func (m *CASMap[V]) Cap() int { return len(m.slots) }
+
+// Reset re-zeroes every slot in parallel, keeping the table allocated for
+// the next construction. Must not race with any other operation.
+func (m *CASMap[V]) Reset() {
+	sched.ParallelFor(len(m.slots), 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.slots[i].Store(nil)
+		}
+	})
 }
 
 // Len reports the number of occupied slots (linear scan; for tests/stats).

@@ -1,6 +1,10 @@
 package conmap
 
-import "sync"
+import (
+	"sync"
+
+	"parhull/internal/sched"
+)
 
 // shardCount must be a power of two. 64 shards keep contention negligible at
 // typical core counts while costing little memory.
@@ -86,6 +90,22 @@ func (m *ShardedMap[V]) GetValue(k Key, not V) V {
 		}
 	}
 	panic("conmap: ShardedMap.GetValue on a ridge that was never inserted")
+}
+
+// Reset empties the map for the next construction, shards cleared in
+// parallel. clear() on a Go map keeps its buckets allocated, so a reset map
+// re-fills to its previous size without rehashing or allocation — the
+// pooled-Builder steady state. Must not race with any other operation.
+func (m *ShardedMap[V]) Reset() {
+	sched.ParallelFor(shardCount, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sh := &m.shards[i]
+			clear(sh.m)
+			if sh.overflow != nil {
+				clear(sh.overflow)
+			}
+		}
+	})
 }
 
 // Len reports the number of stored ridges.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"parhull/internal/faultinject"
+	"parhull/internal/sched"
 )
 
 // TASMap is Algorithm 5 of the paper (Appendix A): the ridge multimap
@@ -108,6 +109,23 @@ func (m *TASMap[V]) GetValue(k Key, not V) V {
 	}
 	panic(fmt.Errorf("conmap: TASMap with %d slots lost the partner of ridge %v: %w",
 		len(m.slots), k, ErrCapacity))
+}
+
+// Cap returns the slot count, so a pooled owner can tell whether a retained
+// table satisfies a new capacity requirement.
+func (m *TASMap[V]) Cap() int { return len(m.slots) }
+
+// Reset re-zeroes every slot in parallel, keeping the table allocated for
+// the next construction. Must not race with any other operation.
+func (m *TASMap[V]) Reset() {
+	sched.ParallelFor(len(m.slots), 1<<15, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := &m.slots[i]
+			s.taken.Store(false)
+			s.check.Store(false)
+			s.data.Store(nil)
+		}
+	})
 }
 
 // Len reports the number of reserved slots (linear scan; for tests/stats).

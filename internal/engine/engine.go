@@ -117,6 +117,13 @@ type Config[FV any, R any] struct {
 	// check it at ridge-step granularity and the run returns ctx.Err() with
 	// the pool quiesced. nil means no cancellation.
 	Ctx context.Context
+	// Pool, when non-nil, runs the construction on a retained substrate: the
+	// steal schedule reuses the pool's workers, arenas, and scratch instead
+	// of building them per call, and the Group/rounds schedules draw chain
+	// arenas from the pool so facet slabs are recycled across constructions.
+	// The caller owns the pool's lifecycle (Reset between uses, Close at the
+	// end); nil keeps the self-contained per-call behavior.
+	Pool *Pool[FV, R]
 	// Inject arms deterministic fault injection (tests only; nil in
 	// production — every hook is nil-safe).
 	Inject *faultinject.Injector
@@ -223,9 +230,12 @@ func Par[FV any, R any](cfg Config[FV, R], seed func(fork func(Task[FV, R]))) er
 	}
 	defer d.watch(cfg.Ctx)()
 	var perr error
-	if cfg.Sched == sched.KindGroup {
-		perr = d.parGroup(cfg.GroupLimit, seed)
-	} else {
+	switch {
+	case cfg.Sched == sched.KindGroup:
+		perr = d.parGroup(cfg.GroupLimit, chainArenas(cfg.Pool), seed)
+	case cfg.Pool != nil:
+		perr = cfg.Pool.runSteal(d, cfg.Workers, seed)
+	default:
 		perr = d.parSteal(cfg.Workers, seed)
 	}
 	if perr != nil {
@@ -235,19 +245,27 @@ func Par[FV any, R any](cfg Config[FV, R], seed func(fork func(Task[FV, R]))) er
 }
 
 // parGroup runs the chains on the bounded goroutine-per-fork Group — the
-// PR-1 substrate, kept as the A3 ablation baseline. No arenas: facets and
-// ridges heap-allocate, as they always did on this substrate.
-func (d *driver[FV, R]) parGroup(limit int, seed func(fork func(Task[FV, R]))) error {
+// PR-1 substrate, kept as the A3 ablation baseline for the schedule (the
+// goroutine-per-chain fork discipline). Allocation, however, now matches the
+// steal path: each chain goroutine acquires an arena from ap for its
+// lifetime and reuses one fresh-ridge scratch across its steps, closing the
+// ~75x allocs/op gap the heap-per-facet discipline used to cost here. Arenas
+// are monotone, so handing a recycled arena to a new chain is safe.
+func (d *driver[FV, R]) parGroup(limit int, ap *ArenaPool[FV], seed func(fork func(Task[FV, R]))) error {
 	g := sched.NewGroup(limit)
 	var chain func(tk Task[FV, R])
 	chain = func(tk Task[FV, R]) {
+		a := ap.Get()
+		defer ap.Put(a)
+		var ridges []R
 		for {
 			if d.failed.Load() || g.Failed() {
 				return
 			}
-			next, _, ok := d.step(nil, tk, nil, 0, func(nt Task[FV, R]) {
+			next, buf, ok := d.step(a, tk, ridges, 0, func(nt Task[FV, R]) {
 				g.Go(func() { chain(nt) })
 			})
+			ridges = buf
 			if !ok {
 				return
 			}
@@ -343,12 +361,16 @@ func Rounds[FV any, R any](cfg Config[FV, R], initial []Task[FV, R],
 	for i, tk := range initial {
 		seed[i] = roundTask{Task: tk, round: 1}
 	}
+	// Each step draws an arena for its facet and ridge carves; the rounds
+	// barrier means slabs fill in creation — i.e. round — order, so a pooled
+	// replay touches facets in the same cache-friendly sequence.
+	ap := chainArenas(cfg.Pool)
 	// ParallelFor is panic-transparent: a contained panic in a round body is
 	// re-thrown here, on the calling goroutine, after the barrier — Recovered
 	// turns it into the typed *sched.PanicError.
 	if perr := sched.Recovered(func() {
 		rounds, widths = sched.RunRoundsWidths(seed, func(tk roundTask, emit func(roundTask)) {
-			d.roundStep(tk.Task, tk.round, observe, func(nt Task[FV, R], round int32) {
+			d.roundStep(ap, tk.Task, tk.round, observe, func(nt Task[FV, R], round int32) {
 				emit(roundTask{Task: nt, round: round})
 			})
 		})
@@ -360,7 +382,7 @@ func Rounds[FV any, R any](cfg Config[FV, R], initial []Task[FV, R],
 
 // roundStep is one rounds-schedule ProcessRidge execution (the step logic of
 // the asynchronous schedule, with the continuation emitted instead of looped).
-func (d *driver[FV, R]) roundStep(tk Task[FV, R], round int32,
+func (d *driver[FV, R]) roundStep(ap *ArenaPool[FV], tk Task[FV, R], round int32,
 	observe func(kind EventKind, round int32, a, b *FV), emit func(Task[FV, R], int32)) {
 
 	if d.failed.Load() {
@@ -388,7 +410,9 @@ func (d *driver[FV, R]) roundStep(tk Task[FV, R], round int32,
 			t1, t2 = t2, t1
 			p1 = p2
 		}
-		t, err := d.k.NewFacet(nil, tk.R, p1, t1, t2, round)
+		a := ap.Get()
+		defer ap.Put(a)
+		t, err := d.k.NewFacet(a, tk.R, p1, t1, t2, round)
 		if err != nil {
 			d.fail(err)
 			return
@@ -397,7 +421,7 @@ func (d *driver[FV, R]) roundStep(tk Task[FV, R], round int32,
 		if observe != nil {
 			observe(EventCreated, round, t, t1)
 		}
-		for _, r2 := range d.k.FreshRidges(nil, t, tk.R, nil) {
+		for _, r2 := range d.k.FreshRidges(a, t, tk.R, nil) {
 			first, ierr := d.tbl.InsertAndSet(r2, t)
 			if ierr != nil {
 				d.fail(ierr)

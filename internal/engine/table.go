@@ -82,3 +82,23 @@ func MergeFilterBatch[FV any, F conflict.Filter](a *Arena[FV], c1, c2 []int32, p
 	}
 	return conflict.MergeFilterBatch(c1, c2, p, flt, grain)
 }
+
+// MergeFilterFused is MergeFilterBatch with the two phases fused: one
+// FilterMerge pass walks both conflict lists and classifies each candidate as
+// it is merged, so the candidate run is never written to scratch and re-read.
+// Dispatch mirrors MergeFilterBatch — arena scratch below the grain, pooled
+// chunked-parallel pieces above it — and the survivor list and counter totals
+// are identical to the two-phase pipeline with the same filter.
+func MergeFilterFused[FV any, F conflict.FusedFilter](a *Arena[FV], c1, c2 []int32, p int32, flt F, grain int) []int32 {
+	if a != nil {
+		g := grain
+		if g <= 0 {
+			g = conflict.DefaultGrain
+		}
+		if len(c1)+len(c2) < g {
+			return conflict.MergeFilterFusedScratch(&a.Scratch, c1, c2, p, flt, a.Alloc)
+		}
+		return conflict.MergeFilterFused(c1, c2, p, flt, grain, a.Alloc)
+	}
+	return conflict.MergeFilterFused(c1, c2, p, flt, grain, nil)
+}

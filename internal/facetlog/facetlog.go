@@ -69,9 +69,30 @@ func (l *Log[T]) Snapshot() []T {
 	for i := range l.stripes {
 		n += len(l.stripes[i].xs)
 	}
-	out := make([]T, 0, n)
+	return l.appendAll(make([]T, 0, n))
+}
+
+// SnapshotInto is Snapshot appending into caller-owned buf (always a copy,
+// even with one stripe), for pooled engines that reuse the result backing
+// across constructions.
+func (l *Log[T]) SnapshotInto(buf []T) []T {
+	return l.appendAll(buf)
+}
+
+func (l *Log[T]) appendAll(out []T) []T {
 	for i := range l.stripes {
 		out = append(out, l.stripes[i].xs...)
 	}
 	return out
+}
+
+// Reset truncates every stripe, keeping the stripe backing arrays for
+// reuse. Stored elements are zeroed so the log does not retain them. Must
+// not race with Append.
+func (l *Log[T]) Reset() {
+	for i := range l.stripes {
+		s := &l.stripes[i]
+		clear(s.xs)
+		s.xs = s.xs[:0]
+	}
 }

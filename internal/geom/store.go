@@ -19,16 +19,32 @@ type PointStore struct {
 // NewPointStore copies pts (all of dimension d = len(pts[0])) into a flat
 // store. The caller is responsible for validating the cloud first.
 func NewPointStore(pts []Point) *PointStore {
+	s := &PointStore{}
+	s.Load(pts)
+	return s
+}
+
+// Load refills the store from pts, growing the flat backing array only when
+// the new cloud needs more room — the grow-only reuse a pooled Builder
+// relies on. Every coordinate and the per-dimension maxima are rewritten,
+// so no state from the previous cloud survives.
+func (s *PointStore) Load(pts []Point) {
 	d := 0
 	if len(pts) > 0 {
 		d = len(pts[0])
 	}
-	s := &PointStore{
-		c:      make([]float64, len(pts)*d),
-		d:      d,
-		n:      len(pts),
-		maxAbs: make([]float64, d),
+	need := len(pts) * d
+	if cap(s.c) < need {
+		s.c = make([]float64, need)
 	}
+	s.c = s.c[:need]
+	if cap(s.maxAbs) < d {
+		s.maxAbs = make([]float64, d)
+	}
+	s.maxAbs = s.maxAbs[:d]
+	clear(s.maxAbs)
+	s.d = d
+	s.n = len(pts)
 	for i, p := range pts {
 		row := s.c[i*d : i*d+d]
 		copy(row, p)
@@ -41,7 +57,6 @@ func NewPointStore(pts []Point) *PointStore {
 			}
 		}
 	}
-	return s
 }
 
 // Row returns the coordinates of point i as a slice view into the flat

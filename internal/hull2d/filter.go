@@ -38,6 +38,11 @@ func (ff facetFilter) FilterRange(from, to int32, dst []int32) []int32 {
 	return ff.e.filterVisibleRange(ff.f, from, to, dst)
 }
 
+// FilterMerge implements conflict.FusedFilter.
+func (ff facetFilter) FilterMerge(c1, c2 []int32, drop int32, dst []int32) []int32 {
+	return ff.e.filterVisibleMerge(ff.f, c1, c2, drop, dst)
+}
+
 // filterVisible appends to dst the candidates visible from f, in order —
 // the batch equivalent of appending every v with visible(v, f), with
 // identical counter totals (tests counted per batch, fallbacks per sidecar
@@ -112,6 +117,120 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 		} else if s >= -eps {
 			uncertain = append(uncertain, v)
 		}
+	}
+	if len(uncertain) == 0 {
+		return dst
+	}
+	return e.resolveUncertain(f, dst, base, uncertain)
+}
+
+// filterVisibleMerge fuses the ascending merge of two conflict lists with
+// the visibility classification, never materializing the merged candidate
+// run. Survivors, order, and counter totals are identical to filterVisible
+// over MergeInto(nil, c1, c2, drop).
+func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []int32) []int32 {
+	if len(c1)+len(c2) == 0 {
+		return dst
+	}
+	// The shard key only selects a counter stripe (Load sums all stripes),
+	// so any key gives totals identical to the two-phase path.
+	var key uint64
+	if len(c1) > 0 {
+		key = uint64(c1[0])
+	} else {
+		key = uint64(c2[0])
+	}
+	var tested int64
+	eps := e.planeEps
+	if eps <= 0 {
+		i, j := 0, 0
+		for i < len(c1) && j < len(c2) {
+			v := c1[i]
+			if v < c2[j] {
+				i++
+			} else if v > c2[j] {
+				v = c2[j]
+				j++
+			} else {
+				i++
+				j++
+			}
+			if v == drop {
+				continue
+			}
+			tested++
+			if e.exactVisible(v, f) {
+				dst = append(dst, v)
+			}
+		}
+		tail := c1[i:]
+		if j < len(c2) {
+			tail = c2[j:]
+		}
+		for _, v := range tail {
+			if v == drop {
+				continue
+			}
+			tested++
+			if e.exactVisible(v, f) {
+				dst = append(dst, v)
+			}
+		}
+		if tested > 0 {
+			e.rec.VTests.Add(key, tested)
+		}
+		return dst
+	}
+	base := len(dst)
+	var ubuf [uncertainCap]int32
+	uncertain := ubuf[:0]
+	n0, n1, off := -f.nx, -f.ny, -f.off
+	c := e.store.Coords()
+	i, j := 0, 0
+	for i < len(c1) && j < len(c2) {
+		v := c1[i]
+		if v < c2[j] {
+			i++
+		} else if v > c2[j] {
+			v = c2[j]
+			j++
+		} else {
+			i++
+			j++
+		}
+		if v == drop {
+			continue
+		}
+		tested++
+		o := int(v) * 2
+		x := c[o : o+2 : o+2]
+		s := n0*x[0] + n1*x[1] - off
+		if s > eps {
+			dst = append(dst, v)
+		} else if s >= -eps {
+			uncertain = append(uncertain, v)
+		}
+	}
+	tail := c1[i:]
+	if j < len(c2) {
+		tail = c2[j:]
+	}
+	for _, v := range tail {
+		if v == drop {
+			continue
+		}
+		tested++
+		o := int(v) * 2
+		x := c[o : o+2 : o+2]
+		s := n0*x[0] + n1*x[1] - off
+		if s > eps {
+			dst = append(dst, v)
+		} else if s >= -eps {
+			uncertain = append(uncertain, v)
+		}
+	}
+	if tested > 0 {
+		e.rec.VTests.Add(key, tested)
 	}
 	if len(uncertain) == 0 {
 		return dst

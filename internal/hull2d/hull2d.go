@@ -174,6 +174,11 @@ type engine struct {
 
 	trace   *Trace // optional (rounds engine)
 	traceMu sync.Mutex
+
+	// ru is the retained-state bundle when this engine is owned by a Reuse
+	// (nil on the one-shot paths); initialHull and collectResult draw their
+	// buffers from it.
+	ru *Reuse
 }
 
 // initRidgeIDs prepares the backing array for key1 (concurrent engines).
@@ -249,10 +254,11 @@ func (e *engine) newFacet(a *arena, r, p int32, t1, t2 *Facet, round int32) *Fac
 
 // mergeFilter implements line 16 of Algorithm 3 (and line 9 of Algorithm 2)
 // through the driver's shared grain/arena discipline (engine.MergeFilter),
-// with this kernel's exact visibility predicate as the filter.
+// with this kernel's exact visibility predicate as the filter. The batch
+// path runs fused (merge and classification in one pass).
 func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
 	if e.batch {
-		return eng.MergeFilterBatch(a, c1, c2, p, facetFilter{e: e, f: f}, e.grain)
+		return eng.MergeFilterFused(a, c1, c2, p, facetFilter{e: e, f: f}, e.grain)
 	}
 	keep := func(v int32) bool { return e.visible(v, f) }
 	return eng.MergeFilter(a, c1, c2, p, keep, e.grain)
@@ -275,7 +281,26 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	if n < 3 || e.base < 3 || e.base > n {
 		return nil, ErrDegenerate
 	}
-	order := make([]int32, e.base)
+	// Base-polygon scratch, edges, and conflict lists come from the retained
+	// bundle / a pooled arena when the engine is owned by a Reuse — the
+	// initial conflict lists are the largest slices of the whole run.
+	var (
+		a     *arena
+		alloc func(int) []int32
+		order []int32
+	)
+	if ru := e.ru; ru != nil {
+		ap := ru.pool.Chain()
+		a = ap.Get()
+		defer ap.Put(a)
+		alloc = a.Alloc
+		if cap(ru.order) < e.base {
+			ru.order = make([]int32, e.base)
+		}
+		order = ru.order[:e.base]
+	} else {
+		order = make([]int32, e.base)
+	}
 	for i := range order {
 		order[i] = int32(i)
 	}
@@ -297,17 +322,27 @@ func (e *engine) initialHull() ([]*Facet, error) {
 			}
 		}
 	}
-	facets := make([]*Facet, e.base)
+	var facets []*Facet
+	if e.ru != nil {
+		facets = e.ru.inits[:0]
+	} else {
+		facets = make([]*Facet, 0, e.base)
+	}
 	for i := 0; i < e.base; i++ {
-		facets[i] = &Facet{A: order[i], B: order[(i+1)%e.base]}
-		e.initPlane(facets[i])
+		f := a.Facet()
+		f.A, f.B = order[i], order[(i+1)%e.base]
+		e.initPlane(f)
+		facets = append(facets, f)
+	}
+	if e.ru != nil {
+		e.ru.inits = facets
 	}
 	// Conflict lists over the remaining points, one pass per facet so each
 	// list comes out in ascending index order (parallel chunks for large n).
 	for _, f := range facets {
 		f := f
 		if e.batch {
-			f.Conf = conflict.BuildFilter(int32(e.base), int32(n), facetFilter{e: e, f: f}, e.grain)
+			f.Conf = conflict.BuildFilterInto(int32(e.base), int32(n), facetFilter{e: e, f: f}, e.grain, alloc)
 		} else {
 			f.Conf = conflict.Build(int32(e.base), int32(n),
 				func(v int32) bool { return e.visible(v, f) }, e.grain)
@@ -319,8 +354,23 @@ func (e *engine) initialHull() ([]*Facet, error) {
 
 // collectResult walks the alive facets into a closed CCW cycle.
 func (e *engine) collectResult(rounds int) (*Result, error) {
-	all := e.log.Snapshot()
-	next := make([]*Facet, len(e.pts))
+	e.rec.SampleHeap()
+	ru := e.ru
+	var all []*Facet
+	var next []*Facet
+	if ru != nil {
+		ru.created = e.log.SnapshotInto(ru.created[:0])
+		all = ru.created
+		if cap(ru.next) < len(e.pts) {
+			ru.next = make([]*Facet, len(e.pts))
+		}
+		next = ru.next[:len(e.pts)]
+		ru.next = next
+		clear(next)
+	} else {
+		all = e.log.Snapshot()
+		next = make([]*Facet, len(e.pts))
+	}
 	var start int32 = math.MaxInt32
 	alive := 0
 	for _, f := range all {
@@ -339,7 +389,13 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 	if alive < 3 {
 		return nil, fmt.Errorf("hull2d: only %d alive edges", alive)
 	}
-	res := &Result{Created: all}
+	var res *Result
+	if ru != nil {
+		ru.res = Result{Created: all, Facets: ru.facets[:0], Vertices: ru.vertices[:0]}
+		res = &ru.res
+	} else {
+		res = &Result{Created: all}
+	}
 	at := start
 	for steps := 0; steps < alive; steps++ {
 		f := next[at]
@@ -355,6 +411,12 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 		return nil, fmt.Errorf("hull2d: alive edges form a path or multiple cycles, not one cycle")
 	}
 	res.Stats = e.rec.Snapshot(rounds, alive)
+	if ru != nil {
+		// Capture the (possibly regrown) backings so the next construction
+		// reuses them at full capacity.
+		ru.facets = res.Facets
+		ru.vertices = res.Vertices
+	}
 	return res, nil
 }
 
@@ -375,6 +437,7 @@ func newEngine(pts []geom.Point, base int, counters bool, grain, stripes int, no
 		e.planeEps = geom.StaticFilterEps(e.store.MaxAbs())
 	}
 	e.rec.SetPlaneCache(e.planeEps > 0)
+	e.rec.MarkHeapBase()
 	return e
 }
 

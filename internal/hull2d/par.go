@@ -58,6 +58,11 @@ type Options struct {
 	// Inject arms deterministic fault injection (tests only; nil in
 	// production).
 	Inject *faultinject.Injector
+	// Reuse, when non-nil, runs the construction on retained state (worker
+	// pool, arenas, engine buffers) recycled across Par calls; each call
+	// invalidates the previous Result obtained through the same Reuse. The
+	// public parhull.Builder is the intended owner.
+	Reuse *Reuse
 }
 
 func (o *Options) base() int {
@@ -142,6 +147,9 @@ func (o *Options) config(e *engine) eng.Config[Facet, int32] {
 		cfg.Workers = o.Workers
 		cfg.Ctx = o.Ctx
 		cfg.Inject = o.Inject
+		if o.Reuse != nil {
+			cfg.Pool = o.Reuse.pool
+		}
 	}
 	return cfg
 }
@@ -164,11 +172,16 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
+	var ru *Reuse
+	if opt != nil {
+		ru = opt.Reuse
+	}
+	e := engineFor(ru, pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
 	}
+	e.rec.SampleHeap()
 	if err := eng.Par(opt.config(e), func(fork func(eng.Task[Facet, int32])) {
 		initialTasks(facets, fork)
 	}); err != nil {

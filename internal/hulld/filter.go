@@ -38,6 +38,11 @@ func (ff facetFilter) FilterRange(from, to int32, dst []int32) []int32 {
 	return ff.e.filterVisibleRange(ff.f, from, to, dst)
 }
 
+// FilterMerge implements conflict.FusedFilter.
+func (ff facetFilter) FilterMerge(c1, c2 []int32, drop int32, dst []int32) []int32 {
+	return ff.e.filterVisibleMerge(ff.f, c1, c2, drop, dst)
+}
+
 // normalizedPlane returns f's cached plane with the normal and offset
 // negated when the outward sign is negative, so that a point is visible from
 // f exactly when N·x - off > eps and certifiably invisible when < -eps.
@@ -152,6 +157,169 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 				uncertain = append(uncertain, v)
 			}
 		}
+	}
+	if len(uncertain) == 0 {
+		return dst
+	}
+	return e.resolveUncertain(f, dst, base, uncertain)
+}
+
+// filterVisibleMerge fuses the ascending merge of two conflict lists with
+// the visibility classification: each candidate is tested the moment the
+// two-pointer merge produces it, so the merged run is never written to a
+// scratch buffer and re-read. Survivors, order, and counter totals are
+// identical to filterVisible over MergeInto(nil, c1, c2, drop) — the merge
+// produces the same ascending deduplicated sequence, each element funnels
+// through the same plane test, and the uncertain sidecar resolves the same
+// way.
+func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []int32) []int32 {
+	if len(c1)+len(c2) == 0 {
+		return dst
+	}
+	// Any shard key works for the per-batch counter adds: the key only
+	// selects a stripe and Load sums all stripes, so totals match the
+	// two-phase path's cands[0] keying exactly.
+	var key uint64
+	if len(c1) > 0 {
+		key = uint64(c1[0])
+	} else {
+		key = uint64(c2[0])
+	}
+	var tested int64
+	if !f.plane.Valid() {
+		i, j := 0, 0
+		for i < len(c1) && j < len(c2) {
+			v := c1[i]
+			if v < c2[j] {
+				i++
+			} else if v > c2[j] {
+				v = c2[j]
+				j++
+			} else {
+				i++
+				j++
+			}
+			if v == drop {
+				continue
+			}
+			tested++
+			if e.exactVisible(v, f) {
+				dst = append(dst, v)
+			}
+		}
+		tail := c1[i:]
+		if j < len(c2) {
+			tail = c2[j:]
+		}
+		for _, v := range tail {
+			if v == drop {
+				continue
+			}
+			tested++
+			if e.exactVisible(v, f) {
+				dst = append(dst, v)
+			}
+		}
+		if tested > 0 {
+			e.rec.VTests.Add(key, tested)
+		}
+		return dst
+	}
+	base := len(dst)
+	var ubuf [uncertainCap]int32
+	uncertain := ubuf[:0]
+	n, off := normalizedPlane(f)
+	eps := f.plane.Eps
+	if f.plane.Dim() == 3 {
+		c := e.store.Coords()
+		n0, n1, n2 := n[0], n[1], n[2]
+		i, j := 0, 0
+		for i < len(c1) && j < len(c2) {
+			v := c1[i]
+			if v < c2[j] {
+				i++
+			} else if v > c2[j] {
+				v = c2[j]
+				j++
+			} else {
+				i++
+				j++
+			}
+			if v == drop {
+				continue
+			}
+			tested++
+			o := int(v) * 3
+			x := c[o : o+3 : o+3]
+			s := n0*x[0] + n1*x[1] + n2*x[2] - off
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+		tail := c1[i:]
+		if j < len(c2) {
+			tail = c2[j:]
+		}
+		for _, v := range tail {
+			if v == drop {
+				continue
+			}
+			tested++
+			o := int(v) * 3
+			x := c[o : o+3 : o+3]
+			s := n0*x[0] + n1*x[1] + n2*x[2] - off
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+	} else {
+		sgn := float64(f.outSign)
+		i, j := 0, 0
+		for i < len(c1) && j < len(c2) {
+			v := c1[i]
+			if v < c2[j] {
+				i++
+			} else if v > c2[j] {
+				v = c2[j]
+				j++
+			} else {
+				i++
+				j++
+			}
+			if v == drop {
+				continue
+			}
+			tested++
+			s := sgn * f.plane.Eval(e.store.Row(v))
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+		tail := c1[i:]
+		if j < len(c2) {
+			tail = c2[j:]
+		}
+		for _, v := range tail {
+			if v == drop {
+				continue
+			}
+			tested++
+			s := sgn * f.plane.Eval(e.store.Row(v))
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+	}
+	if tested > 0 {
+		e.rec.VTests.Add(key, tested)
 	}
 	if len(uncertain) == 0 {
 		return dst

@@ -67,12 +67,36 @@ func (k kernel) NewFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int3
 // FreshRidges implements engine.Kernel: the fresh ridges of t are the d-1
 // ridges omitting one vertex of r each — exactly the ridges containing the
 // pivot. The ridge slices are published into the table, so they carve from
-// the arena (heap when a is nil).
+// the arena (heap when a is nil). The d == 3 case carves both 2-vertex
+// ridges from one block reservation and fills them by direct index — the
+// ridge slices are immutable once published, so sharing a backing array is
+// safe.
 func (k kernel) FreshRidges(a *arena, t *Facet, r []int32, buf [][]int32) [][]int32 {
+	if len(r) == 2 {
+		s := a.IntsLen(4)
+		v0, v1, v2 := t.Verts[0], t.Verts[1], t.Verts[2]
+		r0, r1 := s[0:2:2], s[2:4:4]
+		fillRidge3(r0, v0, v1, v2, r[0])
+		fillRidge3(r1, v0, v1, v2, r[1])
+		return append(buf, r0, r1)
+	}
 	for _, q := range r {
 		buf = append(buf, ridgeWithoutIn(a, t, q))
 	}
 	return buf
+}
+
+// fillRidge3 writes the two of (v0, v1, v2) that are not q into dst, in
+// order — the d == 3 ridge omitting q.
+func fillRidge3(dst []int32, v0, v1, v2, q int32) {
+	switch q {
+	case v0:
+		dst[0], dst[1] = v1, v2
+	case v1:
+		dst[0], dst[1] = v0, v2
+	default:
+		dst[0], dst[1] = v0, v1
+	}
 }
 
 // Kill implements engine.Kernel.
@@ -212,6 +236,11 @@ type engine struct {
 	rec      *hullstats.Recorder
 
 	log *facetlog.Log[*Facet] // every facet ever created
+
+	// ru is the retained-state bundle when this engine is owned by a Reuse
+	// (nil on the one-shot paths); initialHull and collectResult draw their
+	// buffers from it.
+	ru *Reuse
 }
 
 // newEngine assembles engine state. stripes sizes the facet log (1 keeps
@@ -231,6 +260,7 @@ func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPla
 		e.planeEps = geom.StaticFilterEps(e.store.MaxAbs())
 	}
 	e.rec.SetPlaneCache(e.planeEps > 0)
+	e.rec.MarkHeapBase()
 	return e
 }
 
@@ -329,17 +359,32 @@ func (e *engine) makeFacet(a *arena, verts []int32) (*Facet, error) {
 // worker arena the facet, its Verts, and its conflict list all come from
 // per-worker blocks (nil a = heap, used by the other schedules).
 func (e *engine) newFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int32) (*Facet, error) {
-	verts := a.Ints(len(r) + 1)
-	ins := false
-	for _, v := range r {
-		if !ins && p < v {
-			verts = append(verts, p)
-			ins = true
+	var verts []int32
+	if len(r) == 2 {
+		// d == 3: place the pivot into the sorted 2-vertex ridge by direct
+		// index instead of the general insertion loop.
+		verts = a.IntsLen(3)
+		switch {
+		case p < r[0]:
+			verts[0], verts[1], verts[2] = p, r[0], r[1]
+		case p < r[1]:
+			verts[0], verts[1], verts[2] = r[0], p, r[1]
+		default:
+			verts[0], verts[1], verts[2] = r[0], r[1], p
 		}
-		verts = append(verts, v)
-	}
-	if !ins {
-		verts = append(verts, p)
+	} else {
+		verts = a.Ints(len(r) + 1)
+		ins := false
+		for _, v := range r {
+			if !ins && p < v {
+				verts = append(verts, p)
+				ins = true
+			}
+			verts = append(verts, v)
+		}
+		if !ins {
+			verts = append(verts, p)
+		}
 	}
 	f, err := e.makeFacet(a, verts)
 	if err != nil {
@@ -354,10 +399,11 @@ func (e *engine) newFacet(a *arena, r []int32, p int32, t1, t2 *Facet, round int
 
 // mergeFilter merges the two ascending conflict lists, drops p, and keeps
 // the points visible from f, through the driver's shared grain/arena
-// discipline (engine.MergeFilter).
+// discipline (engine.MergeFilter). The batch path runs fused: merge and
+// classification in one pass, never materializing the candidate run.
 func (e *engine) mergeFilter(a *arena, c1, c2 []int32, p int32, f *Facet) []int32 {
 	if e.batch {
-		return eng.MergeFilterBatch(a, c1, c2, p, facetFilter{e: e, f: f}, e.grain)
+		return eng.MergeFilterFused(a, c1, c2, p, facetFilter{e: e, f: f}, e.grain)
 	}
 	keep := func(v int32) bool { return e.visible(v, f) }
 	return eng.MergeFilter(a, c1, c2, p, keep, e.grain)
@@ -378,7 +424,30 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	if n < d+1 {
 		return nil, fmt.Errorf("%w: need at least d+1 = %d points, got %d", ErrDegenerate, d+1, n)
 	}
-	base := make([]geom.Point, d+1)
+	// The base-simplex facets, their vertex tuples, and their conflict lists
+	// come from a pooled arena when the engine is owned by a Reuse — the
+	// initial conflict lists are the largest slices of the whole run, so
+	// recycling them matters as much as the per-facet arena discipline.
+	var (
+		a      *arena
+		alloc  func(int) []int32
+		base   []geom.Point
+		facets []*Facet
+	)
+	if ru := e.ru; ru != nil {
+		ap := ru.pool.Chain()
+		a = ap.Get()
+		defer ap.Put(a)
+		alloc = a.Alloc
+		if cap(ru.base) < d+1 {
+			ru.base = make([]geom.Point, d+1)
+		}
+		base = ru.base[:d+1]
+		facets = ru.inits[:0]
+	} else {
+		base = make([]geom.Point, d+1)
+		facets = make([]*Facet, 0, d+1)
+	}
 	for i := range base {
 		base[i] = e.pts[i]
 	}
@@ -387,24 +456,26 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	}
 	e.interior = geom.Centroid(base)
 
-	facets := make([]*Facet, 0, d+1)
 	for omit := 0; omit <= d; omit++ {
-		verts := make([]int32, 0, d)
+		verts := a.Ints(d)
 		for i := 0; i <= d; i++ {
 			if i != omit {
 				verts = append(verts, int32(i))
 			}
 		}
-		f, err := e.makeFacet(nil, verts)
+		f, err := e.makeFacet(a, verts)
 		if err != nil {
 			return nil, err
 		}
 		facets = append(facets, f)
 	}
+	if e.ru != nil {
+		e.ru.inits = facets
+	}
 	for _, f := range facets {
 		f := f
 		if e.batch {
-			f.Conf = conflict.BuildFilter(int32(d+1), int32(n), facetFilter{e: e, f: f}, e.grain)
+			f.Conf = conflict.BuildFilterInto(int32(d+1), int32(n), facetFilter{e: e, f: f}, e.grain, alloc)
 		} else {
 			f.Conf = conflict.Build(int32(d+1), int32(n),
 				func(v int32) bool { return e.visible(v, f) }, e.grain)
@@ -433,9 +504,17 @@ func ridgeWithoutIn(a *arena, f *Facet, q int32) []int32 {
 // property: every ridge of an alive facet is shared by exactly one other
 // alive facet.
 func (e *engine) collectResult(rounds int) (*Result, error) {
-	all := e.log.Snapshot()
-	res := &Result{Created: all}
-	for _, f := range all {
+	e.rec.SampleHeap()
+	ru := e.ru
+	var res *Result
+	if ru != nil {
+		ru.created = e.log.SnapshotInto(ru.created[:0])
+		ru.res = Result{Created: ru.created, Facets: ru.facets[:0], Vertices: ru.vertices[:0]}
+		res = &ru.res
+	} else {
+		res = &Result{Created: e.log.Snapshot()}
+	}
+	for _, f := range res.Created {
 		if f.Alive() {
 			res.Facets = append(res.Facets, f)
 		}
@@ -444,9 +523,29 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 		return nil, fmt.Errorf("hulld: only %d alive facets (want >= %d)", len(res.Facets), e.d+1)
 	}
 	// Each ridge of a closed pseudomanifold is shared by exactly two alive
-	// facets, so the count map ends at alive*d/2 entries — preallocate.
-	ridgeCount := make(map[ridgeMapKey]int32, len(res.Facets)*e.d/2+1)
-	inHull := make([]bool, len(e.pts))
+	// facets, so the count map ends at alive*d/2 entries — preallocate (or,
+	// pooled, refill the retained map: clear keeps its buckets).
+	var ridgeCount map[ridgeMapKey]int32
+	if ru != nil && ru.ridges != nil {
+		ridgeCount = ru.ridges
+		clear(ridgeCount)
+	} else {
+		ridgeCount = make(map[ridgeMapKey]int32, len(res.Facets)*e.d/2+1)
+		if ru != nil {
+			ru.ridges = ridgeCount
+		}
+	}
+	var inHull []bool
+	if ru != nil {
+		if cap(ru.inHull) < len(e.pts) {
+			ru.inHull = make([]bool, len(e.pts))
+		}
+		inHull = ru.inHull[:len(e.pts)]
+		ru.inHull = inHull
+		clear(inHull)
+	} else {
+		inHull = make([]bool, len(e.pts))
+	}
 	for _, f := range res.Facets {
 		for _, v := range f.Verts {
 			inHull[v] = true
@@ -466,6 +565,12 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 		}
 	}
 	res.Stats = e.rec.Snapshot(rounds, len(res.Facets))
+	if ru != nil {
+		// Capture the (possibly regrown) backings so the next construction
+		// reuses them at full capacity.
+		ru.facets = res.Facets
+		ru.vertices = res.Vertices
+	}
 	return res, nil
 }
 

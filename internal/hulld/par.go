@@ -49,6 +49,11 @@ type Options struct {
 	// Inject arms deterministic fault injection (tests only; nil in
 	// production).
 	Inject *faultinject.Injector
+	// Reuse, when non-nil, runs the construction on retained state (worker
+	// pool, arenas, engine buffers) recycled across Par calls; each call
+	// invalidates the previous Result obtained through the same Reuse. The
+	// public parhull.Builder is the intended owner.
+	Reuse *Reuse
 }
 
 func (o *Options) filterGrain() int {
@@ -93,6 +98,9 @@ func (o *Options) config(e *engine, n int) eng.Config[Facet, []int32] {
 		cfg.Workers = o.Workers
 		cfg.Ctx = o.Ctx
 		cfg.Inject = o.Inject
+		if o.Reuse != nil {
+			cfg.Pool = o.Reuse.pool
+		}
 	}
 	return cfg
 }
@@ -122,11 +130,16 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
+	var ru *Reuse
+	if opt != nil {
+		ru = opt.Reuse
+	}
+	e := engineFor(ru, pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err
 	}
+	e.rec.SampleHeap()
 	if err := eng.Par(opt.config(e, len(pts)), func(fork func(eng.Task[Facet, []int32])) {
 		initialTasks(d, facets, fork)
 	}); err != nil {

@@ -1,0 +1,95 @@
+package hulld
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"parhull/internal/faultinject"
+	"parhull/internal/leakcheck"
+	"parhull/internal/pointgen"
+	"parhull/internal/sched"
+)
+
+// TestReuseMatchesFresh runs consecutive Par calls on one Reuse with varying
+// inputs and checks each against a fresh Par: identical facet output.
+func TestReuseMatchesFresh(t *testing.T) {
+	leakcheck.Check(t)
+	ru := NewReuse()
+	defer ru.Close()
+	inputs := [][]int{{800, 3}, {2000, 3}, {500, 4}, {1200, 3}}
+	for round := 0; round < 2; round++ {
+		for i, in := range inputs {
+			pts := pointgen.UniformBall(pointgen.NewRNG(int64(i+1)), in[0], in[1])
+			got, err := Par(pts, &Options{Reuse: ru})
+			if err != nil {
+				t.Fatalf("round %d input %d: reused Par: %v", round, i, err)
+			}
+			fresh, err := Par(pts, nil)
+			if err != nil {
+				t.Fatalf("round %d input %d: fresh Par: %v", round, i, err)
+			}
+			if !reflect.DeepEqual(got.Vertices, fresh.Vertices) {
+				t.Fatalf("round %d input %d: vertices differ", round, i)
+			}
+			if len(got.Facets) != len(fresh.Facets) {
+				t.Fatalf("round %d input %d: facet count %d vs %d",
+					round, i, len(got.Facets), len(fresh.Facets))
+			}
+		}
+	}
+}
+
+// TestReusePanicRecovery injects a worker panic mid-construction on a pooled
+// Reuse and checks the fault half of the contract: the error arrives typed,
+// no goroutine leaks, and the same Reuse runs a correct construction next.
+func TestReusePanicRecovery(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(7), 600, 3)
+	ru := NewReuse()
+	defer ru.Close()
+	if _, err := Par(pts, &Options{Reuse: ru}); err != nil {
+		t.Fatalf("warm-up Par: %v", err)
+	}
+	for _, visit := range []int64{1, 25, 200} {
+		inj := faultinject.New(1).PanicAt(faultinject.SiteRidgeStep, visit)
+		_, err := Par(pts, &Options{Reuse: ru, Inject: inj})
+		var pe *sched.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("visit=%d: error is %T, want *sched.PanicError: %v", visit, err, err)
+		}
+		got, err := Par(pts, &Options{Reuse: ru})
+		if err != nil {
+			t.Fatalf("visit=%d: Par after contained panic: %v", visit, err)
+		}
+		fresh, err := Par(pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Vertices, fresh.Vertices) {
+			t.Fatalf("visit=%d: post-panic construction differs from fresh", visit)
+		}
+	}
+}
+
+// TestReuseWidthChange exercises the pool-rebuild path: the same Reuse run at
+// different Workers widths produces identical output each time.
+func TestReuseWidthChange(t *testing.T) {
+	leakcheck.Check(t)
+	pts := pointgen.UniformBall(pointgen.NewRNG(3), 1500, 3)
+	ru := NewReuse()
+	defer ru.Close()
+	fresh, err := Par(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 2, 4, 1} {
+		got, err := Par(pts, &Options{Reuse: ru, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got.Vertices, fresh.Vertices) {
+			t.Fatalf("workers=%d: vertices differ", w)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package hullstats
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -60,6 +61,15 @@ type Stats struct {
 	// All other counters describe the main construction only — the block
 	// sub-hulls' visibility tests and facets are not included.
 	PreHullBlocks, PreHullKept int
+	// PeakBytes is the peak live-heap growth observed during the
+	// construction, in bytes: the maximum of (heap in use - heap in use at
+	// construction start) over the recorder's sample points (construction
+	// start, after the initial hull, and at result collection). It is a
+	// sampled watermark, not an exact accounting — allocations freed between
+	// samples are invisible — but it tracks the dominant contributors (point
+	// store, conflict lists, ridge table) closely, which is what the
+	// n=1e7-1e8 memory-budget planning needs. 0 when counters are disabled.
+	PeakBytes int64
 }
 
 // fastDepths is the span of dependence depths tracked with lock-free atomic
@@ -90,6 +100,13 @@ type Recorder struct {
 
 	mu       sync.Mutex
 	overflow []int32
+
+	// Heap watermark sampling (see Stats.PeakBytes). Written only by the
+	// construction's driving goroutine at quiescent points, so plain fields
+	// suffice. Sampling is skipped entirely when counters are off —
+	// runtime.ReadMemStats stops the world briefly.
+	baseHeap  uint64
+	peakBytes int64
 }
 
 // NewRecorder returns a Recorder; counters enables visibility-test counting.
@@ -105,6 +122,71 @@ func NewRecorder(counters bool) *Recorder {
 // SetPlaneCache records whether the engine runs with the cached-plane fast
 // path enabled; call once before construction starts (not thread-safe).
 func (r *Recorder) SetPlaneCache(on bool) { r.planeOn = on }
+
+// Counting reports whether visibility-test counting (and heap sampling) is
+// enabled.
+func (r *Recorder) Counting() bool { return r.VTests != nil }
+
+// MarkHeapBase samples the current live heap as the construction's
+// baseline. Call once at construction start, from the driving goroutine.
+// No-op when counters are disabled.
+func (r *Recorder) MarkHeapBase() {
+	if r.VTests == nil {
+		return
+	}
+	r.baseHeap = heapInUse()
+	r.peakBytes = 0
+}
+
+// SampleHeap raises the peak watermark to the current live-heap growth over
+// the baseline. Call from the driving goroutine at quiescent points. No-op
+// when counters are disabled.
+func (r *Recorder) SampleHeap() {
+	if r.VTests == nil {
+		return
+	}
+	if h := heapInUse(); h > r.baseHeap {
+		if d := int64(h - r.baseHeap); d > r.peakBytes {
+			r.peakBytes = d
+		}
+	}
+}
+
+func heapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// Reset rewinds the recorder for the next construction, keeping the counter
+// shards and depth bins allocated. counters re-selects whether visibility
+// tests are counted (the sharded counters are created or dropped only when
+// the setting changes). Not thread-safe; call between constructions.
+func (r *Recorder) Reset(counters bool) {
+	if counters != (r.VTests != nil) {
+		if counters {
+			r.VTests = stats.NewShardedCounter(64)
+			r.Fallbacks = stats.NewShardedCounter(64)
+		} else {
+			r.VTests, r.Fallbacks = nil, nil
+		}
+	} else {
+		r.VTests.Reset()
+		r.Fallbacks.Reset()
+	}
+	r.planeOn = false
+	r.created.Store(0)
+	r.repl.Store(0)
+	r.buried.Store(0)
+	r.final.Store(0)
+	r.maxD.Reset()
+	for i := range r.depthBins {
+		r.depthBins[i].Store(0)
+	}
+	r.overflow = r.overflow[:0]
+	r.baseHeap = 0
+	r.peakBytes = 0
+}
 
 // Created records a facet creation at the given dependence depth.
 func (r *Recorder) Created(depth int32) {
@@ -149,6 +231,7 @@ func (r *Recorder) Snapshot(rounds, hullSize int) Stats {
 		MaxDepth:        int(r.maxD.Load()),
 		Rounds:          rounds,
 		HullSize:        hullSize,
+		PeakBytes:       r.peakBytes,
 	}
 	if r.planeOn {
 		s.PlaneCacheHits = s.VisibilityTests - s.ExactFallbacks

@@ -201,9 +201,37 @@ func Perm(rng *rand.Rand, n int) []int {
 	return rng.Perm(n)
 }
 
+// PermInto is Perm writing into buf (reused when its capacity allows). It
+// replays rand.Perm's exact construction, so for the same rng state it
+// produces the identical permutation — pooled callers (parhull.Builder) stay
+// byte-compatible with the allocating path.
+func PermInto(rng *rand.Rand, n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	m := buf[:n]
+	// The i = 0 iteration only writes m[0] = 0, but its Intn(1) call advances
+	// the rng state; skipping it would desync from rand.Perm's stream.
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
+
 // ApplyPerm returns pts reordered so result[i] = pts[perm[i]].
 func ApplyPerm(pts []geom.Point, perm []int) []geom.Point {
-	out := make([]geom.Point, len(pts))
+	return ApplyPermInto(pts, perm, nil)
+}
+
+// ApplyPermInto is ApplyPerm writing into buf (reused when its capacity
+// allows).
+func ApplyPermInto(pts []geom.Point, perm []int, buf []geom.Point) []geom.Point {
+	if cap(buf) < len(perm) {
+		buf = make([]geom.Point, len(perm))
+	}
+	out := buf[:len(perm)]
 	for i, p := range perm {
 		out[i] = pts[p]
 	}

@@ -1,0 +1,41 @@
+package pointgen
+
+import (
+	"reflect"
+	"testing"
+
+	"parhull/internal/geom"
+)
+
+// TestPermIntoMatchesPerm pins the byte-compatibility contract of PermInto:
+// for the same rng state it must replay rand.Perm exactly, including into a
+// dirty reused buffer.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	var buf []int
+	for _, n := range []int{0, 1, 2, 7, 100, 1000, 37} {
+		want := Perm(NewRNG(int64(n)), n)
+		buf = PermInto(NewRNG(int64(n)), n, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("n=%d: length %d, want %d", n, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d: PermInto differs from Perm at %d", n, i)
+			}
+		}
+		for i := range buf {
+			buf[i] = -1 // dirty the buffer for the next round
+		}
+	}
+}
+
+func TestApplyPermInto(t *testing.T) {
+	pts := UniformBall(NewRNG(1), 50, 3)
+	perm := Perm(NewRNG(2), 50)
+	want := ApplyPerm(pts, perm)
+	var buf []geom.Point
+	got := ApplyPermInto(pts, perm, buf)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("ApplyPermInto differs from ApplyPerm")
+	}
+}

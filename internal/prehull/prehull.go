@@ -118,6 +118,20 @@ type Config struct {
 	// Inject arms deterministic fault injection inside the sample and block
 	// sub-hulls (tests only; nil in production).
 	Inject *faultinject.Injector
+	// Scratch, when non-nil, recycles the reduction's large transient buffers
+	// (cull mask, candidate/keep index lists, gathered survivor cloud) across
+	// Reduce calls. Each call invalidates the Reduction (and gathered cloud)
+	// of the previous call that used the same Scratch.
+	Scratch *Scratch
+}
+
+// Scratch holds the pooled buffers of Config.Scratch. All slices are
+// grow-only; the zero value is ready to use.
+type Scratch struct {
+	keepMask []bool
+	cand     []int32
+	keep     []int32
+	work     []geom.Point
 }
 
 func (c Config) workers() int {
@@ -217,7 +231,12 @@ func Reduce(pts []geom.Point, cfg Config) (*Reduction, error) {
 	work := pts
 	if cand != nil {
 		culled = n - len(cand)
-		work = Gather(pts, cand)
+		if s := cfg.Scratch; s != nil {
+			s.work = GatherInto(s.work, pts, cand)
+			work = s.work
+		} else {
+			work = Gather(pts, cand)
+		}
 	}
 
 	// Stage 2: block sub-hulls over the survivors.
@@ -235,7 +254,16 @@ func Reduce(pts []geom.Point, cfg Config) (*Reduction, error) {
 	case cand == nil:
 		red.Keep = blockKeep
 	default:
-		keep := make([]int32, len(blockKeep))
+		var keep []int32
+		if s := cfg.Scratch; s != nil {
+			if cap(s.keep) < len(blockKeep) {
+				s.keep = make([]int32, len(blockKeep))
+			}
+			keep = s.keep[:len(blockKeep)]
+			s.keep = keep
+		} else {
+			keep = make([]int32, len(blockKeep))
+		}
 		for i, v := range blockKeep {
 			keep[i] = cand[v]
 		}
@@ -353,7 +381,17 @@ func cullInterior(pts []geom.Point, d int, cfg Config) ([]int32, error) {
 	// certified inscribed sphere. The plane loop exits on the first plane
 	// that fails to certify, so shell points are cheap; mid-shell points
 	// pay at most h evals.
-	keepMask := make([]bool, n)
+	var keepMask []bool
+	if s := cfg.Scratch; s != nil {
+		if cap(s.keepMask) < n {
+			s.keepMask = make([]bool, n)
+		}
+		keepMask = s.keepMask[:n]
+		s.keepMask = keepMask
+		clear(keepMask)
+	} else {
+		keepMask = make([]bool, n)
+	}
 	var kept atomic.Int64
 	sched.ParallelFor(n, 4096, func(lo, hi int) {
 		if cfg.ctxErr() != nil {
@@ -391,11 +429,22 @@ func cullInterior(pts []geom.Point, d int, cfg Config) ([]int32, error) {
 	if k == n {
 		return nil, nil
 	}
-	cand := make([]int32, 0, k)
+	var cand []int32
+	if s := cfg.Scratch; s != nil {
+		if cap(s.cand) < k {
+			s.cand = make([]int32, 0, k)
+		}
+		cand = s.cand[:0]
+	} else {
+		cand = make([]int32, 0, k)
+	}
 	for i, m := range keepMask {
 		if m {
 			cand = append(cand, int32(i))
 		}
+	}
+	if s := cfg.Scratch; s != nil {
+		s.cand = cand
 	}
 	return cand, nil
 }
@@ -563,7 +612,15 @@ func subHullFacets(cfg Config, d int, pts []geom.Point) ([][]int32, int, error) 
 // headers are shared with the input (coordinates are not copied); the
 // engines copy coordinates into their own PointStore anyway.
 func Gather(pts []geom.Point, keep []int32) []geom.Point {
-	out := make([]geom.Point, len(keep))
+	return GatherInto(nil, pts, keep)
+}
+
+// GatherInto is Gather writing into buf (reused when its capacity allows).
+func GatherInto(buf []geom.Point, pts []geom.Point, keep []int32) []geom.Point {
+	if cap(buf) < len(keep) {
+		buf = make([]geom.Point, len(keep))
+	}
+	out := buf[:len(keep)]
 	for i, k := range keep {
 		out[i] = pts[k]
 	}

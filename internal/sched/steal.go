@@ -44,10 +44,15 @@ const External = -1
 // (deque slabs amortize). The run callback receives the executing worker's
 // id alongside the task — this is how spawned chains learn their worker.
 //
-// An Executor is one-shot: NewExecutor starts the workers, Fork submits
-// work (from root context or from inside run), and Wait blocks until the
-// pool is quiescent, then stops the workers. Fork must not be called after
-// Wait has been entered from the submitting goroutine.
+// An Executor runs one or more cycles on the same worker pool. The simple
+// one-shot shape is NewExecutor / Fork / Wait (quiesce + stop the workers).
+// A long-lived owner instead calls Quiesce at the end of each cycle — the
+// workers park but stay alive — then Restart to arm the next cycle before
+// forking again, and Close once to retire the pool. Fork must not be called
+// between entering Quiesce/Wait and the following Restart. Writes made by
+// the owner between cycles are visible to the workers of the next cycle:
+// every task is handed over through a deque mutex, and Quiesce returns only
+// after every run call of the cycle has returned.
 //
 // Panics are contained, never propagated: a panic in run is converted to a
 // *PanicError carrying the worker id, the task, and the stack; the first one
@@ -174,10 +179,40 @@ func (x *Executor[T]) Fork(from int, task T) {
 }
 
 // Wait blocks until every forked task (including tasks forked by tasks) has
-// completed, then stops the workers and returns. One-shot.
+// completed, then stops the workers and returns — the one-shot shape,
+// equivalent to Quiesce followed by Close.
 func (x *Executor[T]) Wait() {
+	x.Quiesce()
+	x.Close()
+}
+
+// Quiesce blocks until every forked task of the current cycle has completed.
+// The workers stay alive and parked, ready for Restart; no run call is in
+// flight once Quiesce returns (each task's completion is retired only after
+// its run returns).
+func (x *Executor[T]) Quiesce() {
 	x.release() // drop the submission token
 	<-x.done
+}
+
+// Restart arms the next cycle after a Quiesce: a fresh submission token, a
+// fresh quiescence gate, and cleared failure state (a cycle that contained a
+// panic does not poison the next one). Only the owner may call it, and only
+// between Quiesce and the next cycle's first Fork. No worker touches the
+// reset fields while parked — pending and done are reached only through
+// exec, and no task exists between cycles — so the plain writes are safe;
+// they become visible to workers through the deque mutex of the next Fork.
+func (x *Executor[T]) Restart() {
+	x.pending.Store(1)
+	x.done = make(chan struct{})
+	x.failed.Store(false)
+	x.err = nil
+	x.errOnce = sync.Once{}
+}
+
+// Close stops the workers and joins them. Call after Quiesce (or let Wait do
+// both). Idempotent.
+func (x *Executor[T]) Close() {
 	x.mu.Lock()
 	x.stopped = true
 	x.wake.Broadcast()

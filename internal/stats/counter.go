@@ -94,3 +94,11 @@ func (m *MaxTracker) Load() int64 {
 	}
 	return m.v.Load()
 }
+
+// Reset zeroes the tracked maximum.
+func (m *MaxTracker) Reset() {
+	if m == nil {
+		return
+	}
+	m.v.Store(0)
+}

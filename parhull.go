@@ -42,7 +42,6 @@ import (
 	"parhull/internal/hulld"
 	"parhull/internal/hullstats"
 	"parhull/internal/pointgen"
-	"parhull/internal/prehull"
 	"parhull/internal/sched"
 )
 
@@ -232,22 +231,6 @@ func (o *Options) capacity(def int) int {
 	return def
 }
 
-// fixed2D builds the selected fixed-capacity table for the 2D kernel.
-func (o *Options) fixed2D(c int) conmap.RidgeMap[*hull2d.Facet] {
-	if o.Map == MapTAS {
-		return conmap.NewTASMap[*hull2d.Facet](c)
-	}
-	return conmap.NewCASMap[*hull2d.Facet](c)
-}
-
-// fixedD builds the selected fixed-capacity table for the d-dim kernel.
-func (o *Options) fixedD(c int) conmap.RidgeMap[*hulld.Facet] {
-	if o.Map == MapTAS {
-		return conmap.NewTASMap[*hulld.Facet](c)
-	}
-	return conmap.NewCASMap[*hulld.Facet](c)
-}
-
 // ladderRetries is how many doubled-table restarts the degradation ladder
 // attempts after a capacity failure before abandoning the fixed table.
 const ladderRetries = 2
@@ -358,40 +341,4 @@ func (o *Options) preHullWorthIt(work []Point, d int) bool {
 		verts = len(res.Vertices)
 	}
 	return verts <= preHullSample/preHullDense
-}
-
-// maybePreHull runs the pre-hull reduction on the working (post-shuffle)
-// point set when enabled, returning the possibly-reduced set together with
-// the composed engine-index -> caller-index mapping and the reduction stats.
-// The cloud is validated upfront so a bad coordinate surfaces exactly as it
-// would on the direct path, independent of block scheduling.
-func (o *Options) maybePreHull(work []Point, order []int, d int) ([]Point, []int, int, int, error) {
-	if o.PreHull == PreHullOff || d < 2 || len(work) == 0 {
-		return work, order, 0, 0, nil
-	}
-	if err := geom.ValidateCloud(work, d); err != nil {
-		return nil, nil, 0, 0, err
-	}
-	if o.PreHull == PreHullAuto && !o.preHullWorthIt(work, d) {
-		return work, order, 0, 0, nil
-	}
-	red, err := prehull.Reduce(work, prehull.Config{
-		Workers:      o.Workers,
-		ZOrder:       !o.NoPreHullZOrder,
-		NoPlaneCache: o.NoPlaneCache,
-		Ctx:          o.Context,
-	})
-	if err != nil {
-		return nil, nil, 0, 0, err
-	}
-	if red.Keep == nil {
-		return work, order, 0, 0, nil // too small to block up: run direct
-	}
-	// Engine index i now refers to work[Keep[i]]; compose with the shuffle
-	// so mapBack keeps translating engine indices to caller indices.
-	newOrder := make([]int, len(red.Keep))
-	for i, k := range red.Keep {
-		newOrder[i] = mapBack(k, order)
-	}
-	return prehull.Gather(work, red.Keep), newOrder, red.Blocks, len(red.Keep), nil
 }
