@@ -234,7 +234,7 @@ func BenchmarkHalfspaceDual(b *testing.B) {
 func BenchmarkCircleIntersection(b *testing.B) {
 	centers := clusterCenters(64)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := parhull.UnitCircleIntersection(centers); err != nil {
+		if _, _, err := parhull.UnitCircleIntersection(centers, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

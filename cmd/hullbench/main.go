@@ -11,7 +11,8 @@
 // circles (E9), map (E10), speedup (E11), filter (A1 ablation),
 // plane (A2 ablation), sched (A3 ablation), perf (machine-readable
 // benchmark export), reuse (Builder steady-state allocation gate),
-// delaunay (extension), trapezoid (E13, the Section 4 counterexample).
+// delaunay (extension), trapezoid (E13, the Section 4 counterexample),
+// spaces (all configuration spaces on the fast engine).
 package main
 
 import (
@@ -60,6 +61,7 @@ func main() {
 		{"reuse", "REUSE: Builder first-build vs steady-state cost + CI allocation gate", expReuse},
 		{"delaunay", "EXT: dependence depth of incremental 2D Delaunay", expDelaunay},
 		{"trapezoid", "E13: the Section 4 counterexample — no constant support", expTrapezoid},
+		{"spaces", "EXT: all configuration spaces on the fast engine (BENCH_parhull.json rows)", expSpaces},
 	}
 	if *exp == "all" {
 		for _, e := range exps {

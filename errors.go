@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 
+	"parhull/internal/circles"
 	"parhull/internal/conmap"
 	"parhull/internal/corner"
 	"parhull/internal/delaunay"
 	"parhull/internal/geom"
+	"parhull/internal/halfspace"
 	"parhull/internal/hull2d"
 	"parhull/internal/hulld"
 	"parhull/internal/sched"
+	"parhull/internal/trapezoid"
 )
 
 // The public error surface. Every error returned by this package's API
@@ -61,7 +64,9 @@ func wrapErr(err error) error {
 	case errors.Is(err, conmap.ErrCapacity):
 		return fmt.Errorf("%w: %w", ErrCapacity, err)
 	case errors.Is(err, hull2d.ErrDegenerate), errors.Is(err, hulld.ErrDegenerate),
-		errors.Is(err, delaunay.ErrDegenerate), errors.Is(err, corner.ErrDegenerate):
+		errors.Is(err, delaunay.ErrDegenerate), errors.Is(err, corner.ErrDegenerate),
+		errors.Is(err, circles.ErrDegenerate), errors.Is(err, halfspace.ErrDegenerate),
+		errors.Is(err, trapezoid.ErrDegenerate):
 		return fmt.Errorf("%w: %w", ErrDegenerate, err)
 	}
 	return err

@@ -250,10 +250,10 @@ func TestHull3DDegenerateCollinear(t *testing.T) {
 		f := float64(i)
 		pts = append(pts, Point{f, 2 * f, -f})
 	}
-	_, err := Hull3DDegenerate(pts)
+	_, err := Hull3DDegenerate(pts, nil)
 	wantExactly(t, "collinear", err, "ErrDegenerate")
 
-	if _, err := Hull3DDegenerate([]Point{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}); !errors.Is(err, ErrDegenerate) {
+	if _, err := Hull3DDegenerate([]Point{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, nil); !errors.Is(err, ErrDegenerate) {
 		t.Errorf("3 points: %v, want ErrDegenerate", err)
 	}
 }

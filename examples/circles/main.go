@@ -18,7 +18,7 @@ func main() {
 		r := 0.25 + 0.15*math.Sin(3*a)
 		centers = append(centers, parhull.Point{r * math.Cos(a), r * math.Sin(a)})
 	}
-	arcs, nonempty, err := parhull.UnitCircleIntersection(centers)
+	arcs, nonempty, err := parhull.UnitCircleIntersection(centers, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

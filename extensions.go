@@ -1,14 +1,19 @@
 package parhull
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"parhull/internal/circles"
 	"parhull/internal/corner"
 	"parhull/internal/delaunay"
 	"parhull/internal/engine"
+	"parhull/internal/geom"
 	"parhull/internal/halfspace"
 	"parhull/internal/hulld"
+	"parhull/internal/pointgen"
+	"parhull/internal/trapezoid"
 )
 
 // HalfspaceVertex is one vertex of a half-space intersection: its location
@@ -19,12 +24,15 @@ type HalfspaceVertex struct {
 	Halfspaces []int
 }
 
-// HalfspaceResult is the output of HalfspaceIntersection.
+// HalfspaceResult is the output of HalfspaceIntersection and
+// HalfspaceIntersectionDirect.
 type HalfspaceResult struct {
 	Vertices []HalfspaceVertex
-	// Stats instruments the underlying dual hull construction; its MaxDepth
-	// is the dependence depth of the half-space intersection process
-	// (Section 7 — the two are isomorphic under duality).
+	// Stats instruments the underlying construction. For the dual-hull route
+	// MaxDepth is the dependence depth of the half-space intersection process
+	// (Section 7 — the two are isomorphic under duality); for the direct route
+	// Rounds/RoundWidths describe the rounds engine and FacetsCreated counts
+	// configurations ever activated.
 	Stats Stats
 }
 
@@ -33,7 +41,8 @@ type HalfspaceResult struct {
 // hull of the normal vectors (Section 7). The intersection must be bounded,
 // i.e. the normals must positively span R^d — prepend
 // HalfspaceBoundingSimplex to guarantee it. Normals are consumed in input
-// order unless Options.Shuffle is set.
+// order unless Options.Shuffle is set. Options.Sched, Workers, and Context
+// plumb through to the underlying hull engine.
 func HalfspaceIntersection(normals []Point, opt *Options) (out *HalfspaceResult, err error) {
 	defer guard(&err)
 	o := opt.or()
@@ -48,7 +57,9 @@ func HalfspaceIntersection(normals []Point, opt *Options) (out *HalfspaceResult,
 	}
 	res, err := halfspace.IntersectDual(work, &hulld.Options{
 		Map:          o.ridgeMapD(len(normals), d),
+		Sched:        o.schedKind(),
 		GroupLimit:   o.GroupLimit,
+		Workers:      o.Workers,
 		NoCounters:   o.NoCounters,
 		FilterGrain:  o.FilterGrain,
 		NoPlaneCache: o.NoPlaneCache,
@@ -68,6 +79,46 @@ func HalfspaceIntersection(normals []Point, opt *Options) (out *HalfspaceResult,
 	return out, nil
 }
 
+// HalfspaceIntersectionDirect computes the same vertex set as
+// HalfspaceIntersection through the direct configuration space of Section 7
+// run on the generic rounds engine (engine.SpaceRounds with the space's
+// batch ConflictScanner) instead of the dual hull. The space enumerates all
+// d-subsets of the normals, so this route is for moderate inputs and for
+// validating the duality; the dual route is the fast path.
+//
+// The first d+1 normals are the base and are never shuffled (every insertion
+// prefix must describe a bounded intersection — prepend
+// HalfspaceBoundingSimplex); Options.Shuffle permutes the rest.
+func HalfspaceIntersectionDirect(normals []Point, opt *Options) (out *HalfspaceResult, err error) {
+	defer guard(&err)
+	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	s, err := halfspace.NewSpace(normals)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	if len(normals) < s.BaseSize() {
+		return nil, fmt.Errorf("%w: need at least %d halfspaces for a bounded base, got %d",
+			ErrDegenerate, s.BaseSize(), len(normals))
+	}
+	order := tailShuffledOrder(len(normals), s.BaseSize(), o.Shuffle, o.Seed)
+	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	out = &HalfspaceResult{}
+	fillSpaceStats(&out.Stats, res)
+	for _, c := range res.Alive {
+		out.Vertices = append(out.Vertices, HalfspaceVertex{
+			Point:      s.Vertex(c),
+			Halfspaces: append([]int(nil), s.Defining(c)...),
+		})
+	}
+	return out, nil
+}
+
 // HalfspaceBoundingSimplex returns d+1 normals whose half-spaces form a
 // bounded simplex around the origin; prepending them to any normal set
 // makes the intersection (and every prefix of the insertion order) bounded.
@@ -83,19 +134,114 @@ type CircleArc struct {
 }
 
 // UnitCircleIntersection computes the boundary arcs of the intersection of
-// unit disks centered at centers (Section 7). The boolean reports whether
-// the intersection region is non-empty.
-func UnitCircleIntersection(centers []Point) (_ []CircleArc, _ bool, err error) {
+// unit disks centered at centers (Section 7), by the incremental arc
+// configuration space run on the generic rounds engine. The boolean reports
+// whether the intersection region is non-empty; a pair of disks at center
+// distance >= 2 makes it empty (not an error). Centers are inserted in input
+// order unless Options.Shuffle is set; Options.Context cancels cooperatively.
+// Duplicate centers are reported as ErrDegenerate.
+func UnitCircleIntersection(centers []Point, opt *Options) (_ []CircleArc, _ bool, err error) {
 	defer guard(&err)
-	arcs, nonempty, err := circles.IntersectionBoundary(centers)
+	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, false, err
+	}
+	if len(centers) == 0 {
+		return nil, false, nil
+	}
+	if err := geom.ValidateCloud(centers, 2); err != nil {
+		return nil, false, wrapErr(err)
+	}
+	if len(centers) == 1 {
+		return []CircleArc{{Circle: 0, Lo: circles.Full.Lo, Length: circles.Full.Length}}, true, nil
+	}
+	s, err := circles.NewSpace(centers)
+	if errors.Is(err, circles.ErrDisjoint) {
+		return nil, false, nil // some pair of disks cannot overlap: empty intersection
+	}
 	if err != nil {
 		return nil, false, wrapErr(err)
 	}
+	order := o.perm(len(centers))
+	if order == nil {
+		order = identityOrder(len(centers))
+	}
+	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	if err != nil {
+		return nil, false, wrapErr(err)
+	}
+	arcs := s.Arcs(res.Alive)
 	out := make([]CircleArc, len(arcs))
 	for i, a := range arcs {
 		out[i] = CircleArc{Circle: a.Circle, Lo: a.Iv.Lo, Length: a.Iv.Length}
 	}
-	return out, nonempty, nil
+	return out, len(out) > 0, nil
+}
+
+// TrapezoidSegment is a horizontal segment y = Y spanning x in [XL, XR].
+type TrapezoidSegment = trapezoid.Segment
+
+// TrapezoidBox is the bounding box of a trapezoidal decomposition.
+type TrapezoidBox = trapezoid.Box
+
+// TrapezoidCell is one cell of a trapezoidal decomposition: its rectangle
+// and the segments defining its boundary (empty for the whole box).
+type TrapezoidCell struct {
+	XL, XR, YB, YT float64
+	Segments       []int
+}
+
+// TrapezoidDecomposition computes the trapezoidal (vertical) decomposition
+// of non-touching horizontal segments inside box (the Section 4 companion
+// space), run on the generic rounds engine. Segments are inserted in input
+// order unless Options.Shuffle is set; Options.Context cancels
+// cooperatively. This space lacks constant-size support sets (adding one
+// segment can merge Omega(n) cells), so unlike the hull spaces its
+// dependence depth — Stats on the result of the internal engine — can be
+// linear; the decomposition itself is order-independent and exact.
+func TrapezoidDecomposition(segs []TrapezoidSegment, box TrapezoidBox, opt *Options) (_ []TrapezoidCell, err error) {
+	defer guard(&err)
+	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	for _, v := range []float64{box.XL, box.XR, box.YB, box.YT} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite box coordinate %v", ErrBadCoordinate, v)
+		}
+	}
+	for i, sg := range segs {
+		for _, v := range []float64{sg.Y, sg.XL, sg.XR} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: non-finite coordinate %v in segment %d", ErrBadCoordinate, v, i)
+			}
+		}
+	}
+	if box.XL >= box.XR || box.YB >= box.YT {
+		return nil, fmt.Errorf("%w: empty bounding box", ErrDegenerate)
+	}
+	if len(segs) == 0 {
+		return []TrapezoidCell{{XL: box.XL, XR: box.XR, YB: box.YB, YT: box.YT, Segments: []int{}}}, nil
+	}
+	s, err := trapezoid.NewSpace(segs, box)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	order := o.perm(len(segs))
+	if order == nil {
+		order = identityOrder(len(segs))
+	}
+	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	out := make([]TrapezoidCell, 0, len(res.Alive))
+	for _, c := range res.Alive {
+		xl, xr, yb, yt := s.CellRect(c)
+		out = append(out, TrapezoidCell{XL: xl, XR: xr, YB: yb, YT: yt,
+			Segments: append([]int{}, s.Defining(c)...)})
+	}
+	return out, nil
 }
 
 // DelaunayResult is the output of Delaunay.
@@ -110,10 +256,18 @@ type DelaunayResult struct {
 }
 
 // Delaunay computes the Delaunay triangulation of 2D points by the
-// randomized incremental method, instrumented with the same dependence
-// depth as the hull engines (extension; see internal/delaunay for the
-// bounding-triangle caveat near the input hull). Points are inserted in
-// input order unless opt.Shuffle is set.
+// randomized incremental method. Options.Engine selects the schedule —
+// EngineParallel (default, Algorithm 3 on the fork-join substrate chosen by
+// Options.Sched), EngineSequential (Algorithm 2), or EngineRounds (the
+// round-synchronous schedule; Stats.Rounds/RoundWidths report the dependence
+// structure). All three produce the identical triangle set; see
+// internal/delaunay for the bounding-triangle construction. Points are
+// inserted in input order unless Options.Shuffle is set (which the O(log n)
+// depth guarantee assumes). Map, Workers, GroupLimit, FilterGrain,
+// NoPlaneCache (the in-circle predicate cache), NoCounters, and Context all
+// apply; the pre-hull reduction does not (a Delaunay triangulation keeps
+// interior points). Unlike the hull routes, a fixed CAS/TAS ridge map that
+// fills surfaces ErrCapacity directly — there is no degradation ladder here.
 func Delaunay(pts []Point, opt *Options) (out *DelaunayResult, err error) {
 	defer guard(&err)
 	o := opt.or()
@@ -122,7 +276,27 @@ func Delaunay(pts []Point, opt *Options) (out *DelaunayResult, err error) {
 	}
 	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
-	res, err := delaunay.Triangulate(work)
+	dopt := &delaunay.Options{
+		Map:         o.ridgeMapDelaunay(len(pts)),
+		Sched:       o.schedKind(),
+		GroupLimit:  o.GroupLimit,
+		Workers:     o.Workers,
+		NoCounters:  o.NoCounters,
+		FilterGrain: o.FilterGrain,
+		NoPredCache: o.NoPlaneCache,
+		Ctx:         o.Context,
+	}
+	var res *delaunay.Result
+	switch o.Engine {
+	case EngineParallel:
+		res, err = delaunay.Par(work, dopt)
+	case EngineSequential:
+		res, err = delaunay.Seq(work, dopt)
+	case EngineRounds:
+		res, err = delaunay.Rounds(work, dopt)
+	default:
+		return nil, errBadEngine
+	}
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -146,17 +320,23 @@ type Face3D struct {
 // corner configuration space of Section 6 (a 4-supported space) run through
 // the generic rounds engine (engine.SpaceRounds). It returns the hull's
 // faces as vertex cycles — squares for a cube, general polygons for planar
-// clusters — rather than a simplicial facet list.
+// clusters — rather than a simplicial facet list. Points are inserted in
+// input order unless Options.Shuffle is set; Options.Context cancels
+// cooperatively.
 //
-// The corner space is enumerated explicitly (O(n^3) configurations with
-// O(n) conflict tests each), so this is intended for moderate inputs
-// (hundreds of points); for large inputs in general position use Hull3D.
-// Exact duplicates must be removed first (they are reported as errors).
-// The engine's final active set provably equals T(X) — the set the
-// brute-force core simulator computes — which is asserted on degenerate
-// fixtures by tests.
-func Hull3DDegenerate(pts []Point) (_ []Face3D, err error) {
+// The corner space has O(n^3) configurations, but its PeakEnumerator keeps
+// the engine's work proportional to the configurations actually touched; it
+// remains intended for moderate inputs (hundreds of points) — for large
+// inputs in general position use Hull3D. Exact duplicates must be removed
+// first (they are reported as errors). The engine's final active set
+// provably equals T(X) — the set the brute-force core simulator computes —
+// which is asserted on degenerate fixtures by tests.
+func Hull3DDegenerate(pts []Point, opt *Options) (_ []Face3D, err error) {
 	defer guard(&err)
+	o := opt.or()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	if len(pts) < 4 {
 		return nil, fmt.Errorf("%w: Hull3DDegenerate needs at least 4 points, got %d", ErrDegenerate, len(pts))
 	}
@@ -164,11 +344,11 @@ func Hull3DDegenerate(pts []Point) (_ []Face3D, err error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	all := make([]int, len(pts))
-	for i := range all {
-		all[i] = i
+	order := o.perm(len(pts))
+	if order == nil {
+		order = identityOrder(len(pts))
 	}
-	res, err := engine.SpaceRounds(s, all)
+	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -181,4 +361,34 @@ func Hull3DDegenerate(pts []Point) (_ []Face3D, err error) {
 		out[i] = Face3D{Vertices: f.Vertices}
 	}
 	return out, nil
+}
+
+// identityOrder is the in-order insertion sequence 0..n-1.
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// tailShuffledOrder is identityOrder with positions base.. shuffled
+// (Seed-driven) when shuffle is set: insertion orders whose base prefix is
+// pinned (HalfspaceIntersectionDirect's bounded base).
+func tailShuffledOrder(n, base int, shuffle bool, seed int64) []int {
+	order := identityOrder(n)
+	if shuffle && n > base {
+		for i, j := range pointgen.Perm(pointgen.NewRNG(seed), n-base) {
+			order[base+i] = base + j
+		}
+	}
+	return order
+}
+
+// fillSpaceStats maps a SpaceResult's instrumentation onto the public Stats.
+func fillSpaceStats(st *Stats, res *engine.SpaceResult) {
+	st.FacetsCreated = int64(res.Created)
+	st.Rounds = res.Rounds
+	st.RoundWidths = res.Widths
+	st.HullSize = len(res.Alive)
 }

@@ -18,11 +18,22 @@
 package circles
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"parhull/internal/geom"
 )
+
+// ErrDegenerate reports input the arc space cannot represent (duplicate
+// centers). Returned wrapped, with detail; the public layer maps it onto
+// parhull.ErrDegenerate.
+var ErrDegenerate = errors.New("circles: degenerate input")
+
+// ErrDisjoint reports a pair of circles at distance >= 2, outside the
+// all-pairs-intersecting regime the incremental space assumes. The public
+// layer turns it into an empty intersection rather than an error.
+var ErrDisjoint = errors.New("circles: non-intersecting pair")
 
 const (
 	twoPi = 2 * math.Pi
@@ -126,7 +137,7 @@ func IntersectionBoundary(centers []geom.Point) ([]Arc, bool, error) {
 	for i := range centers {
 		for j := i + 1; j < len(centers); j++ {
 			if centers[i].Equal(centers[j]) {
-				return nil, false, fmt.Errorf("circles: duplicate centers %d and %d", i, j)
+				return nil, false, fmt.Errorf("%w: duplicate centers %d and %d", ErrDegenerate, i, j)
 			}
 		}
 	}

@@ -16,11 +16,15 @@ type arcCfg struct {
 }
 
 // Space is the configuration space of unit-circle intersection (Section 7).
-// It implements core.Space for brute-force validation and dependence-depth
-// simulation on small instances.
+// It implements core.Space (plus engine.ConflictScanner) for the engine
+// route, brute-force validation, and dependence-depth simulation.
 type Space struct {
 	centers []geom.Point
 	cfgs    []arcCfg
+	// pairIv[a][b] is the chord interval of circle a inside disk b — the one
+	// quantity every conflict test needs. Retained from enumeration so
+	// FirstConflict replaces chordInterval's trig per object with a lookup.
+	pairIv [][]Interval
 }
 
 // NewSpace enumerates the arc configurations of the given unit-disk centers
@@ -42,11 +46,11 @@ func NewSpace(centers []geom.Point) (*Space, error) {
 				continue
 			}
 			if centers[a].Equal(centers[b]) {
-				return nil, fmt.Errorf("circles: duplicate centers %d and %d", a, b)
+				return nil, fmt.Errorf("%w: duplicate centers %d and %d", ErrDegenerate, a, b)
 			}
 			iv, ok := chordInterval(centers[a], centers[b])
 			if !ok {
-				return nil, fmt.Errorf("circles: circles %d and %d do not intersect (distance >= 2)", a, b)
+				return nil, fmt.Errorf("%w: circles %d and %d (distance >= 2)", ErrDisjoint, a, b)
 			}
 			pairIv[a][b] = iv
 		}
@@ -88,6 +92,7 @@ func NewSpace(centers []geom.Point) (*Space, error) {
 			}
 		}
 	}
+	s.pairIv = pairIv
 	return s, nil
 }
 
@@ -129,6 +134,41 @@ func (s *Space) InConflict(c, x int) bool {
 		return true // disjoint circles: the arc cannot be inside x
 	}
 	return !iv.ContainsInterval(cfg.iv)
+}
+
+// FirstConflict implements engine.ConflictScanner: the configuration decode
+// (defining set, support row, arc interval) happens once; each object then
+// costs one interval-containment check against the retained pairIv row
+// instead of recomputing chordInterval's trigonometry.
+func (s *Space) FirstConflict(c int, order []int) int {
+	cfg := s.cfgs[c]
+	row := s.pairIv[cfg.sup]
+	d0 := cfg.def[0]
+	d1 := cfg.def[1] // defining sets have 2 or 3 members
+	d2 := -1
+	if len(cfg.def) > 2 {
+		d2 = cfg.def[2]
+	}
+	for r, o := range order {
+		if o == d0 || o == d1 || o == d2 {
+			continue
+		}
+		if !row[o].ContainsInterval(cfg.iv) {
+			return r
+		}
+	}
+	return len(order)
+}
+
+// Arcs converts alive configuration indices (engine.SpaceResult.Alive) into
+// boundary arcs.
+func (s *Space) Arcs(alive []int) []Arc {
+	arcs := make([]Arc, 0, len(alive))
+	for _, c := range alive {
+		cfg := s.cfgs[c]
+		arcs = append(arcs, Arc{Circle: cfg.sup, Iv: cfg.iv})
+	}
+	return arcs
 }
 
 // Degree implements core.Space: g = 3 (triples).

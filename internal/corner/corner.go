@@ -22,6 +22,7 @@ package corner
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"parhull/internal/geom"
 )
@@ -49,7 +50,7 @@ func NewSpace(pts []geom.Point) (*Space, error) {
 	for i := range pts {
 		for j := i + 1; j < len(pts); j++ {
 			if pts[i].Equal(pts[j]) {
-				return nil, fmt.Errorf("corner: duplicate points %d and %d (Dedup the input)", i, j)
+				return nil, fmt.Errorf("corner: duplicate points %d and %d (Dedup the input): %w", i, j, ErrDegenerate)
 			}
 		}
 	}
@@ -191,6 +192,60 @@ func (s *Space) FirstConflict(c int, order []int) int {
 		}
 	}
 	return len(order)
+}
+
+// EnumeratePeak implements engine.PeakEnumerator: the six configurations of
+// a triple peak together, so enumerating the pairs of below-objects and
+// binary-searching each completed triple visits exactly the configurations
+// whose defining set completes at x — without ever touching the
+// 6·C(n,3)-sized configuration universe.
+func (s *Space) EnumeratePeak(x int, below func(o int) bool, emit func(c int)) {
+	var bbuf [64]int
+	b := bbuf[:0]
+	for o := range s.pts { // ascending, so b is sorted
+		if o != x && below(o) {
+			b = append(b, o)
+		}
+	}
+	for i := 0; i < len(b); i++ {
+		for j := i + 1; j < len(b); j++ {
+			if k, ok := s.findTriple(sorted3(b[i], b[j], x)); ok {
+				for c := 6 * k; c < 6*k+6; c++ {
+					emit(c)
+				}
+			}
+		}
+	}
+}
+
+// findTriple binary-searches the lexicographically sorted triple list.
+func (s *Space) findTriple(t [3]int) (int, bool) {
+	i := sort.Search(len(s.triples), func(i int) bool {
+		u := s.triples[i]
+		if u[0] != t[0] {
+			return u[0] >= t[0]
+		}
+		if u[1] != t[1] {
+			return u[1] >= t[1]
+		}
+		return u[2] >= t[2]
+	})
+	if i < len(s.triples) && s.triples[i] == t {
+		return i, true
+	}
+	return 0, false
+}
+
+// sorted3 returns {a, b, x} in ascending order, given a < b.
+func sorted3(a, b, x int) [3]int {
+	switch {
+	case x < a:
+		return [3]int{x, a, b}
+	case x < b:
+		return [3]int{a, x, b}
+	default:
+		return [3]int{a, b, x}
+	}
 }
 
 // conflictAt is the Figure 3 conflict rule against a decoded configuration.

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"parhull/internal/conflict"
 	"parhull/internal/geom"
@@ -42,11 +43,23 @@ type Triangle struct {
 	Conf []int32
 	// Depth is the dependence depth (Definition 4.1).
 	Depth int32
-	dead  bool
+	// Round is the creation round (rounds engine only; 0 otherwise).
+	Round int32
+
+	// plane caches the negated lifted-paraboloid plane of the circumcircle
+	// (engine fast path; the invalid zero Plane when the predicate cache is
+	// off or the lift overflows).
+	plane geom.Plane
+	// mark is scratch for the sequential engine's per-insertion visible-set
+	// stamp (insertion index + 1; never touched concurrently).
+	mark int32
+	dead atomic.Bool
 }
 
 // Alive reports whether the triangle is still part of the triangulation.
-func (t *Triangle) Alive() bool { return !t.dead }
+func (t *Triangle) Alive() bool { return !t.dead.Load() }
+
+func (t *Triangle) kill() bool { return !t.dead.Swap(true) }
 
 // Synthetic reports whether the triangle touches a bounding vertex, given
 // the input size n.
@@ -74,35 +87,11 @@ type Result struct {
 // Triangulate computes the Delaunay triangulation of pts, inserting the
 // points in the order given (shuffle for the randomized depth bound).
 func Triangulate(pts []geom.Point) (*Result, error) {
-	if err := geom.ValidateCloud(pts, 2); err != nil {
+	all, err := validateAndBound(pts)
+	if err != nil {
 		return nil, err
 	}
 	n := len(pts)
-	if n < 1 {
-		return nil, fmt.Errorf("%w: empty input", ErrDegenerate)
-	}
-	seen := make(map[[2]float64]int, n)
-	for i, p := range pts {
-		k := [2]float64{p[0], p[1]}
-		if j, dup := seen[k]; dup {
-			return nil, fmt.Errorf("%w: duplicate points %d and %d", ErrDegenerate, j, i)
-		}
-		seen[k] = i
-	}
-
-	// Bounding triangle far outside the data.
-	all := make([]geom.Point, n, n+3)
-	copy(all, pts)
-	r := 1.0
-	for _, p := range pts {
-		r = math.Max(r, math.Max(math.Abs(p[0]), math.Abs(p[1])))
-	}
-	r *= 1 << 12
-	all = append(all,
-		geom.Point{0, 3 * r},
-		geom.Point{-3 * r, -2 * r},
-		geom.Point{3 * r, -2 * r},
-	)
 	b0, b1, b2 := int32(n), int32(n+1), int32(n+2)
 
 	rec := hullstats.NewRecorder(true)
@@ -201,7 +190,7 @@ func Triangulate(pts []geom.Point) (*Result, error) {
 			}
 		}
 		for _, t := range cavity {
-			t.dead = true
+			t.dead.Store(true)
 			rec.Replaced(true)
 		}
 		for _, t := range fresh {
@@ -236,4 +225,41 @@ func confOf(t *Triangle) []int32 {
 		return nil
 	}
 	return t.Conf
+}
+
+// validateAndBound checks the input (dimension and finiteness, at least one
+// point, no exact duplicates) and returns the point slice extended with the
+// three synthetic bounding vertices — indices n, n+1, n+2 — placed far
+// enough out that every input point is strictly inside the bounding
+// triangle. Shared by the seed Triangulate and the engine paths so both see
+// byte-identical geometry (and therefore identical triangulations).
+func validateAndBound(pts []geom.Point) ([]geom.Point, error) {
+	if err := geom.ValidateCloud(pts, 2); err != nil {
+		return nil, err
+	}
+	n := len(pts)
+	if n < 1 {
+		return nil, fmt.Errorf("%w: empty input", ErrDegenerate)
+	}
+	seen := make(map[[2]float64]int, n)
+	for i, p := range pts {
+		k := [2]float64{p[0], p[1]}
+		if j, dup := seen[k]; dup {
+			return nil, fmt.Errorf("%w: duplicate points %d and %d", ErrDegenerate, j, i)
+		}
+		seen[k] = i
+	}
+	all := make([]geom.Point, n, n+3)
+	copy(all, pts)
+	r := 1.0
+	for _, p := range pts {
+		r = math.Max(r, math.Max(math.Abs(p[0]), math.Abs(p[1])))
+	}
+	r *= 1 << 12
+	all = append(all,
+		geom.Point{0, 3 * r},
+		geom.Point{-3 * r, -2 * r},
+		geom.Point{3 * r, -2 * r},
+	)
+	return all, nil
 }

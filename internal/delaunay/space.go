@@ -1,6 +1,8 @@
 package delaunay
 
 import (
+	"sort"
+
 	"parhull/internal/geom"
 )
 
@@ -66,6 +68,77 @@ func (s *Space) InConflict(c, x int) bool {
 		sign = -sign
 	}
 	return sign > 0
+}
+
+// FirstConflict implements engine.ConflictScanner: the triple decode, corner
+// loads, and orientation flip are hoisted out of the per-object scan.
+func (s *Space) FirstConflict(c int, order []int) int {
+	t := s.triples[c]
+	a, b, cc := s.pts[t[0]], s.pts[t[1]], s.pts[t[2]]
+	flip := geom.Orient2D(a, b, cc) < 0
+	for r, o := range order {
+		if o == t[0] || o == t[1] || o == t[2] {
+			continue
+		}
+		sign := geom.InCircle(a, b, cc, s.pts[o])
+		if flip {
+			sign = -sign
+		}
+		if sign > 0 {
+			return r
+		}
+	}
+	return len(order)
+}
+
+// EnumeratePeak implements engine.PeakEnumerator: enumerate the pairs of
+// below-objects and binary-search each completed triple in the sorted triple
+// list, skipping the O(n^3) eager bucketing.
+func (s *Space) EnumeratePeak(x int, below func(o int) bool, emit func(c int)) {
+	var bbuf [64]int
+	b := bbuf[:0]
+	for o := range s.pts { // ascending, so b is sorted
+		if o != x && below(o) {
+			b = append(b, o)
+		}
+	}
+	for i := 0; i < len(b); i++ {
+		for j := i + 1; j < len(b); j++ {
+			if c, ok := s.findTriple(sorted3(b[i], b[j], x)); ok {
+				emit(c)
+			}
+		}
+	}
+}
+
+// findTriple binary-searches the lexicographically sorted triple list.
+func (s *Space) findTriple(t [3]int) (int, bool) {
+	i := sort.Search(len(s.triples), func(i int) bool {
+		u := s.triples[i]
+		if u[0] != t[0] {
+			return u[0] >= t[0]
+		}
+		if u[1] != t[1] {
+			return u[1] >= t[1]
+		}
+		return u[2] >= t[2]
+	})
+	if i < len(s.triples) && s.triples[i] == t {
+		return i, true
+	}
+	return 0, false
+}
+
+// sorted3 returns {a, b, x} in ascending order, given a < b.
+func sorted3(a, b, x int) [3]int {
+	switch {
+	case x < a:
+		return [3]int{x, a, b}
+	case x < b:
+		return [3]int{a, x, b}
+	default:
+		return [3]int{a, b, x}
+	}
 }
 
 // Degree implements core.Space: g = 3.

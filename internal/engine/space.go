@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"parhull/internal/core"
@@ -20,6 +22,26 @@ import (
 // otherwise, so spaces without a batch scan keep working.
 type ConflictScanner interface {
 	FirstConflict(c int, order []int) int
+}
+
+// PeakEnumerator is an optional extension of core.Space that replaces
+// SpaceRounds' upfront O(NumConfigs) peak bucketing with demand-driven
+// enumeration. EnumeratePeak(x, below, emit) must call emit(c) exactly once
+// for every configuration c such that x is in Defining(c) and below(o) holds
+// for every other defining object o of c — the configurations whose defining
+// set "peaks" at x when below selects the earlier-inserted objects.
+//
+// Contract:
+//
+//   - A configuration with an empty defining set can never be emitted, so a
+//     space containing such configurations (e.g. trapezoid's outer box cell)
+//     must NOT implement this interface; the eager bucketing handles it.
+//   - EnumeratePeak must be safe for concurrent use: SpaceRounds calls it
+//     from parallel round tasks with distinct x.
+//   - below is pure and cheap (an array lookup); implementations may call it
+//     O(NumObjects) times.
+type PeakEnumerator interface {
+	EnumeratePeak(x int, below func(o int) bool, emit func(c int))
 }
 
 // SpaceResult is the outcome of SpaceRounds.
@@ -60,16 +82,20 @@ type SpaceResult struct {
 //     scan with early exit computes both.
 //   - When a pending configuration's pivot x is claimed (first claimant per
 //     object, the same one-loser discipline as the ridge table), the claimant
-//     creates every configuration whose defining set peaks at x — a static,
-//     precomputed bucket — and each new configuration with a pivot becomes a
-//     task of the next round.
+//     creates every configuration whose defining set peaks at x. The peak
+//     buckets come from a compact two-pass CSR layout, or — when the space
+//     implements PeakEnumerator — on demand, with no upfront pass over the
+//     configuration universe at all.
 //
-// Completeness of claiming follows from the support property (Definition
-// 3.3): if anything activates at x, some member of its support set is active
-// just before x and has x at the head of its conflict set, so a task with
-// pivot x exists. Spaces without the support property (e.g. the trapezoid
-// counterexample) may leave activations unclaimed; SpaceRounds requires a
-// supported space, which every space in this repository except trapezoid is.
+// Completeness of claiming: if any configuration activates when object x is
+// inserted, some configuration active just before x has x at the head of its
+// conflict set, so a task with pivot x exists and the activation is not
+// missed. For spaces with the support property (Definition 3.3) that
+// configuration is a support member; for trapezoids — whose support sets are
+// unbounded in size, the paper's Section 3 caveat — it is any cell of the
+// decomposition overlapping the new cell's region, which must have been
+// destroyed by (first-conflicting with) x for the region to change. Large
+// supports cost work and depth, never completeness.
 func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
 	return SpaceRoundsCtx(nil, s, order)
 }
@@ -121,56 +147,96 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 		}
 	}
 
-	// Bucket each constructible configuration under the rank at which its
-	// defining set completes; configurations completing within the base
-	// prefix are base candidates.
-	m := s.NumConfigs()
-	byPeak := make([][]int32, len(order))
+	// forPeak visits every constructible configuration whose defining set
+	// completes at insertion rank x, and baseCand holds the ones completing
+	// within the base prefix. Two strategies:
+	//
+	//   - PeakEnumerator spaces answer on demand: nothing proportional to
+	//     NumConfigs is ever allocated or scanned.
+	//   - Otherwise one pass over the configurations counts bucket sizes and a
+	//     second fills a flat CSR array (the peak is recomputed rather than
+	//     staged in an O(NumConfigs) temporary; Defining is a cheap decode).
+	var forPeak func(x int32, visit func(c int32))
 	var baseCand []int32
-	for c := 0; c < m; c++ {
-		peak := int32(-1)
-		ok := true
-		for _, o := range s.Defining(c) {
-			r := rank[o]
-			if r < 0 {
-				ok = false // a defining object is never inserted
-				break
+	if pe, ok := s.(PeakEnumerator); ok {
+		forPeak = func(x int32, visit func(c int32)) {
+			pe.EnumeratePeak(order[x], func(o int) bool {
+				r := rank[o]
+				return r >= 0 && r < x
+			}, func(c int) { visit(int32(c)) })
+		}
+		// Base candidates peak at one of the base positions. Each
+		// configuration has a single peak, so the collection is duplicate-free.
+		for i := int32(0); i < int32(nb); i++ {
+			forPeak(i, func(c int32) { baseCand = append(baseCand, c) })
+		}
+	} else {
+		m := s.NumConfigs()
+		peakRank := func(c int) (int32, bool) {
+			peak := int32(0) // an empty defining set completes within the base
+			for _, o := range s.Defining(c) {
+				r := rank[o]
+				if r < 0 {
+					return 0, false // a defining object is never inserted
+				}
+				if r > peak {
+					peak = r
+				}
 			}
-			if r > peak {
-				peak = r
+			return peak, true
+		}
+		off := make([]int32, len(order)+1)
+		for c := 0; c < m; c++ {
+			if p, ok := peakRank(c); ok {
+				off[p+1]++
 			}
 		}
-		if !ok {
-			continue
+		for i := 1; i <= len(order); i++ {
+			off[i] += off[i-1]
 		}
-		if peak < int32(nb) {
-			baseCand = append(baseCand, int32(c))
-		} else {
-			byPeak[peak] = append(byPeak[peak], int32(c))
+		buf := make([]int32, off[len(order)])
+		cur := append([]int32(nil), off[:len(order)]...)
+		for c := 0; c < m; c++ {
+			if p, ok := peakRank(c); ok {
+				buf[cur[p]] = int32(c)
+				cur[p]++
+			}
 		}
+		forPeak = func(x int32, visit func(c int32)) {
+			for _, c := range buf[off[x]:off[x+1]] {
+				visit(c)
+			}
+		}
+		baseCand = buf[:off[nb]]
 	}
 
-	created := make([]bool, m)
-	pivotOf := make([]int32, m)
 	claimed := make([]atomic.Bool, len(order))
 	var nCreated atomic.Int64
+	var aliveMu sync.Mutex
+	var alive []int
 
 	// create activates c at activation rank at (its defining peak): c enters
 	// T iff no inserted object of rank < at conflicts with it. It returns the
 	// pivot rank, or NoPivot for a final configuration, and false if c never
-	// activates.
+	// activates. Final configurations are collected immediately — no
+	// per-configuration state array survives the run.
 	create := func(c int32, at int32) (int32, bool) {
 		p := firstConflict(int(c))
 		if p < at {
 			return 0, false // killed before its defining set completes
 		}
-		created[c] = true
-		pivotOf[c] = p
+		nCreated.Add(1)
+		if p == NoPivot {
+			aliveMu.Lock()
+			alive = append(alive, int(c))
+			aliveMu.Unlock()
+		}
 		return p, true
 	}
 
 	type task struct {
 		c     int32 // pending configuration
+		pivot int32 // rank of the first conflicting object
 		round int32
 	}
 	var initial []task
@@ -179,9 +245,8 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 		if !ok {
 			continue
 		}
-		nCreated.Add(1)
 		if p != NoPivot {
-			initial = append(initial, task{c: c, round: 1})
+			initial = append(initial, task{c: c, pivot: p, round: 1})
 		}
 	}
 	if ctx != nil {
@@ -211,23 +276,22 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 			}
 			// tk.c dies here: its pivot's insertion kills it (one task per
 			// configuration, so no double counting). The first task to claim the
-			// pivot performs the insertion's creations; each configuration sits in
-			// exactly one peak bucket and each rank is claimed once, so the
-			// created/pivotOf entries have exclusive writers.
-			x := pivotOf[tk.c]
+			// pivot performs the insertion's creations; each configuration has
+			// exactly one peak rank and each rank is claimed once, so every
+			// configuration is created at most once.
+			x := tk.pivot
 			if !claimed[x].CompareAndSwap(false, true) {
 				return
 			}
-			for _, c := range byPeak[x] {
+			forPeak(x, func(c int32) {
 				p, ok := create(c, x)
 				if !ok {
-					continue
+					return
 				}
-				nCreated.Add(1)
 				if p != NoPivot {
-					emit(task{c: c, round: tk.round + 1})
+					emit(task{c: c, pivot: p, round: tk.round + 1})
 				}
-			}
+			})
 		})
 	})
 	stop()
@@ -238,11 +302,6 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 		return nil, ctx.Err()
 	}
 
-	res := &SpaceResult{Created: int(nCreated.Load()), Rounds: rounds, Widths: widths}
-	for c := 0; c < m; c++ {
-		if created[c] && pivotOf[c] == NoPivot {
-			res.Alive = append(res.Alive, c)
-		}
-	}
-	return res, nil
+	sort.Ints(alive)
+	return &SpaceResult{Alive: alive, Created: int(nCreated.Load()), Rounds: rounds, Widths: widths}, nil
 }

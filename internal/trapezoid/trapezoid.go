@@ -17,9 +17,15 @@
 package trapezoid
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrDegenerate reports input outside the space's preconditions: empty or
+// out-of-box segments, or coinciding y/endpoint coordinates. Returned
+// wrapped, with detail; the public layer maps it onto parhull.ErrDegenerate.
+var ErrDegenerate = errors.New("trapezoid: degenerate input")
 
 // Segment is a horizontal segment y = Y for X in [XL, XR].
 type Segment struct {
@@ -59,15 +65,15 @@ func NewSpace(segs []Segment, box Box) (*Space, error) {
 	xs := map[float64]bool{}
 	for i, s := range segs {
 		if s.XL >= s.XR || s.Y <= box.YB || s.Y >= box.YT || s.XL <= box.XL || s.XR >= box.XR {
-			return nil, fmt.Errorf("trapezoid: segment %d out of box or empty", i)
+			return nil, fmt.Errorf("%w: segment %d out of box or empty", ErrDegenerate, i)
 		}
 		if ys[s.Y] {
-			return nil, fmt.Errorf("trapezoid: duplicate y %v", s.Y)
+			return nil, fmt.Errorf("%w: duplicate y %v", ErrDegenerate, s.Y)
 		}
 		ys[s.Y] = true
 		for _, x := range []float64{s.XL, s.XR} {
 			if xs[x] {
-				return nil, fmt.Errorf("trapezoid: duplicate endpoint x %v", x)
+				return nil, fmt.Errorf("%w: duplicate endpoint x %v", ErrDegenerate, x)
 			}
 			xs[x] = true
 		}
@@ -204,6 +210,32 @@ func (s *Space) InConflict(c, x int) bool {
 		}
 	}
 	return s.intrudes(x, cl)
+}
+
+// FirstConflict implements engine.ConflictScanner: the cell's rectangle and
+// defining set load once and the intrusion test runs inline on registers —
+// per object, four coordinate comparisons instead of a cell decode.
+func (s *Space) FirstConflict(c int, order []int) int {
+	cl := s.cells[c]
+	def := cl.def
+	xl, xr, yb, yt := cl.xl, cl.xr, cl.yb, cl.yt
+	for r, x := range order {
+		skip := false
+		for _, o := range def {
+			if o == x {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		sg := s.segs[x]
+		if sg.Y > yb && sg.Y < yt && sg.XR > xl && sg.XL < xr {
+			return r
+		}
+	}
+	return len(order)
 }
 
 // intrudes reports whether segment x enters the open rectangle of cl.

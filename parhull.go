@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"parhull/internal/conmap"
+	"parhull/internal/delaunay"
 	"parhull/internal/engine"
 	"parhull/internal/geom"
 	"parhull/internal/hull2d"
@@ -209,6 +210,19 @@ func (o *Options) ridgeMap2D(n int) conmap.RidgeMap[*hull2d.Facet] {
 		return conmap.NewTASMap[*hull2d.Facet](o.capacity(engine.FixedMapCapacity(n, 0)))
 	default:
 		return conmap.NewShardedMap[*hull2d.Facet](o.capacity(engine.DefaultMapCapacity(n, 0)))
+	}
+}
+
+// ridgeMapDelaunay sizes the edge multimap of the Delaunay engines: each of
+// the ~2n triangles carries 3 edges, which DefaultMapCapacity(n, 2) covers.
+func (o *Options) ridgeMapDelaunay(n int) conmap.RidgeMap[*delaunay.Triangle] {
+	switch o.Map {
+	case MapCAS:
+		return conmap.NewCASMap[*delaunay.Triangle](o.capacity(engine.FixedMapCapacity(n, 2)))
+	case MapTAS:
+		return conmap.NewTASMap[*delaunay.Triangle](o.capacity(engine.FixedMapCapacity(n, 2)))
+	default:
+		return conmap.NewShardedMap[*delaunay.Triangle](o.capacity(engine.DefaultMapCapacity(n, 2)))
 	}
 }
 

@@ -127,11 +127,11 @@ func TestHalfspaceIntersectionPublic(t *testing.T) {
 }
 
 func TestUnitCircleIntersectionPublic(t *testing.T) {
-	arcs, nonempty, err := UnitCircleIntersection([]Point{{-0.5, 0}, {0.5, 0}})
+	arcs, nonempty, err := UnitCircleIntersection([]Point{{-0.5, 0}, {0.5, 0}}, nil)
 	if err != nil || !nonempty || len(arcs) != 2 {
 		t.Fatalf("lens: arcs=%d nonempty=%v err=%v", len(arcs), nonempty, err)
 	}
-	if _, _, err := UnitCircleIntersection([]Point{{0, 0}, {0, 0}}); err == nil {
+	if _, _, err := UnitCircleIntersection([]Point{{0, 0}, {0, 0}}, nil); err == nil {
 		t.Fatal("duplicate centers accepted")
 	}
 }
@@ -382,7 +382,7 @@ func TestHull3DDegeneratePublic(t *testing.T) {
 		}
 	}
 	pts = append(pts, Point{0.5, 0.5, 0}, Point{0.5, 0.5, 1})
-	faces, err := Hull3DDegenerate(pts)
+	faces, err := Hull3DDegenerate(pts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func TestHull3DDegeneratePublic(t *testing.T) {
 			t.Fatalf("face %v not a square", f.Vertices)
 		}
 	}
-	if _, err := Hull3DDegenerate([]Point{{0, 0, 0}, {0, 0, 0}, {1, 0, 0}}); err == nil {
+	if _, err := Hull3DDegenerate([]Point{{0, 0, 0}, {0, 0, 0}, {1, 0, 0}}, nil); err == nil {
 		t.Fatal("duplicates accepted")
 	}
 }
