@@ -191,6 +191,7 @@ func (b *Builder) Build(pts []Point) (out *HullDResult, err error) {
 				NoCounters:   o.NoCounters,
 				FilterGrain:  o.FilterGrain,
 				NoPlaneCache: o.NoPlaneCache,
+				NoSoALayout:  o.NoSoALayout,
 				Ctx:          o.Context,
 			}
 			if o.Engine == EngineRounds {
@@ -296,6 +297,7 @@ func (b *Builder) Build2D(pts []Point) (out *Hull2DResult, err error) {
 				NoCounters:   o.NoCounters,
 				FilterGrain:  o.FilterGrain,
 				NoPlaneCache: o.NoPlaneCache,
+				NoSoALayout:  o.NoSoALayout,
 				Ctx:          o.Context,
 			}
 			if o.Engine == EngineRounds {

@@ -12,7 +12,8 @@
 // plane (A2 ablation), sched (A3 ablation), perf (machine-readable
 // benchmark export), reuse (Builder steady-state allocation gate),
 // delaunay (extension), trapezoid (E13, the Section 4 counterexample),
-// spaces (all configuration spaces on the fast engine).
+// spaces (all configuration spaces on the fast engine), scale (large-n
+// layout A/B and 1e7+ rows; add -huge for the 1e8 row).
 package main
 
 import (
@@ -62,6 +63,7 @@ func main() {
 		{"delaunay", "EXT: dependence depth of incremental 2D Delaunay", expDelaunay},
 		{"trapezoid", "E13: the Section 4 counterexample — no constant support", expTrapezoid},
 		{"spaces", "EXT: all configuration spaces on the fast engine (BENCH_parhull.json rows)", expSpaces},
+		{"scale", "SCALE: 1e6 layout A/B + 1e7 (1e8 with -huge) large-n rows (BENCH_parhull.json)", expScale},
 	}
 	if *exp == "all" {
 		for _, e := range exps {

@@ -16,6 +16,9 @@ import (
 var reuseGate = flag.Int64("reuse-gate", 100,
 	"fail the reuse experiment if steady-state allocs/op on 3d-ball-100k exceeds this (<= 0 disables)")
 
+var reusePeakGate = flag.Float64("reuse-peak-gate", 10,
+	"fail the reuse experiment if the steady-state live-heap peak grows by more than this percentage over the previous BENCH_parhull.json reuse-steady row (<= 0 disables)")
+
 // expReuse — Builder reuse: the first Build on a parhull.Builder pays for the
 // worker pool, arenas, ridge table, and output buffers; every later Build
 // recycles them. This experiment measures both phases on the headline perf
@@ -53,27 +56,55 @@ func expReuse() {
 		}
 	})
 
+	// One counted steady-state Build (counters on, same pooled Builder state)
+	// samples the live-heap peak for the memory gate. PeakBytes needs the
+	// counter infrastructure, so it cannot come from the timed runs above.
+	counted := parhull.NewBuilder(&parhull.Options{PreHull: parhull.PreHullOff})
+	defer counted.Close()
+	if _, err := counted.Build(pts); err != nil {
+		log.Fatalf("reuse: counted warm-up build: %v", err)
+	}
+	cres, err := counted.Build(pts)
+	if err != nil {
+		log.Fatalf("reuse: counted steady build: %v", err)
+	}
+	peak := cres.Stats.PeakBytes
+
 	w := table()
-	fmt.Fprintln(w, "phase\tns/op\tallocs/op\tB/op")
-	fmt.Fprintf(w, "first-build\t%.0f\t%d\t%d\n",
+	fmt.Fprintln(w, "phase\tns/op\tallocs/op\tB/op\tpeakB")
+	fmt.Fprintf(w, "first-build\t%.0f\t%d\t%d\t\n",
 		float64(first.T.Nanoseconds())/float64(first.N), first.AllocsPerOp(), first.AllocedBytesPerOp())
-	fmt.Fprintf(w, "steady-state\t%.0f\t%d\t%d\n",
-		float64(steady.T.Nanoseconds())/float64(steady.N), steady.AllocsPerOp(), steady.AllocedBytesPerOp())
+	fmt.Fprintf(w, "steady-state\t%.0f\t%d\t%d\t%d\n",
+		float64(steady.T.Nanoseconds())/float64(steady.N), steady.AllocsPerOp(), steady.AllocedBytesPerOp(), peak)
 	w.Flush()
 
-	appendReuseEntries(len(pts), first, steady)
+	prevPeak := appendReuseEntries(len(pts), first, steady, peak)
 
 	if *reuseGate > 0 && steady.AllocsPerOp() > *reuseGate {
 		log.Fatalf("reuse gate: steady-state allocs/op = %d exceeds the gate of %d",
 			steady.AllocsPerOp(), *reuseGate)
+	}
+	// The peak gate is relative: the steady-state live-heap peak may not grow
+	// more than -reuse-peak-gate percent over the previous recorded row. A
+	// pooling regression that leaks whole arenas (rather than stray small
+	// allocations, which the allocs gate catches) shows up here first.
+	if *reusePeakGate > 0 && prevPeak > 0 && peak > 0 {
+		limit := int64(float64(prevPeak) * (1 + *reusePeakGate/100))
+		if peak > limit {
+			log.Fatalf("reuse peak gate: steady-state PeakBytes = %d exceeds %d (previous %d + %.0f%%)",
+				peak, limit, prevPeak, *reusePeakGate)
+		}
 	}
 }
 
 // appendReuseEntries merges the two reuse rows into the perf report at
 // -out (replacing any previous reuse rows; creating the report when the perf
 // experiment has not run), so BENCH_parhull.json carries the first-build and
-// steady-state numbers alongside the per-substrate rows.
-func appendReuseEntries(n int, first, steady testing.BenchmarkResult) {
+// steady-state numbers alongside the per-substrate rows. It returns the
+// PeakBytes of the reuse-steady row being replaced (0 when there is none) —
+// the baseline for the relative peak gate.
+func appendReuseEntries(n int, first, steady testing.BenchmarkResult, peak int64) int64 {
+	var prevPeak int64
 	report := perfReport{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -86,6 +117,9 @@ func appendReuseEntries(n int, first, steady testing.BenchmarkResult) {
 		if json.Unmarshal(data, &old) == nil {
 			kept := old.Entries[:0]
 			for _, e := range old.Entries {
+				if e.Sched == "reuse-steady" {
+					prevPeak = e.PeakBytes
+				}
 				if e.Sched != "reuse-first" && e.Sched != "reuse-steady" {
 					kept = append(kept, e)
 				}
@@ -97,7 +131,8 @@ func appendReuseEntries(n int, first, steady testing.BenchmarkResult) {
 	for _, row := range []struct {
 		sched string
 		r     testing.BenchmarkResult
-	}{{"reuse-first", first}, {"reuse-steady", steady}} {
+		peak  int64
+	}{{"reuse-first", first, 0}, {"reuse-steady", steady, peak}} {
 		report.Entries = append(report.Entries, perfEntry{
 			Workload:    "3d-ball-100k",
 			N:           n,
@@ -109,6 +144,7 @@ func appendReuseEntries(n int, first, steady testing.BenchmarkResult) {
 			AllocsPerOp: row.r.AllocsPerOp(),
 			BytesPerOp:  row.r.AllocedBytesPerOp(),
 			Iterations:  row.r.N,
+			PeakBytes:   row.peak,
 		})
 	}
 	data, err := json.MarshalIndent(&report, "", "  ")
@@ -120,4 +156,5 @@ func appendReuseEntries(n int, first, steady testing.BenchmarkResult) {
 		log.Fatalf("reuse: write %s: %v", *benchOut, err)
 	}
 	fmt.Printf("updated %s (%d entries)\n", *benchOut, len(report.Entries))
+	return prevPeak
 }

@@ -1,0 +1,149 @@
+package conflict
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scanBCEGolden is the expected number of bounds-check sites per kernel in
+// scan.go, by check kind. Each kernel pays exactly one IsSliceInBounds for
+// its point window and contains no IsInBounds at all: every element access
+// goes through a full-slice-expression window whose construction is the
+// only check. A count above golden means a kernel regressed to per-element
+// checking (the compiler stopped proving an access in-bounds); a count
+// below golden means the compiler improved and the golden values should be
+// ratcheted down.
+var scanBCEGolden = map[string]map[string]int{
+	"Eval3": {"IsSliceInBounds": 1, "IsInBounds": 0},
+	"Eval2": {"IsSliceInBounds": 1, "IsInBounds": 0},
+	"EvalD": {"IsSliceInBounds": 1, "IsInBounds": 0},
+}
+
+// TestScanKernelBCE recompiles scan.go with -d=ssa/check_bce and -m in a
+// throwaway single-file module and asserts two codegen contracts: no kernel
+// gained a bounds-check site beyond the golden counts above, and every
+// kernel is still inlinable — the filters' four-wide unrolled loops rely on
+// the calls disappearing (a four-points-per-call variant measurably lost
+// more to call overhead than its batching saved). The copy-to-temp-module
+// dance (rather than rebuilding the real package) keeps the check hermetic:
+// scan.go has no imports by design, so the cold-cache compile resolves
+// nothing, and the diagnostics cover exactly the file under test.
+func TestScanKernelBCE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles scan.go; skipped in -short mode")
+	}
+	goTool := filepath.Join(os.Getenv("GOROOT"), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		var lookErr error
+		goTool, lookErr = exec.LookPath("go")
+		if lookErr != nil {
+			t.Skip("go tool not found in GOROOT or PATH")
+		}
+	}
+
+	src, err := os.ReadFile("scan.go")
+	if err != nil {
+		t.Fatalf("reading scan.go: %v", err)
+	}
+
+	// Map each diagnostic line back to the kernel that owns it.
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseFile(fset, "scan.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing scan.go: %v", err)
+	}
+	type span struct {
+		name     string
+		from, to int
+	}
+	var funcs []span
+	for _, d := range parsed.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			funcs = append(funcs, span{
+				name: fd.Name.Name,
+				from: fset.Position(fd.Pos()).Line,
+				to:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	owner := func(line int) string {
+		for _, f := range funcs {
+			if line >= f.from && line <= f.to {
+				return f.name
+			}
+		}
+		return fmt.Sprintf("<line %d outside any func>", line)
+	}
+
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "scan.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module scanbce\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A warm build cache replays the cached compile without re-emitting
+	// diagnostics, so each check runs against a cold cache of its own. The
+	// two diagnostic flags need separate compiles: under -m an inlinable
+	// function is compiled twice (inline body and standalone), duplicating
+	// every check_bce line.
+	compile := func(gcflags string) string {
+		cmd := exec.Command(goTool, "build", "-gcflags="+gcflags, ".")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(), "GOCACHE="+t.TempDir(), "GOFLAGS=")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("compiling scan.go with %s: %v\n%s", gcflags, err, out)
+		}
+		return string(out)
+	}
+	out := compile("-d=ssa/check_bce")
+	inl := compile("-m")
+
+	diag := regexp.MustCompile(`scan\.go:(\d+):\d+: Found (IsInBounds|IsSliceInBounds)`)
+	got := map[string]map[string]int{}
+	for _, m := range diag.FindAllStringSubmatch(out, -1) {
+		line, _ := strconv.Atoi(m[1])
+		fn := owner(line)
+		if got[fn] == nil {
+			got[fn] = map[string]int{}
+		}
+		got[fn][m[2]]++
+	}
+
+	for fn, kinds := range got {
+		want, ok := scanBCEGolden[fn]
+		if !ok {
+			t.Errorf("%s: has bounds checks %v but no golden entry — add one (and justify the checks)", fn, kinds)
+			continue
+		}
+		for kind, n := range kinds {
+			if n > want[kind] {
+				t.Errorf("%s: %d %s sites, golden %d — a kernel access lost its bounds-check elimination", fn, n, kind, want[kind])
+			}
+		}
+	}
+	for fn, want := range scanBCEGolden {
+		for kind, n := range want {
+			if g := got[fn][kind]; g < n {
+				t.Logf("%s: %d %s sites, golden %d — compiler improved; ratchet the golden value down", fn, g, kind, n)
+			}
+		}
+	}
+
+	for fn := range scanBCEGolden {
+		if !strings.Contains(inl, "can inline "+fn) {
+			t.Errorf("%s is no longer inlinable — the four-wide unrolled filter loops degrade to real calls", fn)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package conflict
+
+// Dimension-specialized plane-evaluation kernels for the fused visibility
+// filter. Each kernel evaluates one folded plane at ONE point and is small
+// enough for the compiler to inline (verified by TestScanKernelBCE):
+// the filters' hot loops unroll four calls per step, so after inlining the
+// four signed-distance computations are independent instruction streams —
+// four coordinate gathers in flight — with no call overhead at all. An
+// earlier four-points-per-call form lost more to the (non-inlinable) call
+// than the batching saved.
+//
+// The kernels are pure evaluation: they return signed distances by value
+// and leave classification and list appends to the caller — returning an
+// appended slice here would make the caller's stack-allocated sidecar
+// buffers escape to the heap (one allocation per merge-filter call), which
+// is exactly what the arena path exists to avoid.
+//
+// Bounds-check-elimination discipline (verified by TestScanKernelBCE, which
+// recompiles this file with -gcflags=-d=ssa/check_bce and fails on new
+// IsInBounds/IsSliceInBounds sites):
+//   - point ids convert through uint32 before widening to int, proving the
+//     offset non-negative to the prover;
+//   - each point's coordinates are taken as a full-slice-expression window
+//     c[o : o+3 : o+3], which costs exactly one IsSliceInBounds and makes
+//     every element access within the window check-free.
+//
+// This file must stay free of imports: the BCE regression test compiles it
+// as a standalone package in a throwaway module, which only works — and only
+// stays fast under a cold GOCACHE — because there is nothing to resolve.
+//
+// Summation order is load-bearing: each kernel reproduces geom.Plane.Eval's
+// branch for its dimension bit for bit (d=2,3: terms ascending, offset
+// subtracted last; generic: offset first, then ascending terms), so the
+// batch filters classify identically to the pointwise visible() closure.
+
+// Eval3 evaluates one 3D plane (normal n0,n1,n2, offset off) at point v of
+// the coordinate stream c (layout: point v at c[3v:3v+3]).
+func Eval3(c []float64, v int32, n0, n1, n2, off float64) float64 {
+	o := int(uint32(v)) * 3
+	x := c[o : o+3 : o+3]
+	return n0*x[0] + n1*x[1] + n2*x[2] - off
+}
+
+// Eval2 evaluates one 2D plane at point v (layout: point v at c[2v:2v+2]).
+func Eval2(c []float64, v int32, n0, n1, off float64) float64 {
+	o := int(uint32(v)) * 2
+	x := c[o : o+2 : o+2]
+	return n0*x[0] + n1*x[1] - off
+}
+
+// EvalD evaluates a d-dimensional plane (normal n, stride len(n)) at point
+// v — the generic fallback that keeps d=4..6 working on the same fused
+// path. The window trick still applies; the inner product loop ranges over
+// the normal, so its accesses into the window are check-free after the
+// single window construction.
+func EvalD(c, n []float64, v int32, off float64) float64 {
+	d := len(n)
+	o := int(uint32(v)) * d
+	x := c[o : o+d : o+d]
+	s := -off
+	for i, ni := range n {
+		s += ni * x[i]
+	}
+	return s
+}

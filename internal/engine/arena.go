@@ -36,6 +36,11 @@ type Arena[FV any] struct {
 	blocks     [][]int32 // every block, in allocation order
 	usedBlocks int       // blocks consumed this cycle
 
+	// Planes is the structure-of-arrays plane storage of this worker's
+	// facets (see PlaneArena): one row per plane-cached facet, carved in
+	// creation order alongside the facet slab.
+	Planes PlaneArena
+
 	// Scratch is the worker's reusable merge-filter buffer (see
 	// conflict.Scratch): steady-state conflict filtering touches no
 	// sync.Pool and stays hot in the worker's cache.
@@ -153,6 +158,7 @@ func (a *Arena[FV]) Reset() {
 	a.facets = nil
 	a.usedBlocks = 0
 	a.block = nil
+	a.Planes.Reset()
 }
 
 // ArenaPool hands arenas to transient holders — the Group schedule's

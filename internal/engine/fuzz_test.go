@@ -21,9 +21,10 @@ import (
 // (previously pinned only on fixed seeds). Inputs the engines reject as
 // degenerate are skipped — rejection must then be unanimous.
 //
-// With a non-zero mutate parameter the input is corrupted instead — NaN or
-// infinite coordinates, duplicated points, a fully collinear cloud, or a
-// starved fixed ridge table — and the run goes through the public API, which
+// With a non-zero mutate parameter the input is hostile instead — NaN or
+// infinite coordinates, duplicated points, a fully collinear cloud, a
+// starved fixed ridge table, a duplicate-heavy cloud, or a grid-quantized
+// near-degenerate cloud — and the run goes through the public API, which
 // must come back with a typed error or a valid hull, never a panic (the
 // robustness acceptance bar).
 func FuzzEngineEquivalence(f *testing.F) {
@@ -31,11 +32,13 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(int64(2), uint8(40), uint8(3), true, uint8(0))
 	f.Add(int64(3), uint8(9), uint8(4), false, uint8(0))
 	f.Add(int64(99), uint8(64), uint8(2), true, uint8(0))
-	f.Add(int64(5), uint8(30), uint8(2), false, uint8(1)) // NaN coordinate
-	f.Add(int64(6), uint8(30), uint8(3), true, uint8(2))  // +Inf coordinate
-	f.Add(int64(7), uint8(30), uint8(2), false, uint8(3)) // duplicated point
-	f.Add(int64(8), uint8(30), uint8(3), false, uint8(4)) // collinear cloud
-	f.Add(int64(9), uint8(64), uint8(2), true, uint8(5))  // tiny fixed table
+	f.Add(int64(5), uint8(30), uint8(2), false, uint8(1))  // NaN coordinate
+	f.Add(int64(6), uint8(30), uint8(3), true, uint8(2))   // +Inf coordinate
+	f.Add(int64(7), uint8(30), uint8(2), false, uint8(3))  // duplicated point
+	f.Add(int64(8), uint8(30), uint8(3), false, uint8(4))  // collinear cloud
+	f.Add(int64(9), uint8(64), uint8(2), true, uint8(5))   // tiny fixed table
+	f.Add(int64(10), uint8(48), uint8(2), false, uint8(6)) // duplicate-heavy cloud
+	f.Add(int64(11), uint8(48), uint8(3), false, uint8(7)) // quantized near-degenerate cloud
 	f.Fuzz(func(t *testing.T, seed int64, n, dim uint8, sphere bool, mutate uint8) {
 		d := 2 + int(dim)%3 // dimensions 2..4
 		np := int(n)
@@ -49,8 +52,16 @@ func FuzzEngineEquivalence(f *testing.F) {
 		} else {
 			pts = pointgen.UniformBall(rng, np, d)
 		}
-		if m := mutate % 6; m != 0 {
-			fuzzPublic(t, mutatePoints(pts, m, seed), d, m)
+		if m := mutate % 8; m != 0 {
+			switch m {
+			case 6:
+				pts = pointgen.DuplicateHeavy(pointgen.NewRNG(seed), np, d, 0.5)
+			case 7:
+				pts = pointgen.NearDegenerate(pointgen.NewRNG(seed), np, d, 0)
+			default:
+				pts = mutatePoints(pts, m, seed)
+			}
+			fuzzPublic(t, pts, d, m)
 			return
 		}
 		if d == 2 {

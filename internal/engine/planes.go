@@ -1,0 +1,92 @@
+package engine
+
+// Structure-of-arrays plane storage for the conflict-scan hot path. Each
+// facet's cached hyperplane — normal, offset, and static certification
+// threshold — is split into contiguous per-field arrays indexed by a row id,
+// so the fused visibility filter reads plane coefficients as flat streams
+// instead of chasing them through ~200-byte facet records scattered across
+// facet slabs. Rows are handed out in facet-creation order, which on every
+// schedule approximates the order the conflict scan later revisits them.
+//
+// The layout obeys the same grow-only/rewind discipline as the rest of the
+// arena (see Arena): slab arrays are allocated once at a fixed capacity and
+// NEVER grown or moved, so a published row reference stays valid for the
+// lifetime of the Result; Reset rewinds the cursors and retains the slabs
+// for the next construction. Rows need no zeroing on rewind — every field
+// of a row is fully written before the owning facet is published, and a
+// facet reaches other workers only through the ridge table or the facet
+// log, both of which order those writes before any cross-worker read (the
+// same happens-before edge the facet struct itself relies on).
+
+// planeSlabRows is the row capacity of one plane slab, matching the facet
+// slab size so one plane slab covers one facet slab exactly.
+const planeSlabRows = arenaFacetSlab
+
+// PlaneSlab is one fixed-capacity block of plane rows in per-field layout.
+// Row i of a slab with stride d occupies Norms[i*d : (i+1)*d], Offs[i], and
+// Eps[i]. The arrays are pointer-free, so retained slabs cost the garbage
+// collector nothing to scan.
+type PlaneSlab struct {
+	Norms []float64
+	Offs  []float64
+	Eps   []float64
+}
+
+// PlaneArena is the bump allocator of plane rows, one per worker arena. It
+// is single-owner like its enclosing Arena: only the owning worker carves
+// rows, so no synchronization is needed. Slabs are retained across
+// constructions and rewound by Reset; a construction in a different
+// dimension discards them (stride is baked into the row layout).
+type PlaneArena struct {
+	cur    *PlaneSlab
+	row    int // rows used in cur
+	slabs  []*PlaneSlab
+	used   int // slabs consumed this cycle
+	stride int
+}
+
+// Row carves the next plane row for a facet in dimension stride, returning
+// the slab and the row index within it. The caller must fully write the
+// row's Norms/Offs/Eps fields before publishing the facet that references
+// them.
+func (pa *PlaneArena) Row(stride int) (*PlaneSlab, int32) {
+	if pa.cur == nil || pa.row == planeSlabRows {
+		pa.grab(stride)
+	}
+	r := pa.row
+	pa.row++
+	return pa.cur, int32(r)
+}
+
+// grab advances to the next retained slab, discarding every retained slab
+// when the construction dimension changed (rare: a reused Builder switching
+// dimensions) and allocating a fresh slab when none remains.
+func (pa *PlaneArena) grab(stride int) {
+	if pa.stride != stride {
+		pa.slabs = pa.slabs[:0]
+		pa.used = 0
+		pa.stride = stride
+	}
+	if pa.used < len(pa.slabs) {
+		pa.cur = pa.slabs[pa.used]
+	} else {
+		pa.cur = &PlaneSlab{
+			Norms: make([]float64, planeSlabRows*stride),
+			Offs:  make([]float64, planeSlabRows),
+			Eps:   make([]float64, planeSlabRows),
+		}
+		pa.slabs = append(pa.slabs, pa.cur)
+	}
+	pa.used++
+	pa.row = 0
+}
+
+// Reset rewinds the plane arena for the next construction, retaining every
+// slab. Rows are not zeroed: stale rows are unreachable once the facet
+// slots referencing them are cleared (Arena.Reset), and live rows are fully
+// overwritten before publication.
+func (pa *PlaneArena) Reset() {
+	pa.cur = nil
+	pa.row = 0
+	pa.used = 0
+}

@@ -5,22 +5,40 @@ import (
 	"parhull/internal/conmap"
 )
 
+// shardedPresizeCap bounds the pre-size of the growable sharded map. The
+// (d+1)n expectation is only reached by boundary-heavy inputs (points on a
+// sphere); interior-heavy inputs create far fewer ridges, and zeroing a
+// (d+1)n-entry empty table up front dominated the 3d-ball-1m profile (21%
+// of wall time in map memclr at n=1e6, and ~40x that sunk cost at n=1e7).
+// A capped pre-size keeps small constructions rehash-free while huge ones
+// grow on demand — amortized O(1) per insert, paid only for ridges that
+// actually exist.
+const shardedPresizeCap = 1 << 18
+
 // DefaultMapCapacity is the sizing rule for growable ridge multimaps: the
 // expected number of distinct ridges touched by a construction on n points
 // in dimension d — every facet registers at most d ridges and the expected
-// number of created facets is O(d·n) for a random order. This is a pre-size,
-// not a limit: the sharded map grows past it, so over-sizing only wastes
-// memory (a 4x pre-size costs ~90 MB and ~10% wall-clock on the ball-100k
-// benchmark for nothing). Earlier code used this rule internally but 4x it
-// in the public layer; the driver now owns both rules — see
-// FixedMapCapacity for the tables that genuinely need the headroom.
-func DefaultMapCapacity(n, d int) int { return (d + 1) * n }
+// number of created facets is O(d·n) for a random order — capped by
+// shardedPresizeCap. This is a pre-size, not a limit: the sharded map grows
+// past it, so over-sizing only wastes memory and zeroing time (a 4x
+// pre-size costs ~90 MB and ~10% wall-clock on the ball-100k benchmark for
+// nothing, and the uncapped rule itself was 21% of the ball-1m profile).
+// See FixedMapCapacity for the tables that genuinely need full headroom.
+func DefaultMapCapacity(n, d int) int {
+	c := (d + 1) * n
+	if c > shardedPresizeCap {
+		c = shardedPresizeCap
+	}
+	return c
+}
 
 // FixedMapCapacity is the sizing rule for the fixed-capacity CAS/TAS tables
 // (the paper's Algorithms 4/5): open-addressing with no growth, so they must
 // never fill. 4x the expected ridge count keeps the load factor low even on
-// adversarial inputs where every point is a hull vertex (sphere workloads).
-func FixedMapCapacity(n, d int) int { return 4 * DefaultMapCapacity(n, d) }
+// adversarial inputs where every point is a hull vertex (sphere workloads);
+// unlike DefaultMapCapacity it is never capped — a fixed table sized below
+// the ridge count would fail, not slow down.
+func FixedMapCapacity(n, d int) int { return 4 * (d + 1) * n }
 
 // ConmapTable adapts a conmap.RidgeMap (MapSharded/MapCAS/MapTAS) to the
 // driver's Table over sorted-index-slice ridges. Ridge slices are retained

@@ -1,24 +1,43 @@
 package hull2d
 
-import "parhull/internal/geom"
+import (
+	"parhull/internal/conflict"
+	"parhull/internal/geom"
+)
 
 // This file implements the kernel's batch visibility filter — the
 // conflict.Filter side of the two-phase merge/filter pipeline (DESIGN.md
-// §4.3). Where visible() decides one point per indirect call, filterVisible
-// streams a whole candidate run through the cached-line dot product in one
-// tight loop over the flat point store: the line coefficients sit in
-// registers, bounds checks amortize to one slice operation per point, and
-// the float-filter branch costs two predictable comparisons. Candidates the
+// §4.3) and its fused merge form. Where visible() decides one point per
+// indirect call, the filters stream a whole candidate run through the
+// cached-line dot product in tight loops over the flat point store, using
+// the dimension-specialized kernels in internal/conflict (DESIGN.md §4.7):
+// scattered candidate lists unroll four inlined conflict.Eval2 calls per
+// step, so four independent coordinate gathers are in flight at once with
+// no call overhead. Lines are stored folded (initPlane) — positive
+// certifies visible —
+// and read from the arena's structure-of-arrays rows when published
+// (lineRow), so the per-test negation of earlier revisions is gone while
+// every classification stays bit-identical to visible(). Candidates the
 // static filter cannot certify are collected into a small sidecar and
-// resolved by the exact Orient2D predicate after the loop, then value-merged
-// back into position, so the survivor list is byte-identical to the
-// pointwise path (asserted by TestBatchFilterMatchesClosure).
+// resolved by the exact Orient2D predicate after the loop, then
+// value-merged back into position, so the survivor list is byte-identical
+// to the pointwise path (asserted by TestBatchFilterMatchesClosure).
+//
+// Escape discipline: the sidecar and the merge chunk live in fixed-size
+// stack buffers; the conflict kernels are pure evaluation and every append
+// stays in this file, so steady-state filtering performs no heap
+// allocation (enforced by the reuse allocs gate).
 
 // uncertainCap is the stack capacity of the per-batch uncertain sidecar. On
 // random inputs the static filter certifies essentially every test, so the
 // sidecar almost never spills; adversarially collinear inputs overflow into
 // a heap append, which is correct and merely slower.
 const uncertainCap = 24
+
+// mergeChunk is the stack capacity of the fused merge's candidate chunk:
+// the two-pointer merge deposits up to this many surviving candidates, then
+// one four-wide classification pass consumes them.
+const mergeChunk = 64
 
 // facetFilter binds the engine and one edge as the batch filter of that
 // edge's visibility predicate. It is passed by value through the generic
@@ -43,20 +62,33 @@ func (ff facetFilter) FilterMerge(c1, c2 []int32, drop int32, dst []int32) []int
 	return ff.e.filterVisibleMerge(ff.f, c1, c2, drop, dst)
 }
 
+// lineRow returns f's folded line for the batch scan: the coefficients of
+// its structure-of-arrays row when one was published, otherwise the inline
+// copy. Both hold identical bits (initPlane writes the same folded values
+// to both), so the choice affects only memory layout. ok=false means the
+// line cache is off: the caller must run the exact predicate.
+func (e *engine) lineRow(f *Facet) (n0, n1, off, eps float64, ok bool) {
+	if e.planeEps <= 0 {
+		return 0, 0, 0, 0, false
+	}
+	if ps := f.ps; ps != nil {
+		o := int(f.pi) * 2
+		return ps.Norms[o], ps.Norms[o+1], ps.Offs[f.pi], ps.Eps[f.pi], true
+	}
+	return f.nx, f.ny, f.off, e.planeEps, true
+}
+
 // filterVisible appends to dst the candidates visible from f, in order —
 // the batch equivalent of appending every v with visible(v, f), with
 // identical counter totals (tests counted per batch, fallbacks per sidecar
-// entry). The cached line is negated so visibility is the positive side
-// (n0*x + n1*y > off'): negation is exact in IEEE arithmetic, so every
-// classification — including which candidates land in the uncertain band —
-// matches visible() bit for bit.
+// entry).
 func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 	if len(cands) == 0 {
 		return dst
 	}
 	e.rec.VTests.Add(uint64(cands[0]), int64(len(cands)))
-	eps := e.planeEps
-	if eps <= 0 {
+	n0, n1, off, eps, ok := e.lineRow(f)
+	if !ok {
 		for _, v := range cands {
 			if e.exactVisible(v, f) {
 				dst = append(dst, v)
@@ -67,12 +99,37 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 	base := len(dst)
 	var ubuf [uncertainCap]int32
 	uncertain := ubuf[:0]
-	n0, n1, off := -f.nx, -f.ny, -f.off
 	c := e.store.Coords()
-	for _, v := range cands {
-		o := int(v) * 2
-		x := c[o : o+2 : o+2]
-		s := n0*x[0] + n1*x[1] - off
+	k := 0
+	for ; k+4 <= len(cands); k += 4 {
+		g := cands[k : k+4 : k+4]
+		s0 := conflict.Eval2(c, g[0], n0, n1, off)
+		s1 := conflict.Eval2(c, g[1], n0, n1, off)
+		s2 := conflict.Eval2(c, g[2], n0, n1, off)
+		s3 := conflict.Eval2(c, g[3], n0, n1, off)
+		if s0 > eps {
+			dst = append(dst, g[0])
+		} else if s0 >= -eps {
+			uncertain = append(uncertain, g[0])
+		}
+		if s1 > eps {
+			dst = append(dst, g[1])
+		} else if s1 >= -eps {
+			uncertain = append(uncertain, g[1])
+		}
+		if s2 > eps {
+			dst = append(dst, g[2])
+		} else if s2 >= -eps {
+			uncertain = append(uncertain, g[2])
+		}
+		if s3 > eps {
+			dst = append(dst, g[3])
+		} else if s3 >= -eps {
+			uncertain = append(uncertain, g[3])
+		}
+	}
+	for _, v := range cands[k:] {
+		s := conflict.Eval2(c, v, n0, n1, off)
 		if s > eps {
 			dst = append(dst, v)
 		} else if s >= -eps {
@@ -87,14 +144,15 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 
 // filterVisibleRange is filterVisible over the contiguous candidates
 // [from, to): the store rows stream sequentially, so the offset advances by
-// the stride instead of being recomputed per point.
+// the stride instead of being recomputed per point, and the hardware
+// prefetcher hides the latency.
 func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int32 {
 	if to <= from {
 		return dst
 	}
 	e.rec.VTests.Add(uint64(from), int64(to-from))
-	eps := e.planeEps
-	if eps <= 0 {
+	n0, n1, off, eps, ok := e.lineRow(f)
+	if !ok {
 		for v := from; v < to; v++ {
 			if e.exactVisible(v, f) {
 				dst = append(dst, v)
@@ -105,7 +163,6 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 	base := len(dst)
 	var ubuf [uncertainCap]int32
 	uncertain := ubuf[:0]
-	n0, n1, off := -f.nx, -f.ny, -f.off
 	c := e.store.Coords()
 	o := int(from) * 2
 	for v := from; v < to; v++ {
@@ -125,9 +182,12 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 }
 
 // filterVisibleMerge fuses the ascending merge of two conflict lists with
-// the visibility classification, never materializing the merged candidate
-// run. Survivors, order, and counter totals are identical to filterVisible
-// over MergeInto(nil, c1, c2, drop).
+// the visibility classification, chunked like the hulld 3D path: the scalar
+// two-pointer merge deposits surviving candidates into a stack buffer and
+// each full (or final) chunk is consumed by the four-wide kernel, so the
+// merged run is never written to allocated scratch and re-read. Survivors,
+// order, and counter totals are identical to filterVisible over
+// MergeInto(nil, c1, c2, drop).
 func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []int32) []int32 {
 	if len(c1)+len(c2) == 0 {
 		return dst
@@ -141,8 +201,8 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 		key = uint64(c2[0])
 	}
 	var tested int64
-	eps := e.planeEps
-	if eps <= 0 {
+	n0, n1, off, eps, ok := e.lineRow(f)
+	if !ok {
 		i, j := 0, 0
 		for i < len(c1) && j < len(c2) {
 			v := c1[i]
@@ -184,49 +244,90 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 	base := len(dst)
 	var ubuf [uncertainCap]int32
 	uncertain := ubuf[:0]
-	n0, n1, off := -f.nx, -f.ny, -f.off
 	c := e.store.Coords()
+	var buf [mergeChunk]int32
 	i, j := 0, 0
-	for i < len(c1) && j < len(c2) {
-		v := c1[i]
-		if v < c2[j] {
-			i++
-		} else if v > c2[j] {
-			v = c2[j]
-			j++
-		} else {
-			i++
-			j++
+	for {
+		// Fill the chunk: merge head while both lists remain, then drain
+		// whichever tail is left. Only non-drop candidates are deposited,
+		// so tested advances by exactly the chunk fill.
+		m := 0
+		for m < mergeChunk && i < len(c1) && j < len(c2) {
+			v := c1[i]
+			if v < c2[j] {
+				i++
+			} else if v > c2[j] {
+				v = c2[j]
+				j++
+			} else {
+				i++
+				j++
+			}
+			if v == drop {
+				continue
+			}
+			buf[m] = v
+			m++
 		}
-		if v == drop {
-			continue
+		if m < mergeChunk {
+			for m < mergeChunk && i < len(c1) {
+				if v := c1[i]; v != drop {
+					buf[m] = v
+					m++
+				}
+				i++
+			}
+			for m < mergeChunk && j < len(c2) {
+				if v := c2[j]; v != drop {
+					buf[m] = v
+					m++
+				}
+				j++
+			}
 		}
-		tested++
-		o := int(v) * 2
-		x := c[o : o+2 : o+2]
-		s := n0*x[0] + n1*x[1] - off
-		if s > eps {
-			dst = append(dst, v)
-		} else if s >= -eps {
-			uncertain = append(uncertain, v)
+		if m == 0 {
+			break
 		}
-	}
-	tail := c1[i:]
-	if j < len(c2) {
-		tail = c2[j:]
-	}
-	for _, v := range tail {
-		if v == drop {
-			continue
+		tested += int64(m)
+		q := buf[:m]
+		k := 0
+		for ; k+4 <= m; k += 4 {
+			g := q[k : k+4 : k+4]
+			s0 := conflict.Eval2(c, g[0], n0, n1, off)
+			s1 := conflict.Eval2(c, g[1], n0, n1, off)
+			s2 := conflict.Eval2(c, g[2], n0, n1, off)
+			s3 := conflict.Eval2(c, g[3], n0, n1, off)
+			if s0 > eps {
+				dst = append(dst, g[0])
+			} else if s0 >= -eps {
+				uncertain = append(uncertain, g[0])
+			}
+			if s1 > eps {
+				dst = append(dst, g[1])
+			} else if s1 >= -eps {
+				uncertain = append(uncertain, g[1])
+			}
+			if s2 > eps {
+				dst = append(dst, g[2])
+			} else if s2 >= -eps {
+				uncertain = append(uncertain, g[2])
+			}
+			if s3 > eps {
+				dst = append(dst, g[3])
+			} else if s3 >= -eps {
+				uncertain = append(uncertain, g[3])
+			}
 		}
-		tested++
-		o := int(v) * 2
-		x := c[o : o+2 : o+2]
-		s := n0*x[0] + n1*x[1] - off
-		if s > eps {
-			dst = append(dst, v)
-		} else if s >= -eps {
-			uncertain = append(uncertain, v)
+		for _, v := range q[k:] {
+			s := conflict.Eval2(c, v, n0, n1, off)
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+		if m < mergeChunk {
+			break
 		}
 	}
 	if tested > 0 {

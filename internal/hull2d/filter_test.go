@@ -38,8 +38,8 @@ func filterTestPoints() []geom.Point {
 // uncertain band, and the exact fallback actually fires.
 func TestBatchFilterMatchesClosure(t *testing.T) {
 	pts := filterTestPoints()
-	eb := newEngine(pts, 3, true, 0, 1, false, true)
-	ec := newEngine(pts, 3, true, 0, 1, false, false)
+	eb := newEngine(pts, 3, true, 0, 1, false, true, false)
+	ec := newEngine(pts, 3, true, 0, 1, false, false, false)
 	fb, err := eb.initialHull()
 	if err != nil {
 		t.Fatal(err)
@@ -105,8 +105,8 @@ func TestBatchFilterMatchesClosure(t *testing.T) {
 // per candidate and still match the closure path.
 func TestBatchFilterNoPlaneCache(t *testing.T) {
 	pts := filterTestPoints()
-	eb := newEngine(pts, 3, true, 0, 1, true, true)
-	ec := newEngine(pts, 3, true, 0, 1, true, false)
+	eb := newEngine(pts, 3, true, 0, 1, true, true, false)
+	ec := newEngine(pts, 3, true, 0, 1, true, false, false)
 	fb, err := eb.initialHull()
 	if err != nil {
 		t.Fatal(err)

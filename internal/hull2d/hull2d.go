@@ -92,10 +92,19 @@ type Facet struct {
 	Depth int32   // configuration-dependence-graph depth (Definition 4.1)
 	Round int32   // round of creation (rounds engine; 0 for initial facets)
 
-	// Cached line of the edge: sign(nx*x + ny*y - off) = Orient2D(A, B, p)
-	// whenever |nx*x + ny*y - off| exceeds the engine's static threshold.
+	// Cached line of the edge, stored folded (visible-positive):
+	// sign(nx*x + ny*y - off) = -Orient2D(A, B, p) whenever
+	// |nx*x + ny*y - off| exceeds the engine's static threshold, so a
+	// positive evaluation certifies visible with no per-test negation.
 	// Zero (unused) when the engine runs with the cache disabled.
 	nx, ny, off float64
+
+	// ps/pi locate this edge's line row in the worker arena's
+	// structure-of-arrays plane storage (engine.PlaneArena); the batch
+	// filter streams coefficients from there when ps != nil. nil on the
+	// heap paths and under the Options.NoSoALayout ablation.
+	ps *eng.PlaneSlab
+	pi int32
 
 	// mark is scratch for the sequential engine's per-insertion visible-set
 	// membership (holds the insertion index; never touched concurrently).
@@ -163,6 +172,7 @@ type engine struct {
 	grain    int              // conflict-filter parallel grain (0 = default)
 	planeEps float64          // static certification threshold; 0 = cache off
 	batch    bool             // batch visibility filter (filter.go) vs pointwise closure
+	soa      bool             // publish line rows into the arena SoA storage
 	rec      *hullstats.Recorder
 
 	log *facetlog.Log[*Facet] // every facet ever created
@@ -194,16 +204,32 @@ func (e *engine) key1(v int32) conmap.Key {
 	return conmap.MakeKey(e.ridgeIDs[v : v+1 : v+1])
 }
 
-// initPlane caches f's line: N = (a_y - b_y, b_x - a_x) so that
-// sign(N·p - off) = Orient2D(A, B, p) outside the static threshold.
-func (e *engine) initPlane(f *Facet) {
+// initPlane caches f's line folded: N = (b_y - a_y, a_x - b_x), the exact
+// negation of the Orient2D cofactor normal, so sign(N·p - off) =
+// -Orient2D(A, B, p) outside the static threshold — positive certifies
+// visible. IEEE negation is exact (b-a == -(a-b) bit for bit, and the
+// offset's negated products sum to the negated offset), so folding changes
+// no classification relative to evaluating the unfolded line and flipping.
+// With the SoA layout on and a worker arena supplied, the folded line is
+// additionally published as a row of the arena's PlaneArena, fully written
+// before the facet escapes this worker.
+func (e *engine) initPlane(a *arena, f *Facet) {
 	if e.planeEps <= 0 {
 		return
 	}
-	a, b := e.store.Row(f.A), e.store.Row(f.B)
-	f.nx = a[1] - b[1]
-	f.ny = b[0] - a[0]
-	f.off = f.nx*a[0] + f.ny*a[1]
+	pa, pb := e.store.Row(f.A), e.store.Row(f.B)
+	f.nx = pb[1] - pa[1]
+	f.ny = pa[0] - pb[0]
+	f.off = f.nx*pa[0] + f.ny*pa[1]
+	if e.soa && a != nil {
+		ps, pi := a.Planes.Row(2)
+		o := int(pi) * 2
+		ps.Norms[o] = f.nx
+		ps.Norms[o+1] = f.ny
+		ps.Offs[pi] = f.off
+		ps.Eps[pi] = e.planeEps
+		f.ps, f.pi = ps, pi
+	}
 }
 
 // visible reports whether point v lies strictly outside edge f (strictly to
@@ -216,10 +242,10 @@ func (e *engine) visible(v int32, f *Facet) bool {
 		row := e.store.Row(v)
 		s := f.nx*row[0] + f.ny*row[1] - f.off
 		if s > eps {
-			return false // certified strictly left: not visible
+			return true // folded line: positive certifies strictly right, visible
 		}
 		if s < -eps {
-			return true // certified strictly right: visible
+			return false // certified strictly left: not visible
 		}
 		e.rec.Fallbacks.Inc(uint64(v))
 	}
@@ -246,7 +272,7 @@ func (e *engine) newFacet(a *arena, r, p int32, t1, t2 *Facet, round int32) *Fac
 	}
 	f.Depth = 1 + max32(t1.Depth, t2.Depth)
 	f.Round = round
-	e.initPlane(f)
+	e.initPlane(a, f)
 	f.Conf = e.mergeFilter(a, t1.Conf, t2.Conf, p, f)
 	e.record(f)
 	return f
@@ -331,7 +357,7 @@ func (e *engine) initialHull() ([]*Facet, error) {
 	for i := 0; i < e.base; i++ {
 		f := a.Facet()
 		f.A, f.B = order[i], order[(i+1)%e.base]
-		e.initPlane(f)
+		e.initPlane(a, f)
 		facets = append(facets, f)
 	}
 	if e.ru != nil {
@@ -423,13 +449,14 @@ func (e *engine) collectResult(rounds int) (*Result, error) {
 // newEngine assembles engine state. stripes sizes the facet log: the
 // sequential engine passes 1 to keep Result.Created in creation order; the
 // parallel engines stripe by worker count so record() does not serialize.
-func newEngine(pts []geom.Point, base int, counters bool, grain, stripes int, noPlane, batch bool) *engine {
+func newEngine(pts []geom.Point, base int, counters bool, grain, stripes int, noPlane, batch, soa bool) *engine {
 	e := &engine{
 		pts:   pts,
 		store: geom.NewPointStore(pts),
 		base:  base,
 		grain: grain,
 		batch: batch,
+		soa:   soa,
 		rec:   hullstats.NewRecorder(counters),
 		log:   facetlog.New[*Facet](stripes),
 	}

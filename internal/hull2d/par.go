@@ -49,6 +49,12 @@ type Options struct {
 	// path instead of the batch filter pipeline (the filter ablation in
 	// cmd/hullbench). The survivor lists are identical either way.
 	NoBatchFilter bool
+	// NoSoALayout keeps each edge's cached line inline in the facet record
+	// instead of additionally publishing it into the worker arena's
+	// structure-of-arrays plane rows (the layout ablation in cmd/hullbench's
+	// scale experiment). Folded values are identical in both layouts, so the
+	// edge output is bit-for-bit the same either way.
+	NoSoALayout bool
 	// Trace records per-round events (rounds engine only).
 	Trace bool
 	// Ctx, when non-nil, cancels the construction cooperatively at
@@ -82,6 +88,8 @@ func (o *Options) filterGrain() int {
 func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
 
 func (o *Options) batchFilter() bool { return o == nil || !o.NoBatchFilter }
+
+func (o *Options) soaLayout() bool { return o == nil || !o.NoSoALayout }
 
 func (o *Options) schedKind() sched.Kind {
 	if o == nil {
@@ -176,7 +184,7 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if opt != nil {
 		ru = opt.Reuse
 	}
-	e := engineFor(ru, pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
+	e := engineFor(ru, pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter(), opt.soaLayout())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

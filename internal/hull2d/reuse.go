@@ -53,13 +53,13 @@ func (ru *Reuse) Reset() {
 // reloaded. The rewind happens at the start of the next construction, so an
 // aborted or panicked construction needs no cleanup to keep the Reuse usable
 // and the previous Result stays valid until the next call.
-func engineFor(ru *Reuse, pts []geom.Point, base int, counters bool, grain, stripes int, noPlane, batch bool) *engine {
+func engineFor(ru *Reuse, pts []geom.Point, base int, counters bool, grain, stripes int, noPlane, batch, soa bool) *engine {
 	if ru == nil {
-		return newEngine(pts, base, counters, grain, stripes, noPlane, batch)
+		return newEngine(pts, base, counters, grain, stripes, noPlane, batch, soa)
 	}
 	ru.pool.Reset()
 	if ru.e == nil {
-		e := newEngine(pts, base, counters, grain, stripes, noPlane, batch)
+		e := newEngine(pts, base, counters, grain, stripes, noPlane, batch, soa)
 		e.ru = ru
 		ru.e = e
 		return e
@@ -70,6 +70,7 @@ func engineFor(ru *Reuse, pts []geom.Point, base int, counters bool, grain, stri
 	e.base = base
 	e.grain = grain
 	e.batch = batch
+	e.soa = soa
 	e.ridgeIDs = nil
 	e.trace = nil
 	e.planeEps = 0

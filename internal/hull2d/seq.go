@@ -98,7 +98,7 @@ func seqFrom(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, b
 	if err := geom.ValidateCloud(pts, 2); err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, base, counters, 0, 1, noPlane, true)
+	e := newEngine(pts, base, counters, 0, 1, noPlane, true, false)
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

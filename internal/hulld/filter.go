@@ -1,24 +1,43 @@
 package hulld
 
-import "parhull/internal/geom"
+import "parhull/internal/conflict"
 
 // This file implements the kernel's batch visibility filter — the
 // conflict.Filter side of the two-phase merge/filter pipeline (DESIGN.md
-// §4.3). Where visible() decides one point per indirect call, filterVisible
-// streams a whole candidate run through the cached-plane dot product in one
-// tight loop over the flat point store: the plane coefficients sit in
-// registers, bounds checks amortize to one slice operation per point, and
-// the float-filter branch costs two predictable comparisons. Candidates the
-// static filter cannot certify are collected into a small sidecar and
-// resolved by the exact predicate only after the loop, then value-merged
-// back into position, so the survivor list is byte-identical to the
-// pointwise path (asserted by TestBatchFilterMatchesClosure).
+// §4.3) and its fused merge form. Where visible() decides one point per
+// indirect call, the filters stream a whole candidate run through the
+// cached-plane dot product in tight loops over the flat point store, using
+// the dimension-specialized kernels in internal/conflict (DESIGN.md §4.7):
+// the 3D path unrolls four inlined conflict.Eval3 calls per step, so four
+// independent coordinate gathers are in flight at once with no call
+// overhead — on large inputs the scan is bound by those loads. Planes are
+// stored folded (makeFacet), read from the arena's structure-of-arrays rows
+// when published (planeRow), and every kernel reproduces geom.Plane.Eval's
+// summation order exactly, so classification — including which candidates
+// land in the uncertain band — is bit-identical to the pointwise path.
+// Candidates the static filter cannot certify are collected into a small
+// sidecar and resolved by the exact predicate only after the loop, then
+// value-merged back into position, so the survivor list is byte-identical
+// to the pointwise path (asserted by TestBatchFilterMatchesClosure).
+//
+// Escape discipline: the sidecar and the merge chunk live in fixed-size
+// stack buffers. The conflict kernels are pure evaluation (they never
+// retain or return their slice arguments), and classification appends stay
+// in this file, so neither buffer escapes — steady-state filtering performs
+// zero heap allocations, which the reuse allocs gate enforces.
 
 // uncertainCap is the stack capacity of the per-batch uncertain sidecar. On
 // random inputs the static filter certifies essentially every test, so the
 // sidecar almost never spills; adversarially flat inputs overflow into a
 // heap append, which is correct and merely slower.
 const uncertainCap = 24
+
+// mergeChunk is the stack capacity of the fused merge's candidate chunk:
+// the two-pointer merge deposits up to this many surviving candidates, then
+// one four-wide classification pass consumes them. Chunking is what lets
+// EVERY merged candidate — not just list tails — go through the four-wide
+// kernel while the merge itself stays a simple scalar loop.
+const mergeChunk = 64
 
 // facetFilter binds the engine and one facet as the batch filter of that
 // facet's visibility predicate. It is passed by value through the generic
@@ -43,21 +62,23 @@ func (ff facetFilter) FilterMerge(c1, c2 []int32, drop int32, dst []int32) []int
 	return ff.e.filterVisibleMerge(ff.f, c1, c2, drop, dst)
 }
 
-// normalizedPlane returns f's cached plane with the normal and offset
-// negated when the outward sign is negative, so that a point is visible from
-// f exactly when N·x - off > eps and certifiably invisible when < -eps.
-// Negation is exact in IEEE arithmetic (rounding is sign-symmetric), so
-// every classification — including which candidates land in the uncertain
-// band — matches visible() bit for bit.
-func normalizedPlane(f *Facet) (n [geom.MaxPlaneDim]float64, off float64) {
-	n, off = f.plane.N, f.plane.Off
-	if f.outSign < 0 {
-		for j := range n {
-			n[j] = -n[j]
-		}
-		off = -off
+// planeRow returns f's folded plane for the batch scan: the coefficients of
+// its structure-of-arrays row when one was published (work-stealing path
+// with the SoA layout on), otherwise the inline copy. Both hold identical
+// bits — makeFacet writes the same folded values to both — so the choice
+// affects only memory layout, never classification. ok=false means no
+// plane cache: the caller must run the exact predicate.
+func (e *engine) planeRow(f *Facet) (n []float64, off, eps float64, ok bool) {
+	if ps := f.ps; ps != nil {
+		d := e.d
+		o := int(f.pi) * d
+		return ps.Norms[o : o+d : o+d], ps.Offs[f.pi], ps.Eps[f.pi], true
 	}
-	return n, off
+	if !f.plane.Valid() {
+		return nil, 0, 0, false
+	}
+	d := f.plane.Dim()
+	return f.plane.N[:d:d], f.plane.Off, f.plane.Eps, true
 }
 
 // filterVisible appends to dst the candidates visible from f, in order —
@@ -69,7 +90,8 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 		return dst
 	}
 	e.rec.VTests.Add(uint64(cands[0]), int64(len(cands)))
-	if !f.plane.Valid() {
+	n, off, eps, ok := e.planeRow(f)
+	if !ok {
 		for _, v := range cands {
 			if e.exactVisible(v, f) {
 				dst = append(dst, v)
@@ -80,25 +102,59 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 	base := len(dst)
 	var ubuf [uncertainCap]int32
 	uncertain := ubuf[:0]
-	n, off := normalizedPlane(f)
-	eps := f.plane.Eps
-	if f.plane.Dim() == 3 {
-		c := e.store.Coords()
+	c := e.store.Coords()
+	switch len(n) {
+	case 3:
 		n0, n1, n2 := n[0], n[1], n[2]
-		for _, v := range cands {
-			o := int(v) * 3
-			x := c[o : o+3 : o+3]
-			s := n0*x[0] + n1*x[1] + n2*x[2] - off
+		k := 0
+		for ; k+4 <= len(cands); k += 4 {
+			g := cands[k : k+4 : k+4]
+			s0 := conflict.Eval3(c, g[0], n0, n1, n2, off)
+			s1 := conflict.Eval3(c, g[1], n0, n1, n2, off)
+			s2 := conflict.Eval3(c, g[2], n0, n1, n2, off)
+			s3 := conflict.Eval3(c, g[3], n0, n1, n2, off)
+			if s0 > eps {
+				dst = append(dst, g[0])
+			} else if s0 >= -eps {
+				uncertain = append(uncertain, g[0])
+			}
+			if s1 > eps {
+				dst = append(dst, g[1])
+			} else if s1 >= -eps {
+				uncertain = append(uncertain, g[1])
+			}
+			if s2 > eps {
+				dst = append(dst, g[2])
+			} else if s2 >= -eps {
+				uncertain = append(uncertain, g[2])
+			}
+			if s3 > eps {
+				dst = append(dst, g[3])
+			} else if s3 >= -eps {
+				uncertain = append(uncertain, g[3])
+			}
+		}
+		for _, v := range cands[k:] {
+			s := conflict.Eval3(c, v, n0, n1, n2, off)
 			if s > eps {
 				dst = append(dst, v)
 			} else if s >= -eps {
 				uncertain = append(uncertain, v)
 			}
 		}
-	} else {
-		sgn := float64(f.outSign)
+	case 2:
+		n0, n1 := n[0], n[1]
 		for _, v := range cands {
-			s := sgn * f.plane.Eval(e.store.Row(v))
+			s := conflict.Eval2(c, v, n0, n1, off)
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+	default:
+		for _, v := range cands {
+			s := conflict.EvalD(c, n, v, off)
 			if s > eps {
 				dst = append(dst, v)
 			} else if s >= -eps {
@@ -114,13 +170,15 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 
 // filterVisibleRange is filterVisible over the contiguous candidates
 // [from, to): the store rows stream sequentially, so the offset advances by
-// the stride instead of being recomputed per point.
+// the stride instead of being recomputed per point, and the hardware
+// prefetcher — not gather parallelism — hides the latency.
 func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int32 {
 	if to <= from {
 		return dst
 	}
 	e.rec.VTests.Add(uint64(from), int64(to-from))
-	if !f.plane.Valid() {
+	n, off, eps, ok := e.planeRow(f)
+	if !ok {
 		for v := from; v < to; v++ {
 			if e.exactVisible(v, f) {
 				dst = append(dst, v)
@@ -131,10 +189,8 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 	base := len(dst)
 	var ubuf [uncertainCap]int32
 	uncertain := ubuf[:0]
-	n, off := normalizedPlane(f)
-	eps := f.plane.Eps
-	if f.plane.Dim() == 3 {
-		c := e.store.Coords()
+	c := e.store.Coords()
+	if len(n) == 3 {
 		n0, n1, n2 := n[0], n[1], n[2]
 		o := int(from) * 3
 		for v := from; v < to; v++ {
@@ -147,10 +203,19 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 				uncertain = append(uncertain, v)
 			}
 		}
-	} else {
-		sgn := float64(f.outSign)
+	} else if len(n) == 2 {
+		n0, n1 := n[0], n[1]
 		for v := from; v < to; v++ {
-			s := sgn * f.plane.Eval(e.store.Row(v))
+			s := conflict.Eval2(c, v, n0, n1, off)
+			if s > eps {
+				dst = append(dst, v)
+			} else if s >= -eps {
+				uncertain = append(uncertain, v)
+			}
+		}
+	} else {
+		for v := from; v < to; v++ {
+			s := conflict.EvalD(c, n, v, off)
 			if s > eps {
 				dst = append(dst, v)
 			} else if s >= -eps {
@@ -165,13 +230,15 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 }
 
 // filterVisibleMerge fuses the ascending merge of two conflict lists with
-// the visibility classification: each candidate is tested the moment the
-// two-pointer merge produces it, so the merged run is never written to a
-// scratch buffer and re-read. Survivors, order, and counter totals are
-// identical to filterVisible over MergeInto(nil, c1, c2, drop) — the merge
-// produces the same ascending deduplicated sequence, each element funnels
-// through the same plane test, and the uncertain sidecar resolves the same
-// way.
+// the visibility classification. The 3D path runs in chunks: the scalar
+// two-pointer merge deposits surviving candidates into a stack buffer, and
+// each full (or final) chunk is consumed by the four-wide kernel — so the
+// merged run is never written to allocated scratch and re-read, yet every
+// candidate still gets the four-wide treatment. Survivors, order, and
+// counter totals are identical to filterVisible over
+// MergeInto(nil, c1, c2, drop): the merge produces the same ascending
+// deduplicated sequence, each element funnels through the same plane test,
+// and the uncertain sidecar resolves the same way.
 func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []int32) []int32 {
 	if len(c1)+len(c2) == 0 {
 		return dst
@@ -186,7 +253,8 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 		key = uint64(c2[0])
 	}
 	var tested int64
-	if !f.plane.Valid() {
+	n, off, eps, ok := e.planeRow(f)
+	if !ok {
 		i, j := 0, 0
 		for i < len(c1) && j < len(c2) {
 			v := c1[i]
@@ -228,56 +296,95 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 	base := len(dst)
 	var ubuf [uncertainCap]int32
 	uncertain := ubuf[:0]
-	n, off := normalizedPlane(f)
-	eps := f.plane.Eps
-	if f.plane.Dim() == 3 {
-		c := e.store.Coords()
+	c := e.store.Coords()
+	if len(n) == 3 {
 		n0, n1, n2 := n[0], n[1], n[2]
+		var buf [mergeChunk]int32
 		i, j := 0, 0
-		for i < len(c1) && j < len(c2) {
-			v := c1[i]
-			if v < c2[j] {
-				i++
-			} else if v > c2[j] {
-				v = c2[j]
-				j++
-			} else {
-				i++
-				j++
+		for {
+			// Fill the chunk: merge head while both lists remain, then
+			// drain whichever tail is left. Only non-drop candidates are
+			// deposited, so tested advances by exactly the chunk fill.
+			m := 0
+			for m < mergeChunk && i < len(c1) && j < len(c2) {
+				v := c1[i]
+				if v < c2[j] {
+					i++
+				} else if v > c2[j] {
+					v = c2[j]
+					j++
+				} else {
+					i++
+					j++
+				}
+				if v == drop {
+					continue
+				}
+				buf[m] = v
+				m++
 			}
-			if v == drop {
-				continue
+			if m < mergeChunk {
+				for m < mergeChunk && i < len(c1) {
+					if v := c1[i]; v != drop {
+						buf[m] = v
+						m++
+					}
+					i++
+				}
+				for m < mergeChunk && j < len(c2) {
+					if v := c2[j]; v != drop {
+						buf[m] = v
+						m++
+					}
+					j++
+				}
 			}
-			tested++
-			o := int(v) * 3
-			x := c[o : o+3 : o+3]
-			s := n0*x[0] + n1*x[1] + n2*x[2] - off
-			if s > eps {
-				dst = append(dst, v)
-			} else if s >= -eps {
-				uncertain = append(uncertain, v)
+			if m == 0 {
+				break
 			}
-		}
-		tail := c1[i:]
-		if j < len(c2) {
-			tail = c2[j:]
-		}
-		for _, v := range tail {
-			if v == drop {
-				continue
+			tested += int64(m)
+			q := buf[:m]
+			k := 0
+			for ; k+4 <= m; k += 4 {
+				g := q[k : k+4 : k+4]
+				s0 := conflict.Eval3(c, g[0], n0, n1, n2, off)
+				s1 := conflict.Eval3(c, g[1], n0, n1, n2, off)
+				s2 := conflict.Eval3(c, g[2], n0, n1, n2, off)
+				s3 := conflict.Eval3(c, g[3], n0, n1, n2, off)
+				if s0 > eps {
+					dst = append(dst, g[0])
+				} else if s0 >= -eps {
+					uncertain = append(uncertain, g[0])
+				}
+				if s1 > eps {
+					dst = append(dst, g[1])
+				} else if s1 >= -eps {
+					uncertain = append(uncertain, g[1])
+				}
+				if s2 > eps {
+					dst = append(dst, g[2])
+				} else if s2 >= -eps {
+					uncertain = append(uncertain, g[2])
+				}
+				if s3 > eps {
+					dst = append(dst, g[3])
+				} else if s3 >= -eps {
+					uncertain = append(uncertain, g[3])
+				}
 			}
-			tested++
-			o := int(v) * 3
-			x := c[o : o+3 : o+3]
-			s := n0*x[0] + n1*x[1] + n2*x[2] - off
-			if s > eps {
-				dst = append(dst, v)
-			} else if s >= -eps {
-				uncertain = append(uncertain, v)
+			for _, v := range q[k:] {
+				s := conflict.Eval3(c, v, n0, n1, n2, off)
+				if s > eps {
+					dst = append(dst, v)
+				} else if s >= -eps {
+					uncertain = append(uncertain, v)
+				}
+			}
+			if m < mergeChunk {
+				break
 			}
 		}
 	} else {
-		sgn := float64(f.outSign)
 		i, j := 0, 0
 		for i < len(c1) && j < len(c2) {
 			v := c1[i]
@@ -294,7 +401,7 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 				continue
 			}
 			tested++
-			s := sgn * f.plane.Eval(e.store.Row(v))
+			s := evalGen(c, n, v, off)
 			if s > eps {
 				dst = append(dst, v)
 			} else if s >= -eps {
@@ -310,7 +417,7 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 				continue
 			}
 			tested++
-			s := sgn * f.plane.Eval(e.store.Row(v))
+			s := evalGen(c, n, v, off)
 			if s > eps {
 				dst = append(dst, v)
 			} else if s >= -eps {
@@ -325,6 +432,16 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 		return dst
 	}
 	return e.resolveUncertain(f, dst, base, uncertain)
+}
+
+// evalGen evaluates the folded plane at point v for the non-3D fused merge:
+// the 2D specialization or the generic strided product, each matching
+// geom.Plane.Eval's summation order for its dimension.
+func evalGen(c, n []float64, v int32, off float64) float64 {
+	if len(n) == 2 {
+		return conflict.Eval2(c, v, n[0], n[1], off)
+	}
+	return conflict.EvalD(c, n, v, off)
 }
 
 // resolveUncertain decides a batch's plane-uncertain candidates with the

@@ -115,15 +115,27 @@ type Facet struct {
 	// Round is the creation round (rounds engine only; 0 for the base).
 	Round int32
 
-	// plane caches the facet hyperplane for the filtered fast path; vp
-	// caches the vertex coordinates only when the plane cache is absent
-	// (ablation mode, d > geom.MaxPlaneDim, or a degenerate threshold) —
-	// with a valid plane, exact fallbacks reconstruct them on demand.
-	// outSign is the OrientSimplex sign that classifies a point as strictly
-	// outside.
+	// plane caches the facet hyperplane for the filtered fast path, stored
+	// folded: normal and offset are negated at creation when the outward
+	// sign is negative, so Eval > Eps certifies visible and Eval < -Eps
+	// certifies invisible with no per-test sign fixup. vp caches the vertex
+	// coordinates only when the plane cache is absent (ablation mode,
+	// d > geom.MaxPlaneDim, or a degenerate threshold) — with a valid
+	// plane, exact fallbacks reconstruct them on demand. outSign is the
+	// OrientSimplex sign that classifies a point as strictly outside (the
+	// exact path is unaffected by folding).
 	plane   geom.Plane
 	vp      []geom.Point
 	outSign int
+	// ps/pi locate this facet's plane row in the worker arena's
+	// structure-of-arrays plane storage (engine.PlaneArena): the batch
+	// filter reads the folded plane from ps at row pi when ps != nil, so
+	// scans stream flat per-field arrays laid out in creation order instead
+	// of pulling whole facet records through the cache. nil on the heap
+	// paths (sequential engine, base facets of a one-shot construction) and
+	// under the Options.NoSoALayout ablation.
+	ps *eng.PlaneSlab
+	pi int32
 	// mark is scratch for the sequential engine's per-insertion visible-set
 	// membership (holds the insertion index; never touched concurrently).
 	mark int32
@@ -232,6 +244,7 @@ type engine struct {
 	grain    int     // conflict-filter parallel grain (0 = default)
 	planeEps float64 // static certification threshold; 0 = cache off
 	batch    bool    // batch visibility filter (filter.go) vs pointwise closure
+	soa      bool    // publish plane rows into the arena SoA storage
 	interior geom.Point
 	rec      *hullstats.Recorder
 
@@ -246,13 +259,14 @@ type engine struct {
 // newEngine assembles engine state. stripes sizes the facet log (1 keeps
 // Result.Created in creation order; the parallel engines stripe by worker
 // count so record() does not serialize).
-func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPlane, batch bool) *engine {
+func newEngine(pts []geom.Point, d int, counters bool, grain, stripes int, noPlane, batch, soa bool) *engine {
 	e := &engine{
 		pts:   pts,
 		store: geom.NewPointStore(pts),
 		d:     d,
 		grain: grain,
 		batch: batch,
+		soa:   soa,
 		rec:   hullstats.NewRecorder(counters),
 		log:   facetlog.New[*Facet](stripes),
 	}
@@ -281,15 +295,17 @@ func (e *engine) facetPoints(f *Facet) []geom.Point {
 // visible reports whether point v is strictly outside facet f, counting the
 // test. The cached-plane filter decides almost every call; the exact
 // OrientSimplex predicate is the fallback, so the answer is always exact.
+// Planes are stored folded (makeFacet), so a positive evaluation certifies
+// visible directly.
 func (e *engine) visible(v int32, f *Facet) bool {
 	e.rec.VTests.Inc(uint64(v))
 	if f.plane.Valid() {
 		s := f.plane.Eval(e.store.Row(v))
 		if s > f.plane.Eps {
-			return f.outSign > 0
+			return true
 		}
 		if s < -f.plane.Eps {
-			return f.outSign < 0
+			return false
 		}
 		e.rec.Fallbacks.Inc(uint64(v))
 	}
@@ -317,6 +333,17 @@ func (e *engine) record(f *Facet) {
 // A zero sign means the simplex is degenerate or its plane passes through
 // the reference point — both general-position violations. The facet struct
 // comes from the worker arena when one is supplied (work-stealing path).
+//
+// The cached plane is stored folded — negated when the outward OrientSimplex
+// sign is negative, so that Eval > Eps means visible on every read path.
+// IEEE negation is exact, so every downstream classification (including
+// which candidates fall in the uncertain band) is bit-identical to
+// evaluating the unfolded plane and comparing against outSign; this is what
+// keeps the sequential, parallel, and SoA/no-SoA engines facet-identical.
+// With the SoA layout on, the folded plane is additionally published as a
+// row of the worker arena's PlaneArena; the row is fully written here,
+// before the facet escapes this worker, so readers that reach the facet
+// through the ridge table or facet log see a complete row.
 func (e *engine) makeFacet(a *arena, verts []int32) (*Facet, error) {
 	f := a.Facet()
 	f.Verts = verts
@@ -351,6 +378,23 @@ func (e *engine) makeFacet(a *arena, verts []int32) (*Facet, error) {
 		return nil, fmt.Errorf("%w: facet %v is coplanar with the interior point", ErrDegenerate, verts)
 	}
 	f.outSign = -s
+	if f.plane.Valid() {
+		if f.outSign < 0 {
+			for j := range f.plane.N {
+				f.plane.N[j] = -f.plane.N[j]
+			}
+			f.plane.Off = -f.plane.Off
+		}
+		if e.soa && a != nil {
+			d := e.d
+			ps, pi := a.Planes.Row(d)
+			o := int(pi) * d
+			copy(ps.Norms[o:o+d], f.plane.N[:d])
+			ps.Offs[pi] = f.plane.Off
+			ps.Eps[pi] = f.plane.Eps
+			f.ps, f.pi = ps, pi
+		}
+	}
 	return f, nil
 }
 

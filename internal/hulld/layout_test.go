@@ -1,0 +1,62 @@
+package hulld
+
+import (
+	"fmt"
+	"testing"
+
+	"parhull/internal/sched"
+)
+
+// TestLayoutScheduleEquivalence is the memory-layout half of the Theorem 5.5
+// contract: the structure-of-arrays plane rows (DESIGN.md §4.7) are purely a
+// storage choice, so every schedule must produce the identical facet
+// multiset and vertex order with the layout on and off. The sequential
+// engine — which never publishes SoA rows — is the reference, and each
+// Par/Rounds schedule runs under both NoSoALayout settings against it, so a
+// kernel whose folded-plane evaluation diverged by even one ulp between the
+// inline and the SoA read path would flip a classification and fail here.
+func TestLayoutScheduleEquivalence(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		n := 150
+		if d == 4 {
+			n = 60
+		}
+		for name, pts := range workloads(23, n, d) {
+			ref, err := Seq(pts)
+			if err != nil {
+				t.Fatalf("d=%d %s seq: %v", d, name, err)
+			}
+			want := ref.FacetSet()
+			wantV := fmt.Sprint(ref.Vertices)
+			for _, noSoA := range []bool{false, true} {
+				results := map[string]*Result{}
+				for sname, kind := range map[string]sched.Kind{"steal": sched.KindSteal, "group": sched.KindGroup} {
+					r, err := Par(pts, &Options{Sched: kind, NoSoALayout: noSoA})
+					if err != nil {
+						t.Fatalf("d=%d %s %s noSoA=%v: %v", d, name, sname, noSoA, err)
+					}
+					results[sname] = r
+				}
+				rr, err := Rounds(pts, &Options{NoSoALayout: noSoA})
+				if err != nil {
+					t.Fatalf("d=%d %s rounds noSoA=%v: %v", d, name, noSoA, err)
+				}
+				results["rounds"] = rr
+				for cname, r := range results {
+					if gotV := fmt.Sprint(r.Vertices); gotV != wantV {
+						t.Errorf("d=%d %s %s noSoA=%v: vertices %s, seq %s", d, name, cname, noSoA, gotV, wantV)
+					}
+					got := r.FacetSet()
+					if len(got) != len(want) {
+						t.Fatalf("d=%d %s %s noSoA=%v: %d distinct facets, seq %d", d, name, cname, noSoA, len(got), len(want))
+					}
+					for k, c := range want {
+						if got[k] != c {
+							t.Errorf("d=%d %s %s noSoA=%v: facet %x multiplicity %d, seq %d", d, name, cname, noSoA, k, got[k], c)
+						}
+					}
+				}
+			}
+		}
+	}
+}

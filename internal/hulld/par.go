@@ -42,6 +42,13 @@ type Options struct {
 	// path instead of the batch filter pipeline (the filter ablation in
 	// cmd/hullbench). The survivor lists are identical either way.
 	NoBatchFilter bool
+	// NoSoALayout keeps each facet's cached plane inline in the facet record
+	// instead of additionally publishing it into the worker arena's
+	// structure-of-arrays plane rows (the layout ablation in cmd/hullbench's
+	// scale experiment). Folded values are identical in both layouts, so the
+	// facet output is bit-for-bit the same either way — only the memory the
+	// batch filter streams changes.
+	NoSoALayout bool
 	// Ctx, when non-nil, cancels the construction cooperatively at
 	// ridge-step granularity; the run returns ctx.Err() with all workers
 	// quiesced.
@@ -66,6 +73,8 @@ func (o *Options) filterGrain() int {
 func (o *Options) noPlaneCache() bool { return o != nil && o.NoPlaneCache }
 
 func (o *Options) batchFilter() bool { return o == nil || !o.NoBatchFilter }
+
+func (o *Options) soaLayout() bool { return o == nil || !o.NoSoALayout }
 
 func (o *Options) schedKind() sched.Kind {
 	if o == nil {
@@ -134,7 +143,7 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 	if opt != nil {
 		ru = opt.Reuse
 	}
-	e := engineFor(ru, pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
+	e := engineFor(ru, pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter(), opt.soaLayout())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

@@ -58,13 +58,13 @@ func (ru *Reuse) Reset() {
 // not the end of the last — so an aborted or panicked construction needs no
 // cleanup to keep the Reuse usable, and the previous Result stays valid
 // until the next call.
-func engineFor(ru *Reuse, pts []geom.Point, d int, counters bool, grain, stripes int, noPlane, batch bool) *engine {
+func engineFor(ru *Reuse, pts []geom.Point, d int, counters bool, grain, stripes int, noPlane, batch, soa bool) *engine {
 	if ru == nil {
-		return newEngine(pts, d, counters, grain, stripes, noPlane, batch)
+		return newEngine(pts, d, counters, grain, stripes, noPlane, batch, soa)
 	}
 	ru.pool.Reset()
 	if ru.e == nil {
-		e := newEngine(pts, d, counters, grain, stripes, noPlane, batch)
+		e := newEngine(pts, d, counters, grain, stripes, noPlane, batch, soa)
 		e.ru = ru
 		ru.e = e
 		return e
@@ -75,6 +75,7 @@ func engineFor(ru *Reuse, pts []geom.Point, d int, counters bool, grain, stripes
 	e.d = d
 	e.grain = grain
 	e.batch = batch
+	e.soa = soa
 	e.interior = nil
 	e.planeEps = 0
 	if !noPlane {

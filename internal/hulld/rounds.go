@@ -15,7 +15,7 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter())
+	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter(), opt.soaLayout())
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

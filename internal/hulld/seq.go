@@ -100,7 +100,10 @@ func seq(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, count
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(pts, d, counters, 0, 1, noPlane, true)
+	// The sequential engine allocates facets on the heap (nil arenas), so no
+	// SoA rows are ever published; folded inline planes keep its
+	// classifications bit-identical to the parallel engines in either layout.
+	e := newEngine(pts, d, counters, 0, 1, noPlane, true, false)
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

@@ -121,6 +121,45 @@ func Anisotropic(rng *rand.Rand, n, d int, ratio float64) []geom.Point {
 	return pts
 }
 
+// DuplicateHeavy returns n points in the unit d-ball in which roughly frac
+// of the entries are exact bitwise copies of earlier points (frac outside
+// (0, 1) selects 0.5). Exact duplicates stress the visibility paths: a copy
+// of a hull vertex sits exactly on its facets' planes, inside the epsilon
+// band of the static filter, so every such test must fall back to the exact
+// predicate and every engine must agree on which copy (if any) becomes the
+// vertex.
+func DuplicateHeavy(rng *rand.Rand, n, d int, frac float64) []geom.Point {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	pts := UniformBall(rng, n, d)
+	for i := 1; i < len(pts); i++ {
+		if rng.Float64() < frac {
+			pts[i] = append(geom.Point(nil), pts[rng.Intn(i)]...)
+		}
+	}
+	return pts
+}
+
+// NearDegenerate returns n points in the unit d-ball with every coordinate
+// snapped to a multiple of quantum (<= 0 selects 2^-6). Snapping to a
+// power-of-two grid is exact in binary floating point, so the cloud carries
+// many exactly collinear and coplanar subsets and exact duplicates — dense
+// exact-predicate fallback traffic for the plane-cache epsilon band, while
+// staying inside the engines' documented accept-or-reject behavior.
+func NearDegenerate(rng *rand.Rand, n, d int, quantum float64) []geom.Point {
+	if quantum <= 0 {
+		quantum = 0x1p-6
+	}
+	pts := UniformBall(rng, n, d)
+	for _, p := range pts {
+		for j := range p {
+			p[j] = math.Round(p[j]/quantum) * quantum
+		}
+	}
+	return pts
+}
+
 // gaussianDir returns a uniformly random unit vector in R^d.
 func gaussianDir(rng *rand.Rand, d int) geom.Point {
 	for {

@@ -156,6 +156,12 @@ type Options struct {
 	// every plane-side test runs the exact determinant predicate (the A2
 	// ablation). The combinatorial output is identical either way.
 	NoPlaneCache bool
+	// NoSoALayout keeps each facet's cached plane inline in the facet
+	// record instead of additionally publishing it into the per-worker
+	// structure-of-arrays plane rows the batch filter streams (the layout
+	// ablation measured by hullbench's scale experiment). The hull output
+	// is bit-for-bit identical either way; only memory layout changes.
+	NoSoALayout bool
 	// Context, when non-nil, cancels the construction cooperatively: the
 	// engines check it at ridge-chain granularity and the call returns
 	// ErrCanceled (wrapping ctx.Err()) promptly, with every worker
