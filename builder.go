@@ -2,9 +2,11 @@ package parhull
 
 import (
 	"fmt"
+	"sort"
 
 	"parhull/internal/conmap"
 	"parhull/internal/engine"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 	"parhull/internal/hull2d"
 	"parhull/internal/hulld"
@@ -132,6 +134,7 @@ func (b *Builder) maybePreHull(work []Point, order []int, d int) ([]Point, []int
 		ZOrder:       !o.NoPreHullZOrder,
 		NoPlaneCache: o.NoPlaneCache,
 		Ctx:          o.Context,
+		Inject:       o.inject,
 		Scratch:      &b.ph,
 	})
 	if err != nil {
@@ -180,19 +183,21 @@ func (b *Builder) Build(pts []Point) (out *HullDResult, err error) {
 	var fellBack bool
 	switch o.Engine {
 	case EngineSequential:
-		res, err = hulld.SeqCtx(o.Context, nil, work, o.NoPlaneCache)
+		res, err = hulld.SeqCtx(o.Context, o.inject, work, o.NoPlaneCache)
 	case EngineParallel, EngineRounds:
 		run := func(m conmap.RidgeMap[*hulld.Facet]) (*hulld.Result, error) {
 			ho := &hulld.Options{
-				Map:          m,
-				Sched:        o.schedKind(),
-				GroupLimit:   o.GroupLimit,
-				Workers:      o.Workers,
-				NoCounters:   o.NoCounters,
-				FilterGrain:  o.FilterGrain,
-				NoPlaneCache: o.NoPlaneCache,
-				NoSoALayout:  o.NoSoALayout,
-				Ctx:          o.Context,
+				Map:           m,
+				Sched:         o.schedKind(),
+				GroupLimit:    o.GroupLimit,
+				Workers:       o.Workers,
+				NoCounters:    o.NoCounters,
+				FilterGrain:   o.FilterGrain,
+				NoPlaneCache:  o.NoPlaneCache,
+				NoBatchFilter: o.NoBatchFilter,
+				NoSoALayout:   o.NoSoALayout,
+				Ctx:           o.Context,
+				Inject:        o.inject,
 			}
 			if o.Engine == EngineRounds {
 				return hulld.Rounds(work, ho)
@@ -202,7 +207,7 @@ func (b *Builder) Build(pts []Point) (out *HullDResult, err error) {
 		}
 		res, retries, fellBack, err = ladder(o,
 			o.capacity(engine.FixedMapCapacity(len(work), d)),
-			func(c int) conmap.RidgeMap[*hulld.Facet] { return b.mapsD.fixedFor(o.Map, c) },
+			func(c int) conmap.RidgeMap[*hulld.Facet] { return b.mapsD.fixedFor(o.Map, c, o.inject) },
 			func() conmap.RidgeMap[*hulld.Facet] {
 				return b.mapsD.shardedFor(o.capacity(engine.DefaultMapCapacity(len(work), d)))
 			},
@@ -249,6 +254,12 @@ func (b *Builder) Build(pts []Point) (out *HullDResult, err error) {
 	for _, v := range res.Vertices {
 		verts = append(verts, mapBack(v, order))
 	}
+	if order != nil {
+		// The engine sorts vertices in its own index space; mapping back
+		// through a shuffle or pre-hull permutation breaks that, and the
+		// public contract promises sorted caller indices.
+		sort.Ints(verts)
+	}
 	b.vertsD = verts
 	b.resD = HullDResult{Facets: facets, Vertices: verts, Stats: res.Stats}
 	return &b.resD, nil
@@ -286,19 +297,21 @@ func (b *Builder) Build2D(pts []Point) (out *Hull2DResult, err error) {
 	var fellBack bool
 	switch o.Engine {
 	case EngineSequential:
-		res, err = hull2d.SeqCtx(o.Context, nil, work, o.NoPlaneCache)
+		res, err = hull2d.SeqCtx(o.Context, o.inject, work, o.NoPlaneCache)
 	case EngineParallel, EngineRounds:
 		run := func(m conmap.RidgeMap[*hull2d.Facet]) (*hull2d.Result, error) {
 			ho := &hull2d.Options{
-				Map:          m,
-				Sched:        o.schedKind(),
-				GroupLimit:   o.GroupLimit,
-				Workers:      o.Workers,
-				NoCounters:   o.NoCounters,
-				FilterGrain:  o.FilterGrain,
-				NoPlaneCache: o.NoPlaneCache,
-				NoSoALayout:  o.NoSoALayout,
-				Ctx:          o.Context,
+				Map:           m,
+				Sched:         o.schedKind(),
+				GroupLimit:    o.GroupLimit,
+				Workers:       o.Workers,
+				NoCounters:    o.NoCounters,
+				FilterGrain:   o.FilterGrain,
+				NoPlaneCache:  o.NoPlaneCache,
+				NoBatchFilter: o.NoBatchFilter,
+				NoSoALayout:   o.NoSoALayout,
+				Ctx:           o.Context,
+				Inject:        o.inject,
 			}
 			if o.Engine == EngineRounds {
 				r, _, e := hull2d.Rounds(work, ho)
@@ -309,7 +322,7 @@ func (b *Builder) Build2D(pts []Point) (out *Hull2DResult, err error) {
 		}
 		res, retries, fellBack, err = ladder(o,
 			o.capacity(engine.FixedMapCapacity(len(work), 0)),
-			func(c int) conmap.RidgeMap[*hull2d.Facet] { return b.maps2.fixedFor(o.Map, c) },
+			func(c int) conmap.RidgeMap[*hull2d.Facet] { return b.maps2.fixedFor(o.Map, c, o.inject) },
 			func() conmap.RidgeMap[*hull2d.Facet] {
 				return b.maps2.shardedFor(o.capacity(engine.DefaultMapCapacity(len(work), 0)))
 			},
@@ -358,7 +371,7 @@ func (c *mapCache[V]) shardedFor(expected int) conmap.RidgeMap[V] {
 	return c.sharded
 }
 
-func (c *mapCache[V]) fixedFor(kind MapKind, expected int) conmap.RidgeMap[V] {
+func (c *mapCache[V]) fixedFor(kind MapKind, expected int, inj *faultinject.Injector) conmap.RidgeMap[V] {
 	if kind == MapTAS {
 		if c.tas == nil || expected > c.tasCap {
 			c.tas = conmap.NewTASMap[V](expected)
@@ -366,7 +379,7 @@ func (c *mapCache[V]) fixedFor(kind MapKind, expected int) conmap.RidgeMap[V] {
 		} else {
 			c.tas.Reset()
 		}
-		return c.tas
+		return c.tas.Inject(inj)
 	}
 	if c.cas == nil || expected > c.casCap {
 		c.cas = conmap.NewCASMap[V](expected)
@@ -374,5 +387,5 @@ func (c *mapCache[V]) fixedFor(kind MapKind, expected int) conmap.RidgeMap[V] {
 	} else {
 		c.cas.Reset()
 	}
-	return c.cas
+	return c.cas.Inject(inj)
 }

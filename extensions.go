@@ -56,14 +56,16 @@ func HalfspaceIntersection(normals []Point, opt *Options) (out *HalfspaceResult,
 		d = len(normals[0])
 	}
 	res, err := halfspace.IntersectDual(work, &hulld.Options{
-		Map:          o.ridgeMapD(len(normals), d),
-		Sched:        o.schedKind(),
-		GroupLimit:   o.GroupLimit,
-		Workers:      o.Workers,
-		NoCounters:   o.NoCounters,
-		FilterGrain:  o.FilterGrain,
-		NoPlaneCache: o.NoPlaneCache,
-		Ctx:          o.Context,
+		Map:           o.ridgeMapD(len(normals), d),
+		Sched:         o.schedKind(),
+		GroupLimit:    o.GroupLimit,
+		Workers:       o.Workers,
+		NoCounters:    o.NoCounters,
+		FilterGrain:   o.FilterGrain,
+		NoPlaneCache:  o.NoPlaneCache,
+		NoBatchFilter: o.NoBatchFilter,
+		Ctx:           o.Context,
+		Inject:        o.inject,
 	})
 	if err != nil {
 		return nil, wrapErr(err)
@@ -104,7 +106,7 @@ func HalfspaceIntersectionDirect(normals []Point, opt *Options) (out *HalfspaceR
 			ErrDegenerate, s.BaseSize(), len(normals))
 	}
 	order := tailShuffledOrder(len(normals), s.BaseSize(), o.Shuffle, o.Seed)
-	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	res, err := engine.SpaceRoundsCtxInj(o.Context, o.inject, s, order)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -166,7 +168,7 @@ func UnitCircleIntersection(centers []Point, opt *Options) (_ []CircleArc, _ boo
 	if order == nil {
 		order = identityOrder(len(centers))
 	}
-	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	res, err := engine.SpaceRoundsCtxInj(o.Context, o.inject, s, order)
 	if err != nil {
 		return nil, false, wrapErr(err)
 	}
@@ -231,7 +233,7 @@ func TrapezoidDecomposition(segs []TrapezoidSegment, box TrapezoidBox, opt *Opti
 	if order == nil {
 		order = identityOrder(len(segs))
 	}
-	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	res, err := engine.SpaceRoundsCtxInj(o.Context, o.inject, s, order)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -277,14 +279,16 @@ func Delaunay(pts []Point, opt *Options) (out *DelaunayResult, err error) {
 	order := o.perm(len(pts))
 	work := applyShuffle(pts, order)
 	dopt := &delaunay.Options{
-		Map:         o.ridgeMapDelaunay(len(pts)),
-		Sched:       o.schedKind(),
-		GroupLimit:  o.GroupLimit,
-		Workers:     o.Workers,
-		NoCounters:  o.NoCounters,
-		FilterGrain: o.FilterGrain,
-		NoPredCache: o.NoPlaneCache,
-		Ctx:         o.Context,
+		Map:           o.ridgeMapDelaunay(len(pts)),
+		Sched:         o.schedKind(),
+		GroupLimit:    o.GroupLimit,
+		Workers:       o.Workers,
+		NoCounters:    o.NoCounters,
+		FilterGrain:   o.FilterGrain,
+		NoPredCache:   o.NoPlaneCache,
+		NoBatchFilter: o.NoBatchFilter,
+		Ctx:           o.Context,
+		Inject:        o.inject,
 	}
 	var res *delaunay.Result
 	switch o.Engine {
@@ -348,7 +352,7 @@ func Hull3DDegenerate(pts []Point, opt *Options) (_ []Face3D, err error) {
 	if order == nil {
 		order = identityOrder(len(pts))
 	}
-	res, err := engine.SpaceRoundsCtx(o.Context, s, order)
+	res, err := engine.SpaceRoundsCtxInj(o.Context, o.inject, s, order)
 	if err != nil {
 		return nil, wrapErr(err)
 	}

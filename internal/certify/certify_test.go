@@ -1,0 +1,285 @@
+package certify_test
+
+import (
+	"errors"
+	"testing"
+
+	"parhull"
+	"parhull/internal/certify"
+	"parhull/internal/pointgen"
+)
+
+// goodHullD builds a known-good d-dimensional hull through the public API.
+func goodHullD(t *testing.T, seed int64, n, d int) ([]parhull.Point, *parhull.HullDResult) {
+	t.Helper()
+	pts := pointgen.UniformBall(pointgen.NewRNG(seed), n, d)
+	res, err := parhull.HullD(pts, nil)
+	if err != nil {
+		t.Fatalf("HullD(n=%d, d=%d): %v", n, d, err)
+	}
+	return pts, res
+}
+
+func facetsOf(res *parhull.HullDResult) [][]int {
+	out := make([][]int, len(res.Facets))
+	for i, f := range res.Facets {
+		out[i] = append([]int(nil), f.Vertices...)
+	}
+	return out
+}
+
+func wantKind(t *testing.T, err error, kind certify.Kind) *certify.Error {
+	t.Helper()
+	var ce *certify.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *certify.Error, got %v", err)
+	}
+	if ce.Kind != kind {
+		t.Fatalf("want kind %v, got %v (%v)", kind, ce.Kind, ce)
+	}
+	return ce
+}
+
+func TestHullCertifiesEngineOutput(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{200, 2}, {200, 3}, {120, 4}, {60, 5}, {40, 6},
+	} {
+		pts, res := goodHullD(t, int64(100+tc.d), tc.n, tc.d)
+		st, err := certify.Hull(pts, facetsOf(res), res.Vertices)
+		if err != nil {
+			t.Fatalf("d=%d: good hull rejected: %v", tc.d, err)
+		}
+		if st.SideTests == 0 {
+			t.Fatalf("d=%d: certifier ran no side tests", tc.d)
+		}
+	}
+}
+
+func TestHull2DCertifiesEngineOutput(t *testing.T) {
+	pts := pointgen.UniformBall(pointgen.NewRNG(7), 300, 2)
+	res, err := parhull.Hull2D(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := certify.Hull2D(pts, res.Vertices); err != nil {
+		t.Fatalf("good 2D hull rejected: %v", err)
+	}
+}
+
+// interiorPoint returns an input index that is not a hull vertex.
+func interiorPoint(t *testing.T, n int, res *parhull.HullDResult) int {
+	t.Helper()
+	on := map[int]bool{}
+	for _, v := range res.Vertices {
+		on[v] = true
+	}
+	for i := 0; i < n; i++ {
+		if !on[i] {
+			return i
+		}
+	}
+	t.Fatal("no interior point available")
+	return -1
+}
+
+func TestHullMutationDropFacet(t *testing.T) {
+	pts, res := goodHullD(t, 1, 150, 3)
+	facets := facetsOf(res)[1:]
+	_, err := certify.Hull(pts, facets, nil)
+	ce := wantKind(t, err, certify.RidgeOpen)
+	if ce.Facet < 0 {
+		t.Fatalf("ridge violation not located: %v", ce)
+	}
+}
+
+func TestHullMutationPerturbVertexIndex(t *testing.T) {
+	pts, res := goodHullD(t, 2, 150, 3)
+	facets := facetsOf(res)
+	facets[0][0] = interiorPoint(t, len(pts), res)
+	_, err := certify.Hull(pts, facets, nil)
+	ce := wantKind(t, err, certify.Outside)
+	if ce.Facet != 0 || ce.Point < 0 {
+		t.Fatalf("outside violation not located at facet 0: %v", ce)
+	}
+}
+
+func TestHullMutationDuplicateRidge(t *testing.T) {
+	pts, res := goodHullD(t, 3, 150, 3)
+	facets := facetsOf(res)
+	facets = append(facets, facets[0])
+	_, err := certify.Hull(pts, facets, nil)
+	wantKind(t, err, certify.RidgeOpen)
+}
+
+func TestHullMutationVertexList(t *testing.T) {
+	pts, res := goodHullD(t, 4, 150, 3)
+	verts := append([]int(nil), res.Vertices...)
+	verts[0] = interiorPoint(t, len(pts), res)
+	_, err := certify.Hull(pts, facetsOf(res), verts)
+	wantKind(t, err, certify.VertexSet)
+}
+
+func TestHull2DMutationFlipOrientation(t *testing.T) {
+	pts := pointgen.UniformBall(pointgen.NewRNG(9), 200, 2)
+	res, err := parhull.Hull2D(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]int, len(res.Vertices))
+	for i, v := range res.Vertices {
+		rev[len(rev)-1-i] = v
+	}
+	_, err = certify.Hull2D(pts, rev)
+	wantKind(t, err, certify.NotConvex)
+}
+
+func TestHull2DMutationDropVertex(t *testing.T) {
+	pts := pointgen.UniformBall(pointgen.NewRNG(10), 200, 2)
+	res, err := parhull.Hull2D(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) < 4 {
+		t.Skip("hull too small to drop a vertex")
+	}
+	_, err = certify.Hull2D(pts, res.Vertices[1:])
+	ce := wantKind(t, err, certify.Outside)
+	if ce.Point != res.Vertices[0] {
+		t.Fatalf("dropped vertex %d not reported as outside: %v", res.Vertices[0], ce)
+	}
+}
+
+func TestDelaunayCertifiesAndRejects(t *testing.T) {
+	pts := pointgen.UniformBall(pointgen.NewRNG(11), 120, 2)
+	res, err := parhull.Delaunay(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := certify.Delaunay(pts, res.Triangles); err != nil {
+		t.Fatalf("good triangulation rejected: %v", err)
+	}
+
+	flipped := append([][3]int(nil), res.Triangles...)
+	flipped[0] = [3]int{flipped[0][1], flipped[0][0], flipped[0][2]}
+	_, err = certify.Delaunay(pts, flipped)
+	wantKind(t, err, certify.NotCCW)
+
+	if _, err := certify.Delaunay(pts, res.Triangles[1:]); err == nil {
+		t.Fatal("dropped triangle not detected")
+	}
+}
+
+func TestHalfspaceCertifiesAndRejects(t *testing.T) {
+	rng := pointgen.NewRNG(12)
+	normals := append(parhull.HalfspaceBoundingSimplex(3), pointgen.OnSphere(rng, 40, 3)...)
+	res, err := parhull.HalfspaceIntersection(normals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verts := make([]certify.HSVertex, len(res.Vertices))
+	for i, v := range res.Vertices {
+		verts[i] = certify.HSVertex{Point: v.Point, Defining: v.Halfspaces}
+	}
+	if _, err := certify.Halfspace(normals, verts); err != nil {
+		t.Fatalf("good halfspace intersection rejected: %v", err)
+	}
+
+	bad := append([]certify.HSVertex(nil), verts...)
+	moved := append(parhull.Point(nil), bad[0].Point...)
+	moved[0] += 0.5
+	bad[0] = certify.HSVertex{Point: moved, Defining: bad[0].Defining}
+	_, err = certify.Halfspace(normals, bad)
+	wantKind(t, err, certify.VertexSet)
+
+	if _, err := certify.Halfspace(normals, verts[1:]); err == nil {
+		t.Fatal("dropped vertex not detected")
+	}
+}
+
+func TestCirclesCertifiesAndRejects(t *testing.T) {
+	centers := pointgen.UniformBall(pointgen.NewRNG(13), 12, 2)
+	for i := range centers {
+		centers[i][0] *= 0.4
+		centers[i][1] *= 0.4
+	}
+	arcs, ok, err := parhull.UnitCircleIntersection(centers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected a non-empty intersection")
+	}
+	conv := make([]certify.CircleArc, len(arcs))
+	for i, a := range arcs {
+		conv[i] = certify.CircleArc{Circle: a.Circle, Lo: a.Lo, Length: a.Length}
+	}
+	if err := certify.Circles(centers, conv); err != nil {
+		t.Fatalf("good arc set rejected: %v", err)
+	}
+
+	bad := append([]certify.CircleArc(nil), conv...)
+	bad[0].Length *= 0.5
+	if err := certify.Circles(centers, bad); err == nil {
+		t.Fatal("shrunk arc not detected")
+	} else {
+		wantKind(t, err, certify.ArcBroken)
+	}
+}
+
+func TestTrapezoidsCertifiesAndRejects(t *testing.T) {
+	box := parhull.TrapezoidBox{XL: 0, XR: 10, YB: 0, YT: 10}
+	segs := []parhull.TrapezoidSegment{
+		{Y: 2, XL: 1, XR: 6}, {Y: 5, XL: 3, XR: 9}, {Y: 7, XL: 2, XR: 4}, {Y: 8.5, XL: 5, XR: 8},
+	}
+	cells, err := parhull.TrapezoidDecomposition(segs, box, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := make([]certify.TrapCell, len(cells))
+	for i, c := range cells {
+		conv[i] = certify.TrapCell{XL: c.XL, XR: c.XR, YB: c.YB, YT: c.YT, Segments: c.Segments}
+	}
+	if err := certify.Trapezoids(segs, box, conv); err != nil {
+		t.Fatalf("good decomposition rejected: %v", err)
+	}
+
+	if err := certify.Trapezoids(segs, box, conv[1:]); err == nil {
+		t.Fatal("dropped cell not detected")
+	} else {
+		var ce *certify.Error
+		if !errors.As(err, &ce) || (ce.Kind != certify.CellMismatch && ce.Kind != certify.AreaMismatch) {
+			t.Fatalf("want cell/area mismatch, got %v", err)
+		}
+	}
+}
+
+func TestCornerFacesCertifiesAndRejects(t *testing.T) {
+	pts := pointgen.Grid3D(2) // the unit cube: square faces, fully degenerate
+	faces, err := parhull.Hull3DDegenerate(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := make([][]int, len(faces))
+	for i, f := range faces {
+		conv[i] = f.Vertices
+	}
+	if err := certify.CornerFaces(pts, conv); err != nil {
+		t.Fatalf("good face set rejected: %v", err)
+	}
+	if err := certify.CornerFaces(pts, conv[1:]); err == nil {
+		t.Fatal("dropped face not detected")
+	}
+}
+
+func TestExactFallbacksCountedOnDegenerateCloud(t *testing.T) {
+	pts := pointgen.Cospherical(pointgen.NewRNG(14), 150, 3, 0)
+	res, err := parhull.HullD(pts, nil)
+	if err != nil {
+		t.Skipf("engine rejected cospherical cloud: %v", err)
+	}
+	st, err := certify.Hull(pts, facetsOf(res), res.Vertices)
+	if err != nil {
+		t.Fatalf("cospherical hull rejected: %v", err)
+	}
+	t.Logf("side tests %d, exact fallbacks %d", st.SideTests, st.ExactFallbacks)
+}

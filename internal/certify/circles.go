@@ -1,0 +1,98 @@
+package certify
+
+import (
+	"math"
+
+	"parhull/internal/geom"
+)
+
+// circleTol is the float tolerance of the circle-intersection screen. Arc
+// endpoints are intersections of unit circles — irrational in general — so
+// this checker is a documented float screen, not an exact certificate (see
+// the package comment).
+const circleTol = 1e-7
+
+// CircleArc mirrors the public arc representation: the arc of unit circle
+// Circle covering angles [Lo, Lo+Length].
+type CircleArc struct {
+	Circle     int
+	Lo, Length float64
+}
+
+// Circles screens the boundary arcs of a unit-disk intersection: every
+// arc's midpoint lies on its own circle and inside every other disk, every
+// arc endpoint lies on some other circle (so it is a genuine boundary
+// switch point), and the endpoints chain into closed loops covering each
+// endpoint exactly twice. A single full-circle arc (one disk containing
+// the intersection boundary) is accepted as its own loop.
+func Circles(centers []geom.Point, arcs []CircleArc) error {
+	if len(arcs) == 0 {
+		return violation(Incomplete, -1, -1, "no arcs")
+	}
+	type pt struct{ x, y float64 }
+	at := func(c int, ang float64) pt {
+		return pt{centers[c][0] + math.Cos(ang), centers[c][1] + math.Sin(ang)}
+	}
+	var ends []pt
+	for ai, a := range arcs {
+		if a.Circle < 0 || a.Circle >= len(centers) {
+			return violation(BadIndex, ai, a.Circle, "arc circle out of range [0,%d)", len(centers))
+		}
+		if !(a.Length > 0) || a.Length > 2*math.Pi+circleTol {
+			return violation(ArcBroken, ai, -1, "arc length %v outside (0, 2pi]", a.Length)
+		}
+		mid := at(a.Circle, a.Lo+a.Length/2)
+		for ci, c := range centers {
+			dx, dy := mid.x-c[0], mid.y-c[1]
+			if r := math.Hypot(dx, dy); r > 1+circleTol {
+				return violation(ArcBroken, ai, ci,
+					"arc midpoint at distance %v from center %d (escapes the disk)", r, ci)
+			}
+		}
+		full := len(arcs) == 1 && a.Length > 2*math.Pi-circleTol
+		if full {
+			continue
+		}
+		for _, end := range []pt{at(a.Circle, a.Lo), at(a.Circle, a.Lo+a.Length)} {
+			onOther := false
+			for ci, c := range centers {
+				if ci == a.Circle {
+					continue
+				}
+				if math.Abs(math.Hypot(end.x-c[0], end.y-c[1])-1) <= circleTol {
+					onOther = true
+					break
+				}
+			}
+			if !onOther {
+				return violation(ArcBroken, ai, -1,
+					"arc endpoint (%v, %v) lies on no other circle", end.x, end.y)
+			}
+			ends = append(ends, end)
+		}
+	}
+	// Each endpoint of the boundary is where one arc hands off to another,
+	// so the endpoint multiset must pair up within tolerance.
+	used := make([]bool, len(ends))
+	for i, e := range ends {
+		if used[i] {
+			continue
+		}
+		mate := -1
+		for j := i + 1; j < len(ends); j++ {
+			if used[j] {
+				continue
+			}
+			if math.Hypot(e.x-ends[j].x, e.y-ends[j].y) <= circleTol {
+				mate = j
+				break
+			}
+		}
+		if mate < 0 {
+			return violation(ArcBroken, i/2, -1,
+				"arc endpoint (%v, %v) is not shared with another arc", e.x, e.y)
+		}
+		used[i], used[mate] = true, true
+	}
+	return nil
+}

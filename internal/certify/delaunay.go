@@ -1,0 +1,145 @@
+package certify
+
+import (
+	"math/big"
+
+	"parhull/internal/geom"
+)
+
+// Delaunay certifies a Delaunay triangulation against the input cloud:
+// every triangle is strictly CCW with an empty circumcircle (exact
+// in-circle predicate over all input points), the triangles form an
+// edge-closed complex (interior edges used once in each direction,
+// boundary edges forming a single convex CCW cycle with no input point
+// strictly outside), and the exact rational area of the triangles sums to
+// the exact area of the boundary cycle — so the triangles tile conv(pts)
+// with no overlap and no hole.
+func Delaunay(pts []geom.Point, tris [][3]int) (Stats, error) {
+	var st Stats
+	if len(tris) == 0 {
+		return st, violation(Incomplete, -1, -1, "no triangles")
+	}
+	type dirEdge struct{ a, b int }
+	dir := make(map[dirEdge]int, 3*len(tris))
+	triArea := new(big.Rat)
+	for ti, t := range tris {
+		for j, v := range t {
+			if v < 0 || v >= len(pts) {
+				return st, violation(BadIndex, ti, v, "triangle vertex out of range [0,%d)", len(pts))
+			}
+			if t[j] == t[(j+1)%3] {
+				return st, violation(BadIndex, ti, v, "repeated triangle vertex")
+			}
+		}
+		a, b, c := pts[t[0]], pts[t[1]], pts[t[2]]
+		if geom.Orient2D(a, b, c) <= 0 {
+			return st, violation(NotCCW, ti, -1, "triangle not strictly counterclockwise")
+		}
+		triArea.Add(triArea, shoelace2(pts, t[:]))
+		for j := range t {
+			e := dirEdge{t[j], t[(j+1)%3]}
+			if prev, dup := dir[e]; dup {
+				return st, violation(RidgeOpen, ti, e.a,
+					"directed edge %d->%d already used by triangle %d", e.a, e.b, prev)
+			}
+			dir[e] = ti
+		}
+		for pi, p := range pts {
+			st.SideTests++
+			if pi == t[0] || pi == t[1] || pi == t[2] {
+				continue
+			}
+			if geom.InCircle(a, b, c, p) > 0 {
+				return st, violation(CircleNotEmpty, ti, pi,
+					"input point strictly inside circumcircle")
+			}
+		}
+	}
+	// Boundary edges are those whose reverse is unused; they must chain
+	// into one convex CCW cycle that contains every input point.
+	next := make(map[int]int)
+	var start int
+	nb := 0
+	for e, ti := range dir {
+		if _, ok := dir[dirEdge{e.b, e.a}]; ok {
+			continue
+		}
+		if _, ok := next[e.a]; ok {
+			return st, violation(RidgeOpen, ti, e.a, "two boundary edges leave vertex %d", e.a)
+		}
+		next[e.a] = e.b
+		start = e.a
+		nb++
+	}
+	if nb < 3 {
+		return st, violation(RidgeOpen, -1, -1, "boundary has %d edges, need >= 3", nb)
+	}
+	cycle := make([]int, 0, nb)
+	for v, i := start, 0; ; i++ {
+		if i > nb {
+			return st, violation(RidgeOpen, -1, v, "boundary does not close into one cycle")
+		}
+		cycle = append(cycle, v)
+		w, ok := next[v]
+		if !ok {
+			return st, violation(RidgeOpen, -1, v, "boundary dead-ends at vertex %d", v)
+		}
+		if w == start {
+			break
+		}
+		v = w
+	}
+	if len(cycle) != nb {
+		return st, violation(RidgeOpen, -1, -1,
+			"boundary splits into multiple cycles (%d of %d edges reached)", len(cycle), nb)
+	}
+	// Unlike a hull, the boundary cycle may contain collinear vertices
+	// (every input point is a triangulation vertex), so convexity is weak:
+	// no right turn, and no input point strictly right of any edge.
+	for i := 0; i < nb; i++ {
+		a := pts[cycle[i]]
+		b := pts[cycle[(i+1)%nb]]
+		c := pts[cycle[(i+2)%nb]]
+		if geom.Orient2D(a, b, c) < 0 {
+			return st, violation(NotConvex, -1, cycle[(i+2)%nb], "boundary cycle turns right")
+		}
+	}
+	o := newSideOracle(pts)
+	vp := make([]geom.Point, 2)
+	for i := 0; i < nb; i++ {
+		vp[0] = pts[cycle[i]]
+		vp[1] = pts[cycle[(i+1)%nb]]
+		plane := geom.NewFacetPlane(vp, o.eps)
+		for pi, p := range pts {
+			if o.side(&plane, vp, p) < 0 {
+				st.add(o.stats)
+				return st, violation(Outside, -1, pi, "input point strictly outside boundary cycle")
+			}
+		}
+	}
+	st.add(o.stats)
+	if hullArea := shoelace2(pts, cycle); triArea.Cmp(hullArea) != 0 {
+		return st, violation(AreaMismatch, -1, -1,
+			"triangle area sum %v != hull area %v (overlap or hole)", triArea, hullArea)
+	}
+	return st, nil
+}
+
+// shoelace2 returns twice the signed area of the polygon with the given
+// vertex indices, exactly.
+func shoelace2(pts []geom.Point, idx []int) *big.Rat {
+	area := new(big.Rat)
+	t := new(big.Rat)
+	x := new(big.Rat)
+	y := new(big.Rat)
+	for i, vi := range idx {
+		vj := idx[(i+1)%len(idx)]
+		x.SetFloat64(pts[vi][0])
+		y.SetFloat64(pts[vj][1])
+		area.Add(area, t.Mul(x, y))
+		x.SetFloat64(pts[vj][0])
+		y.SetFloat64(pts[vi][1])
+		area.Sub(area, t.Mul(x, y))
+	}
+	return area
+}

@@ -1,0 +1,148 @@
+package certify
+
+import (
+	"math"
+	"math/big"
+	"sort"
+
+	"parhull/internal/geom"
+)
+
+// HSVertex is one reported vertex of a halfspace intersection: its float
+// location and the d halfspaces (indices into the normals slice) whose
+// boundaries meet there.
+type HSVertex struct {
+	Point    geom.Point
+	Defining []int
+}
+
+// hsVertexTol bounds the relative disagreement allowed between a reported
+// vertex location and the exact rational re-solve of its defining system
+// (the engine solves in float64, so bit equality is not expected).
+const hsVertexTol = 1e-8
+
+// Halfspace certifies the vertex set of the intersection of halfspaces
+// {x : normals[i]·x <= 1}: every vertex's defining d x d system is
+// re-solved exactly in rationals (singular systems and location
+// disagreements are violations), the exact solution satisfies every
+// halfspace (exact feasibility), and — the duality cross-check of
+// Section 7 — the defining sets, read as facets over the normal points,
+// must certify as the complete hull boundary of the normals, which in
+// general position proves the vertex set is complete.
+func Halfspace(normals []geom.Point, verts []HSVertex) (Stats, error) {
+	var st Stats
+	if len(normals) == 0 {
+		return st, violation(Incomplete, -1, -1, "no halfspaces")
+	}
+	d := len(normals[0])
+	if len(verts) < d+1 {
+		return st, violation(Incomplete, -1, -1,
+			"%d vertices cannot bound a %d-polytope (need >= %d)", len(verts), d, d+1)
+	}
+	one := new(big.Rat).SetInt64(1)
+	seen := make(map[string]int, len(verts))
+	facets := make([][]int, 0, len(verts))
+	for vi, v := range verts {
+		sorted, cerr := checkFacetVerts(vi, v.Defining, d, len(normals))
+		if cerr != nil {
+			return st, cerr
+		}
+		if prev, dup := seen[ridgeKey(sorted, -1)]; dup {
+			return st, violation(BadSupport, vi, -1, "defining set repeats vertex %d", prev)
+		}
+		seen[ridgeKey(sorted, -1)] = vi
+		x, ok := ratSolveOnes(normals, v.Defining)
+		if !ok {
+			return st, violation(BadSupport, vi, -1, "defining halfspace normals are singular")
+		}
+		if len(v.Point) != d {
+			return st, violation(VertexSet, vi, -1, "vertex point has dimension %d, want %d", len(v.Point), d)
+		}
+		for j := range x {
+			exact, _ := x[j].Float64()
+			scale := math.Max(1, math.Abs(exact))
+			if math.Abs(exact-v.Point[j]) > hsVertexTol*scale {
+				return st, violation(VertexSet, vi, -1,
+					"reported coordinate %d = %v, exact solve gives %v", j, v.Point[j], exact)
+			}
+		}
+		// Exact feasibility of the exact vertex against every halfspace.
+		dot := new(big.Rat)
+		t := new(big.Rat)
+		c := new(big.Rat)
+		for ni, nrm := range normals {
+			st.SideTests++
+			dot.SetInt64(0)
+			for j := range nrm {
+				c.SetFloat64(nrm[j])
+				dot.Add(dot, t.Mul(c, x[j]))
+			}
+			if dot.Cmp(one) > 0 {
+				return st, violation(Infeasible, vi, ni, "vertex violates halfspace (n·x = %v > 1)", dot)
+			}
+		}
+		facets = append(facets, sorted)
+	}
+	// Duality: the defining sets are exactly the facets of conv(normals).
+	hullStats, err := Hull(normals, facets, nil)
+	st.add(hullStats)
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// ratSolveOnes solves normals[idx[i]]·x = 1 exactly by rational Gaussian
+// elimination with partial (nonzero) pivoting; ok=false means singular.
+func ratSolveOnes(normals []geom.Point, idx []int) ([]*big.Rat, bool) {
+	d := len(idx)
+	m := make([][]*big.Rat, d)
+	for r, id := range idx {
+		row := make([]*big.Rat, d+1)
+		for j := 0; j < d; j++ {
+			row[j] = new(big.Rat).SetFloat64(normals[id][j])
+		}
+		row[d] = new(big.Rat).SetInt64(1)
+		m[r] = row
+	}
+	t := new(big.Rat)
+	for col := 0; col < d; col++ {
+		pivot := -1
+		for r := col; r < d; r++ {
+			if m[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < d; r++ {
+			if m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Quo(m[r][col], m[col][col])
+			for j := col; j <= d; j++ {
+				m[r][j].Sub(m[r][j], t.Mul(f, m[col][j]))
+			}
+		}
+	}
+	x := make([]*big.Rat, d)
+	for r := d - 1; r >= 0; r-- {
+		acc := new(big.Rat).Set(m[r][d])
+		for j := r + 1; j < d; j++ {
+			acc.Sub(acc, t.Mul(m[r][j], x[j]))
+		}
+		x[r] = acc.Quo(acc, m[r][r])
+	}
+	return x, true
+}
+
+// sortedCopy returns a sorted copy of s (shared helper for oracle-diff
+// reporting).
+func sortedCopy(s []int) []int {
+	c := append([]int(nil), s...)
+	sort.Ints(c)
+	return c
+}

@@ -1,0 +1,147 @@
+package certify
+
+import (
+	"fmt"
+	"math/big"
+
+	"parhull/internal/core"
+	"parhull/internal/corner"
+	"parhull/internal/geom"
+	"parhull/internal/trapezoid"
+)
+
+// TrapCell is one reported cell of a trapezoidal decomposition.
+type TrapCell struct {
+	XL, XR, YB, YT float64
+	Segments       []int
+}
+
+// Trapezoids certifies a trapezoidal decomposition against the brute-force
+// T(X) oracle: the cells alive on the full object set according to
+// core.Active (evaluated on a freshly built space, independent of the
+// engine run) must match the reported cells exactly — same rectangles,
+// same defining segments, same multiplicity — and the exact rational cell
+// areas must sum to the box area, so the cells partition the box. The
+// oracle shares the space's cell geometry with the engine (that geometry
+// is what is trusted here); what is proven is that the engine's concurrent
+// insertion schedule produced exactly the reference set T(X).
+func Trapezoids(segs []trapezoid.Segment, box trapezoid.Box, cells []TrapCell) error {
+	if len(cells) == 0 {
+		return violation(Incomplete, -1, -1, "no cells")
+	}
+	s, err := trapezoid.NewSpace(segs, box)
+	if err != nil {
+		return violation(CellMismatch, -1, -1, "oracle space construction failed: %v", err)
+	}
+	all := make([]int, len(segs))
+	for i := range all {
+		all[i] = i
+	}
+	want := make(map[string]int, len(segs)*4)
+	for _, c := range core.Active(s, all) {
+		xl, xr, yb, yt := s.CellRect(c)
+		want[cellKey(xl, xr, yb, yt, sortedCopy(s.Defining(c)))]++
+	}
+	area := new(big.Rat)
+	t := new(big.Rat)
+	u := new(big.Rat)
+	for ci, c := range cells {
+		k := cellKey(c.XL, c.XR, c.YB, c.YT, sortedCopy(c.Segments))
+		if want[k] == 0 {
+			return violation(CellMismatch, ci, -1,
+				"cell [%v,%v]x[%v,%v] (segments %v) not in the T(X) oracle set",
+				c.XL, c.XR, c.YB, c.YT, c.Segments)
+		}
+		want[k]--
+		t.SetFloat64(c.XR)
+		u.SetFloat64(c.XL)
+		t.Sub(t, u)
+		u.SetFloat64(c.YT)
+		w := new(big.Rat).SetFloat64(c.YB)
+		u.Sub(u, w)
+		area.Add(area, t.Mul(t, u))
+	}
+	for k, n := range want {
+		if n != 0 {
+			return violation(CellMismatch, -1, -1, "oracle cell missing from result (%d copies of %q)", n, k)
+		}
+	}
+	t.SetFloat64(box.XR)
+	u.SetFloat64(box.XL)
+	t.Sub(t, u)
+	u.SetFloat64(box.YT)
+	w := new(big.Rat).SetFloat64(box.YB)
+	u.Sub(u, w)
+	if boxArea := t.Mul(t, u); area.Cmp(boxArea) != 0 {
+		return violation(AreaMismatch, -1, -1,
+			"cell areas sum to %v, box area is %v", area, boxArea)
+	}
+	return nil
+}
+
+func cellKey(xl, xr, yb, yt float64, def []int) string {
+	return fmt.Sprintf("%x/%x/%x/%x/%v", xl, xr, yb, yt, def)
+}
+
+// CornerFaces certifies Hull3DDegenerate output against the brute-force
+// oracle: the corner space's T(X) active set is recomputed with
+// core.Active and re-threaded into faces, and the reported face cycles
+// must match up to rotation (same vertex cycles, same multiplicity).
+func CornerFaces(pts []geom.Point, faces [][]int) error {
+	if len(faces) == 0 {
+		return violation(Incomplete, -1, -1, "no faces")
+	}
+	s, err := corner.NewSpace(pts)
+	if err != nil {
+		return violation(CellMismatch, -1, -1, "oracle space construction failed: %v", err)
+	}
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	oracle, err := corner.Faces(s, core.Active(s, all))
+	if err != nil {
+		return violation(CellMismatch, -1, -1, "oracle face threading failed: %v", err)
+	}
+	want := make(map[string]int, len(oracle))
+	for _, f := range oracle {
+		want[cycleKey(f.Vertices)]++
+	}
+	for fi, f := range faces {
+		k := cycleKey(f)
+		if want[k] == 0 {
+			return violation(CellMismatch, fi, -1, "face cycle %v not in the T(X) oracle set", f)
+		}
+		want[k]--
+	}
+	for k, n := range want {
+		if n != 0 {
+			return violation(CellMismatch, -1, -1, "oracle face missing from result (%d copies of %q)", n, k)
+		}
+	}
+	return nil
+}
+
+// cycleKey canonicalizes a vertex cycle up to rotation and reflection
+// (face orientation is not part of the contract).
+func cycleKey(cyc []int) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	best := ""
+	for dir := 0; dir < 2; dir++ {
+		c := append([]int(nil), cyc...)
+		if dir == 1 {
+			for i, j := 0, len(c)-1; i < j; i, j = i+1, j-1 {
+				c[i], c[j] = c[j], c[i]
+			}
+		}
+		for r := 0; r < len(c); r++ {
+			k := fmt.Sprintf("%v", append(c[r:len(c):len(c)], c[:r]...))
+			if best == "" || k < best {
+				best = k
+			}
+		}
+	}
+	return best
+}

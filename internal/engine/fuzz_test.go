@@ -32,13 +32,17 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(int64(2), uint8(40), uint8(3), true, uint8(0))
 	f.Add(int64(3), uint8(9), uint8(4), false, uint8(0))
 	f.Add(int64(99), uint8(64), uint8(2), true, uint8(0))
-	f.Add(int64(5), uint8(30), uint8(2), false, uint8(1))  // NaN coordinate
-	f.Add(int64(6), uint8(30), uint8(3), true, uint8(2))   // +Inf coordinate
-	f.Add(int64(7), uint8(30), uint8(2), false, uint8(3))  // duplicated point
-	f.Add(int64(8), uint8(30), uint8(3), false, uint8(4))  // collinear cloud
-	f.Add(int64(9), uint8(64), uint8(2), true, uint8(5))   // tiny fixed table
-	f.Add(int64(10), uint8(48), uint8(2), false, uint8(6)) // duplicate-heavy cloud
-	f.Add(int64(11), uint8(48), uint8(3), false, uint8(7)) // quantized near-degenerate cloud
+	f.Add(int64(5), uint8(30), uint8(2), false, uint8(1))   // NaN coordinate
+	f.Add(int64(6), uint8(30), uint8(3), true, uint8(2))    // +Inf coordinate
+	f.Add(int64(7), uint8(30), uint8(2), false, uint8(3))   // duplicated point
+	f.Add(int64(8), uint8(30), uint8(3), false, uint8(4))   // collinear cloud
+	f.Add(int64(9), uint8(64), uint8(2), true, uint8(5))    // tiny fixed table
+	f.Add(int64(10), uint8(48), uint8(2), false, uint8(6))  // duplicate-heavy cloud
+	f.Add(int64(11), uint8(48), uint8(3), false, uint8(7))  // quantized near-degenerate cloud
+	f.Add(int64(12), uint8(48), uint8(3), false, uint8(8))  // quantized cospherical cloud
+	f.Add(int64(13), uint8(48), uint8(2), false, uint8(9))  // integer lattice (ties everywhere)
+	f.Add(int64(14), uint8(48), uint8(3), false, uint8(10)) // exact collinear-heavy cloud
+	f.Add(int64(15), uint8(48), uint8(4), false, uint8(11)) // exact coplanar-heavy cloud
 	f.Fuzz(func(t *testing.T, seed int64, n, dim uint8, sphere bool, mutate uint8) {
 		d := 2 + int(dim)%3 // dimensions 2..4
 		np := int(n)
@@ -52,12 +56,20 @@ func FuzzEngineEquivalence(f *testing.F) {
 		} else {
 			pts = pointgen.UniformBall(rng, np, d)
 		}
-		if m := mutate % 8; m != 0 {
+		if m := mutate % 12; m != 0 {
 			switch m {
 			case 6:
 				pts = pointgen.DuplicateHeavy(pointgen.NewRNG(seed), np, d, 0.5)
 			case 7:
 				pts = pointgen.NearDegenerate(pointgen.NewRNG(seed), np, d, 0)
+			case 8:
+				pts = pointgen.Cospherical(pointgen.NewRNG(seed), np, d, 0)
+			case 9:
+				pts = pointgen.IntegerLattice(pointgen.NewRNG(seed), np, d, 0)
+			case 10:
+				pts = pointgen.CollinearHeavy(pointgen.NewRNG(seed), np, d, 0.5)
+			case 11:
+				pts = pointgen.CoplanarHeavy(pointgen.NewRNG(seed), np, d, 0.5)
 			default:
 				pts = mutatePoints(pts, m, seed)
 			}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"parhull/internal/core"
+	"parhull/internal/faultinject"
 	"parhull/internal/sched"
 )
 
@@ -105,6 +106,18 @@ func SpaceRounds(s core.Space, order []int) (*SpaceResult, error) {
 // round workers joined. Panics escaping the space's callbacks are contained
 // into a typed *sched.PanicError instead of unwinding through the caller.
 func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResult, error) {
+	return SpaceRoundsCtxInj(ctx, nil, s, order)
+}
+
+// SpaceRoundsCtxInj is SpaceRoundsCtx with deterministic fault injection
+// (tests and the soak driver only; production passes SpaceRoundsCtx's nil).
+// Two sites are instrumented: SiteScanBatch counts one visit per
+// configuration conflict scan, and SiteSpacePeak counts one visit per
+// claimed pivot inside the round tasks — a panic armed there is contained by
+// the round scheduler into a *sched.PanicError, while one armed on a scan
+// reached from the base-candidate loop unwinds to the caller (the public
+// layer's guard).
+func SpaceRoundsCtxInj(ctx context.Context, inj *faultinject.Injector, s core.Space, order []int) (*SpaceResult, error) {
 	n := s.NumObjects()
 	nb := s.BaseSize()
 	if len(order) < nb {
@@ -131,6 +144,7 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 	// (per-configuration setup hoisted out of the per-object loop); the
 	// closure over InConflict is the shim for spaces without one.
 	firstConflict := func(c int) int32 {
+		inj.Visit(faultinject.SiteScanBatch)
 		for r, o := range order {
 			if s.InConflict(c, o) {
 				return int32(r)
@@ -140,6 +154,7 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 	}
 	if sc, ok := s.(ConflictScanner); ok {
 		firstConflict = func(c int) int32 {
+			inj.Visit(faultinject.SiteScanBatch)
 			if r := sc.FirstConflict(c, order); r < len(order) {
 				return int32(r)
 			}
@@ -283,6 +298,7 @@ func SpaceRoundsCtx(ctx context.Context, s core.Space, order []int) (*SpaceResul
 			if !claimed[x].CompareAndSwap(false, true) {
 				return
 			}
+			inj.Visit(faultinject.SiteSpacePeak)
 			forPeak(x, func(c int32) {
 				p, ok := create(c, x)
 				if !ok {

@@ -38,8 +38,27 @@ const (
 	SiteMapInsert
 	// SiteSeqInsert is the sequential engine's per-point insertion loop.
 	SiteSeqInsert
+	// SitePreHullStage is the pre-hull reduction's stage boundary: one visit
+	// before the interior cull and one before the block sub-hull loop.
+	SitePreHullStage
+	// SitePreHullBlock is the pre-hull block loop: one visit per block body.
+	SitePreHullBlock
+	// SiteScanBatch is a batch conflict scan: one visit per batch filter call
+	// (the kernels' filterVisible* entry points) or per FirstConflict scan of
+	// a configuration space.
+	SiteScanBatch
+	// SiteBuilderRewind is the Builder's retained-state rewind at the start
+	// of the next construction: one visit per reused build.
+	SiteBuilderRewind
+	// SiteSpacePeak is SpaceRounds' peak processing: one visit per claimed
+	// pivot, inside the round task, before its creations run.
+	SiteSpacePeak
 	numSites
 )
+
+// NumSites is the number of instrumented sites — the exclusive upper bound
+// of the Site enum, for callers (the soak driver) that sample sites.
+const NumSites = int(numSites)
 
 // String names the site for error messages.
 func (s Site) String() string {
@@ -50,6 +69,16 @@ func (s Site) String() string {
 		return "map-insert"
 	case SiteSeqInsert:
 		return "seq-insert"
+	case SitePreHullStage:
+		return "prehull-stage"
+	case SitePreHullBlock:
+		return "prehull-block"
+	case SiteScanBatch:
+		return "scan-batch"
+	case SiteBuilderRewind:
+		return "builder-rewind"
+	case SiteSpacePeak:
+		return "space-peak"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

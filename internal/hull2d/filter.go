@@ -2,6 +2,7 @@ package hull2d
 
 import (
 	"parhull/internal/conflict"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 )
 
@@ -86,6 +87,7 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 	if len(cands) == 0 {
 		return dst
 	}
+	e.inj.Visit(faultinject.SiteScanBatch)
 	e.rec.VTests.Add(uint64(cands[0]), int64(len(cands)))
 	n0, n1, off, eps, ok := e.lineRow(f)
 	if !ok {
@@ -150,6 +152,7 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 	if to <= from {
 		return dst
 	}
+	e.inj.Visit(faultinject.SiteScanBatch)
 	e.rec.VTests.Add(uint64(from), int64(to-from))
 	n0, n1, off, eps, ok := e.lineRow(f)
 	if !ok {
@@ -192,6 +195,7 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 	if len(c1)+len(c2) == 0 {
 		return dst
 	}
+	e.inj.Visit(faultinject.SiteScanBatch)
 	// The shard key only selects a counter stripe (Load sums all stripes),
 	// so any key gives totals identical to the two-phase path.
 	var key uint64

@@ -37,6 +37,7 @@ import (
 	"parhull/internal/conmap"
 	eng "parhull/internal/engine"
 	"parhull/internal/facetlog"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 	"parhull/internal/hullstats"
 	"parhull/internal/sched"
@@ -174,6 +175,7 @@ type engine struct {
 	batch    bool             // batch visibility filter (filter.go) vs pointwise closure
 	soa      bool             // publish line rows into the arena SoA storage
 	rec      *hullstats.Recorder
+	inj      *faultinject.Injector // batch-scan fault site (nil in production)
 
 	log *facetlog.Log[*Facet] // every facet ever created
 

@@ -111,6 +111,9 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, *Trace, error) {
 		return nil, nil, err
 	}
 	e := newEngine(pts, opt.base(), opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter(), opt.soaLayout())
+	if opt != nil {
+		e.inj = opt.Inject
+	}
 	if opt != nil && opt.Trace {
 		e.trace = &Trace{}
 	}

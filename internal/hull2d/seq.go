@@ -99,6 +99,7 @@ func seqFrom(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, b
 		return nil, err
 	}
 	e := newEngine(pts, base, counters, 0, 1, noPlane, true, false)
+	e.inj = inj
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,12 @@
 package hulld
 
-import "parhull/internal/conflict"
+import (
+	"os"
+	"sync/atomic"
+
+	"parhull/internal/conflict"
+	"parhull/internal/faultinject"
+)
 
 // This file implements the kernel's batch visibility filter — the
 // conflict.Filter side of the two-phase merge/filter pipeline (DESIGN.md
@@ -89,6 +95,7 @@ func (e *engine) filterVisible(f *Facet, cands []int32, dst []int32) []int32 {
 	if len(cands) == 0 {
 		return dst
 	}
+	e.inj.Visit(faultinject.SiteScanBatch)
 	e.rec.VTests.Add(uint64(cands[0]), int64(len(cands)))
 	n, off, eps, ok := e.planeRow(f)
 	if !ok {
@@ -176,6 +183,7 @@ func (e *engine) filterVisibleRange(f *Facet, from, to int32, dst []int32) []int
 	if to <= from {
 		return dst
 	}
+	e.inj.Visit(faultinject.SiteScanBatch)
 	e.rec.VTests.Add(uint64(from), int64(to-from))
 	n, off, eps, ok := e.planeRow(f)
 	if !ok {
@@ -243,6 +251,7 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 	if len(c1)+len(c2) == 0 {
 		return dst
 	}
+	e.inj.Visit(faultinject.SiteScanBatch)
 	// Any shard key works for the per-batch counter adds: the key only
 	// selects a stripe and Load sums all stripes, so totals match the
 	// two-phase path's cands[0] keying exactly.
@@ -428,10 +437,37 @@ func (e *engine) filterVisibleMerge(f *Facet, c1, c2 []int32, drop int32, dst []
 	if tested > 0 {
 		e.rec.VTests.Add(key, tested)
 	}
-	if len(uncertain) == 0 {
-		return dst
+	if len(uncertain) != 0 {
+		dst = e.resolveUncertain(f, dst, base, uncertain)
 	}
-	return e.resolveUncertain(f, dst, base, uncertain)
+	return plantDrop(dst, base)
+}
+
+// soakPlant, when set, makes the fused merge filter silently drop the last
+// surviving candidate of every batch — a deliberately planted scan-kernel
+// defect used to prove the independent output certifier catches real bugs
+// end to end (soak violation, bit-for-bit replay, shrink). Armed only by the
+// hidden PARHULL_SOAK_PLANT environment flag or, in-process, by PlantSoakBug
+// (cmd/hullsoak tests). Atomic so workers retained by a Builder observe
+// toggles without a data race.
+var soakPlant atomic.Bool
+
+func init() {
+	if os.Getenv("PARHULL_SOAK_PLANT") == "drop-candidate" {
+		soakPlant.Store(true)
+	}
+}
+
+// PlantSoakBug toggles the planted scan defect (soak-rig tests only).
+func PlantSoakBug(on bool) { soakPlant.Store(on) }
+
+// plantDrop applies the planted defect to a finished batch: the survivors
+// dst[base:] lose their last element.
+func plantDrop(dst []int32, base int) []int32 {
+	if soakPlant.Load() && len(dst) > base {
+		return dst[:len(dst)-1]
+	}
+	return dst
 }
 
 // evalGen evaluates the folded plane at point v for the non-3D fused merge:

@@ -32,6 +32,7 @@ import (
 	"parhull/internal/conflict"
 	eng "parhull/internal/engine"
 	"parhull/internal/facetlog"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 	"parhull/internal/hullstats"
 	"parhull/internal/sched"
@@ -247,6 +248,7 @@ type engine struct {
 	soa      bool    // publish plane rows into the arena SoA storage
 	interior geom.Point
 	rec      *hullstats.Recorder
+	inj      *faultinject.Injector // batch-scan fault site (nil in production)
 
 	log *facetlog.Log[*Facet] // every facet ever created
 

@@ -140,10 +140,18 @@ func Par(pts []geom.Point, opt *Options) (*Result, error) {
 		return nil, err
 	}
 	var ru *Reuse
+	var inj *faultinject.Injector
 	if opt != nil {
 		ru = opt.Reuse
+		inj = opt.Inject
+	}
+	if ru != nil {
+		// The rewind of the retained pool happens inside engineFor; a panic
+		// armed here fires on the calling goroutine, before any worker runs.
+		inj.Visit(faultinject.SiteBuilderRewind)
 	}
 	e := engineFor(ru, pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter(), opt.soaLayout())
+	e.inj = inj
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

@@ -16,6 +16,9 @@ func Rounds(pts []geom.Point, opt *Options) (*Result, error) {
 		return nil, err
 	}
 	e := newEngine(pts, d, opt == nil || !opt.NoCounters, opt.filterGrain(), parStripes(), opt.noPlaneCache(), opt.batchFilter(), opt.soaLayout())
+	if opt != nil {
+		e.inj = opt.Inject
+	}
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

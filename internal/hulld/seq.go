@@ -104,6 +104,7 @@ func seq(ctx context.Context, inj *faultinject.Injector, pts []geom.Point, count
 	// SoA rows are ever published; folded inline planes keep its
 	// classifications bit-identical to the parallel engines in either layout.
 	e := newEngine(pts, d, counters, 0, 1, noPlane, true, false)
+	e.inj = inj
 	facets, err := e.initialHull()
 	if err != nil {
 		return nil, err

@@ -43,6 +43,26 @@ func Check(t testing.TB) {
 	})
 }
 
+// Snapshot returns the current goroutine count — the baseline for a later
+// Settle. The non-test half of the detector, for long-running drivers
+// (cmd/hullsoak) that check for leaks between trials.
+func Snapshot() int { return runtime.NumGoroutine() }
+
+// Settle waits for the goroutine count to return to base (same grace window
+// as Check) and reports how many goroutines remain above it, with their
+// stacks. A zero leaked count means quiesced.
+func Settle(base int) (leaked int, stackDump string) {
+	var n int
+	for i := 0; i < retries; i++ {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return 0, ""
+		}
+		time.Sleep(interval)
+	}
+	return n - base, stacks()
+}
+
 // stacks returns all goroutine stacks, truncated to keep failure output
 // readable.
 func stacks() string {

@@ -160,6 +160,111 @@ func NearDegenerate(rng *rand.Rand, n, d int, quantum float64) []geom.Point {
 	return pts
 }
 
+// Cospherical returns n points on the unit (d-1)-sphere with every
+// coordinate snapped to a power-of-two grid (quantum <= 0 selects 2^-10).
+// Unlike OnSphere — whose points are only cospherical up to normalization
+// rounding — the snapped cloud carries many exactly equal coordinates,
+// exactly antipodal and mirrored pairs, and near-ties on every facet plane,
+// so the static filter's epsilon band fills up and the exact-fallback rate
+// spikes. Every point is still (near) boundary, the adversarial regime for
+// incremental insertion.
+func Cospherical(rng *rand.Rand, n, d int, quantum float64) []geom.Point {
+	if quantum <= 0 {
+		quantum = 0x1p-10
+	}
+	pts := OnSphere(rng, n, d)
+	for _, p := range pts {
+		for j := range p {
+			p[j] = math.Round(p[j]/quantum) * quantum
+		}
+	}
+	return pts
+}
+
+// IntegerLattice returns n points with integer coordinates drawn uniformly
+// from {0, ..., k-1}^d (k <= 0 selects the smallest k with at least n lattice
+// points). Small-integer coordinates are exact in floating point, so the
+// cloud is saturated with exact ties: duplicate points, collinear triples,
+// coplanar quadruples on every axis-aligned and diagonal line — the
+// everything-is-degenerate input the engines must reject or resolve exactly.
+func IntegerLattice(rng *rand.Rand, n, d, k int) []geom.Point {
+	if k <= 0 {
+		// Smallest k with k^d >= n, so the lattice is dense with duplicates
+		// without collapsing to a single cell.
+		for k = 2; math.Pow(float64(k), float64(d)) < float64(n); k++ {
+		}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = float64(rng.Intn(k))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// CollinearHeavy returns n points of which roughly frac lie exactly on the
+// line through two earlier points (frac outside (0, 1) selects 0.5): each
+// such point is a + t*(b-a) with a dyadic t and integer-lattice base points,
+// so the collinearity is exact in floating point, not approximate. The rest
+// of the cloud is the integer lattice itself, so degenerate triples are the
+// rule, not the exception.
+func CollinearHeavy(rng *rand.Rand, n, d int, frac float64) []geom.Point {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	pts := IntegerLattice(rng, n, d, 0)
+	for i := 2; i < len(pts); i++ {
+		if rng.Float64() >= frac {
+			continue
+		}
+		a, b := pts[rng.Intn(i)], pts[rng.Intn(i)]
+		t := dyadic(rng)
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = a[j] + t*(b[j]-a[j])
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// CoplanarHeavy returns n points (d >= 3) of which roughly frac lie exactly
+// on the plane of three earlier points: a + u*(b-a) + v*(c-a) with dyadic
+// u, v over integer-lattice base points — exact coplanarity, the Section 6
+// regime in arbitrary dimension. For d < 3 it degrades to CollinearHeavy.
+func CoplanarHeavy(rng *rand.Rand, n, d int, frac float64) []geom.Point {
+	if d < 3 {
+		return CollinearHeavy(rng, n, d, frac)
+	}
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	pts := IntegerLattice(rng, n, d, 0)
+	for i := 3; i < len(pts); i++ {
+		if rng.Float64() >= frac {
+			continue
+		}
+		a, b, c := pts[rng.Intn(i)], pts[rng.Intn(i)], pts[rng.Intn(i)]
+		u, v := dyadic(rng), dyadic(rng)
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = a[j] + u*(b[j]-a[j]) + v*(c[j]-a[j])
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// dyadic returns a small random multiple of 2^-4 in (0, 2): affine weights
+// that keep lattice-based combinations exact in floating point (integer
+// differences scaled by dyadic rationals round nowhere).
+func dyadic(rng *rand.Rand) float64 {
+	return float64(1+rng.Intn(31)) * 0x1p-4
+}
+
 // gaussianDir returns a uniformly random unit vector in R^d.
 func gaussianDir(rng *rand.Rand, d int) geom.Point {
 	for {

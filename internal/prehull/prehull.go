@@ -216,6 +216,7 @@ func Reduce(pts []geom.Point, cfg Config) (*Reduction, error) {
 	}
 
 	// Stage 1: certified-interior cull. cand == nil means "all points".
+	cfg.Inject.Visit(faultinject.SitePreHullStage)
 	var cand []int32
 	if !cfg.NoCull {
 		var err error
@@ -240,6 +241,7 @@ func Reduce(pts []geom.Point, cfg Config) (*Reduction, error) {
 	}
 
 	// Stage 2: block sub-hulls over the survivors.
+	cfg.Inject.Visit(faultinject.SitePreHullStage)
 	blockKeep, nb, degen, err := blockReduce(work, d, cfg)
 	if err != nil {
 		return nil, err
@@ -486,6 +488,9 @@ func blockReduce(work []geom.Point, d int, cfg Config) ([]int32, int, int, error
 		if failed.Load() {
 			return
 		}
+		// One visit per block, inside the executor: an armed panic here is
+		// contained into a *sched.PanicError like any block sub-hull panic.
+		cfg.Inject.Visit(faultinject.SitePreHullBlock)
 		if err := cfg.ctxErr(); err != nil {
 			fail(err)
 			return

@@ -38,6 +38,7 @@ import (
 	"parhull/internal/conmap"
 	"parhull/internal/delaunay"
 	"parhull/internal/engine"
+	"parhull/internal/faultinject"
 	"parhull/internal/geom"
 	"parhull/internal/hull2d"
 	"parhull/internal/hulld"
@@ -188,7 +189,23 @@ type Options struct {
 	// MapSharded. Leave it off in production; tests use it to pin the
 	// typed-error contract.
 	NoMapFallback bool
+	// NoBatchFilter routes conflict filtering through the pointwise closure
+	// path instead of the batch filter pipeline (the filter ablation in
+	// cmd/hullbench; also a soak-rig axis). The survivor lists — and so the
+	// hull — are identical either way.
+	NoBatchFilter bool
+
+	// inject arms deterministic fault injection across every instrumented
+	// layer (engines, ridge maps, pre-hull, Builder rewind, space rounds).
+	// Settable only through SetFaultInjector; nil in production.
+	inject *faultinject.Injector
 }
+
+// SetFaultInjector arms o with a deterministic fault-injection schedule for
+// the robustness test rigs (internal/faultinject; see cmd/hullsoak). The
+// injector type lives in an internal package, so outside this module the
+// method is only callable with nil — production code cannot arm faults.
+func (o *Options) SetFaultInjector(inj *faultinject.Injector) { o.inject = inj }
 
 // schedKind maps the public knob onto the internal scheduler kind.
 func (o *Options) schedKind() sched.Kind {
